@@ -1,0 +1,112 @@
+//! Microbenchmarks of the simulation substrate: event throughput, link
+//! shaping, queue disciplines, and a full TCP flow per second of simulated
+//! time. These quantify the cost of a paper-scale run (540 s × 810 runs).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsrepro_netsim::apps::{CbrSource, SinkAgent};
+use gsrepro_netsim::net::{AgentId, NetworkBuilder};
+use gsrepro_netsim::queue::{DropTailQueue, Queue, QueueSpec};
+use gsrepro_netsim::wire::{FlowId, Packet, Payload};
+use gsrepro_netsim::LinkSpec;
+use gsrepro_simcore::{BitRate, Bytes, SimDuration, SimTime};
+use gsrepro_tcp::{CcaKind, TcpReceiver, TcpSender, TcpSenderConfig};
+
+fn bench_event_engine(c: &mut Criterion) {
+    c.bench_function("cbr_10s_25mbps", |b| {
+        b.iter(|| {
+            let mut nb = NetworkBuilder::new(1);
+            let s = nb.add_node("s");
+            let d = nb.add_node("d");
+            nb.duplex(
+                s,
+                d,
+                LinkSpec::bottleneck(BitRate::from_mbps(25), Bytes(100_000), SimDuration::from_millis(8)),
+            );
+            let f = nb.flow("x");
+            let sink = nb.add_agent(d, Box::new(SinkAgent::new()));
+            nb.add_agent(s, Box::new(CbrSource::new(f, d, sink, BitRate::from_mbps(20), Bytes(1200))));
+            let mut sim = nb.build();
+            sim.run_until(SimTime::from_secs(10));
+            sim.events_processed()
+        })
+    });
+}
+
+fn bench_queue_disciplines(c: &mut Criterion) {
+    let mk_pkt = |i: u64| Packet {
+        id: i,
+        flow: FlowId((i % 4) as u32),
+        src: gsrepro_netsim::NodeId(0),
+        dst: gsrepro_netsim::NodeId(1),
+        dst_agent: AgentId(0),
+        size: Bytes(1200),
+        sent_at: SimTime::ZERO,
+        enqueued_at: SimTime::ZERO,
+        payload: Payload::Raw,
+    };
+    let mut group = c.benchmark_group("queues");
+    group.bench_function("drop_tail_enq_deq", |b| {
+        b.iter(|| {
+            let mut q = DropTailQueue::bytes(Bytes(1_000_000));
+            let mut dropped = vec![];
+            for i in 0..1_000u64 {
+                let _ = q.enqueue(mk_pkt(i), SimTime::from_millis(i));
+                if i % 2 == 0 {
+                    q.dequeue(SimTime::from_millis(i), &mut dropped);
+                }
+            }
+            q.len_pkts()
+        })
+    });
+    for (name, spec) in [
+        ("codel", QueueSpec::codel_default(Bytes(1_000_000))),
+        ("fq_codel", QueueSpec::fq_codel_default(Bytes(1_000_000))),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut q = spec.build();
+                let mut dropped = vec![];
+                for i in 0..1_000u64 {
+                    let _ = q.enqueue(mk_pkt(i), SimTime::from_millis(i));
+                    if i % 2 == 0 {
+                        q.dequeue(SimTime::from_millis(i), &mut dropped);
+                    }
+                }
+                q.len_pkts()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_tcp_flow(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tcp_10s");
+    group.sample_size(10);
+    for cca in [CcaKind::Cubic, CcaKind::Bbr] {
+        group.bench_function(cca.label(), |b| {
+            b.iter(|| {
+                let mut nb = NetworkBuilder::new(7);
+                let s = nb.add_node("s");
+                let d = nb.add_node("d");
+                nb.link(
+                    s,
+                    d,
+                    LinkSpec::bottleneck(BitRate::from_mbps(25), Bytes(100_000), SimDuration::from_millis(8)),
+                );
+                nb.link(d, s, LinkSpec::lan(SimDuration::from_millis(8)));
+                let data = nb.flow("d");
+                let acks = nb.flow("a");
+                let cfg = TcpSenderConfig::new(data, d, AgentId(1), cca);
+                let sender = nb.add_agent(s, Box::new(TcpSender::new(cfg)));
+                nb.add_agent(d, Box::new(TcpReceiver::new(acks, s, sender)));
+                let mut sim = nb.build();
+                sim.run_until(SimTime::from_secs(10));
+                sim.events_processed()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_engine, bench_queue_disciplines, bench_tcp_flow);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Macro-benchmarks: one full paper-timeline testbed run per condition
+//! archetype, plus ablations called out in DESIGN.md (D2: controller swap;
+//! D3: BBR in-flight cap via queue size; AQM future work).
+//!
+//! These are wall-clock benches of the *reproduction machinery*; the
+//! figures themselves come from the `--bin` targets.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gsrepro_testbed::config::{Condition, Timeline};
+use gsrepro_testbed::runner::run_condition;
+use gsrepro_testbed::SystemKind;
+use gsrepro_tcp::CcaKind;
+
+fn short_cond(sys: SystemKind, cca: Option<CcaKind>) -> Condition {
+    Condition::new(sys, cca, 25, 2.0).with_timeline(Timeline::scaled(0.1))
+}
+
+fn bench_condition_run(c: &mut Criterion) {
+    let mut group = c.benchmark_group("testbed_run_54s");
+    group.sample_size(10);
+    for sys in SystemKind::ALL {
+        for cca in [Some(CcaKind::Cubic), Some(CcaKind::Bbr), None] {
+            let label = format!(
+                "{}-{}",
+                sys.label(),
+                cca.map(|c| c.label()).unwrap_or("solo")
+            );
+            let cond = short_cond(sys, cca);
+            group.bench_function(&label, |b| {
+                b.iter(|| {
+                    let r = run_condition(&cond, 0);
+                    r.game_bins_mbps.len()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_condition_run);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Runs the three DESIGN.md ablations:
+//!
+//! * D2 — controller-archetype swap across system profiles,
+//! * D3 — BBR PROBE_BW cwnd-gain sweep vs Cubic at a bloated queue,
+//! * D1 — queue-discipline sweep (drop-tail / CoDel / FQ-CoDel).
+
+use gsrepro_testbed::ablation;
+use gsrepro_testbed::report::TextTable;
+
+fn main() {
+    let (opts, _) = gsrepro_bench::parse_args();
+
+    eprintln!("[1/3] D2 controller swap (18 conditions)...");
+    let swap = ablation::controller_swap(opts.timeline, opts.iterations, opts.threads);
+    println!("{swap}");
+
+    eprintln!("[2/3] D3 BBR cwnd-gain sweep...");
+    let cells = ablation::bbr_cwnd_gain(&[1.0, 1.5, 2.0, 3.0, 4.0], 7.0, 90, 11);
+    println!("\nD3 ablation — BBR cwnd_gain vs Cubic, 25 Mb/s, 7x BDP (paper: the 2x cap");
+    println!("is why RTT halves vs the Cubic-only column)\n");
+    let mut t = TextTable::new(vec!["cwnd_gain", "BBR share", "RTT (ms)"]);
+    for c in &cells {
+        t.row(vec![
+            format!("{:.1}", c.gain),
+            format!("{:.2}", c.bbr_share),
+            format!("{:.1}", c.rtt_ms),
+        ]);
+    }
+    println!("{}", t.render());
+
+    eprintln!("[3/3] D1 AQM sweep (9 conditions)...");
+    let aqm = ablation::aqm_sweep(opts.timeline, opts.iterations, opts.threads);
+    println!("\nD1 ablation — queue discipline at 25 Mb/s, 7x BDP, vs Cubic\n");
+    let mut t = TextTable::new(vec!["qdisc", "system", "fairness", "RTT (ms)"]);
+    for c in &aqm {
+        t.row(vec![
+            c.aqm.label().to_string(),
+            c.system.label().to_string(),
+            format!("{:+.2}", c.fairness),
+            format!("{:.1}", c.rtt_ms),
+        ]);
+    }
+    println!("{}", t.render());
+}

@@ -1,0 +1,19 @@
+//! Regenerates Figure 2: bitrate vs time at 25 Mb/s, all queues and CCAs.
+
+fn main() {
+    let (opts, csv) = gsrepro_bench::parse_args();
+    let fig = gsrepro_testbed::experiments::figure2(opts);
+    println!("{fig}");
+    gsrepro_bench::maybe_write_csv(&csv, &fig.csv());
+    if let Some(path) = &csv {
+        // Companion gnuplot script for visual inspection.
+        let gp = gsrepro_testbed::report::gnuplot_figure2(
+            path,
+            fig.timeline.iperf_start.as_secs_f64(),
+            fig.timeline.iperf_stop.as_secs_f64(),
+        );
+        let gp_path = format!("{path}.gp");
+        std::fs::write(&gp_path, gp).expect("write gnuplot script");
+        eprintln!("wrote {gp_path}");
+    }
+}

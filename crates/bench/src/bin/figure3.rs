@@ -1,0 +1,9 @@
+//! Regenerates Figure 3: normalized bitrate-difference heatmaps.
+
+fn main() {
+    let (opts, csv) = gsrepro_bench::parse_args();
+    let grid = gsrepro_testbed::experiments::run_full_grid(opts);
+    let fig = gsrepro_testbed::experiments::figure3(&grid);
+    println!("{fig}");
+    gsrepro_bench::maybe_write_csv(&csv, &fig.csv());
+}

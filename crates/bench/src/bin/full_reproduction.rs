@@ -1,0 +1,34 @@
+//! Runs every experiment and prints every table and figure, sharing the
+//! expensive grids. This is the one-shot artifact regeneration entry point.
+
+use gsrepro_testbed::experiments as ex;
+
+fn main() {
+    let (opts, _) = gsrepro_bench::parse_args();
+    eprintln!(
+        "full reproduction: {} iterations/condition, {} threads (paper: 15 iterations)",
+        opts.iterations, opts.threads
+    );
+
+    println!("{}", ex::table2_text());
+
+    eprintln!("[1/4] Table 1 (unconstrained bitrates)...");
+    println!("\n{}", ex::table1(opts));
+
+    eprintln!("[2/4] solo grid (Table 3, solo loss)...");
+    let solo = ex::run_solo_grid(opts);
+    eprintln!("[3/4] full competing grid (Figures 2-4, Tables 4-5)...");
+    let grid = ex::run_full_grid(opts);
+
+    println!("\n{}", ex::table3(&solo));
+    println!("\n{}", ex::table4(&grid));
+    println!("\n{}", ex::table5(&grid));
+    let (l1, l2) = ex::loss_tables(&solo, &grid);
+    println!("\n{l1}\n{l2}");
+    println!("\n{}", ex::figure3(&grid));
+    println!("\n{}", ex::figure4(&grid));
+
+    eprintln!("[4/4] Figure 2 (bitrate time series)...");
+    let fig2 = ex::figure2(opts);
+    println!("\n{fig2}");
+}

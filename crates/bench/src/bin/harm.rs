@@ -1,0 +1,22 @@
+//! Harm-based analysis (the paper's future-work pointer to Ware et al.):
+//! throughput, delay, and frame-rate harm inflicted on each game system by
+//! each competitor, relative to the solo run under the same condition.
+
+use gsrepro_testbed::experiments as ex;
+
+fn main() {
+    let (opts, csv) = gsrepro_bench::parse_args();
+    eprintln!("running solo grid...");
+    let solo = ex::run_solo_grid(opts);
+    eprintln!("running competing grid...");
+    let grid = ex::run_full_grid(opts);
+    let harm = ex::harm_table(&solo, &grid);
+    println!("{harm}");
+    if csv.is_some() {
+        let mut out = String::from("capacity,queue,system,cca,tput_harm,delay_harm,fps_harm\n");
+        for (cap, q, sys, cca, ht, hd, hf) in &harm.rows {
+            out.push_str(&format!("{cap},{q},{},{},{ht:.4},{hd:.4},{hf:.4}\n", sys.label(), cca.label()));
+        }
+        gsrepro_bench::maybe_write_csv(&csv, &out);
+    }
+}

@@ -1,0 +1,14 @@
+//! Regenerates the technical report's loss-rate tables.
+
+fn main() {
+    let (opts, csv) = gsrepro_bench::parse_args();
+    let solo = gsrepro_testbed::experiments::run_solo_grid(opts);
+    let grid = gsrepro_testbed::experiments::run_full_grid(opts);
+    let (a, b) = gsrepro_testbed::experiments::loss_tables(&solo, &grid);
+    println!("{a}\n{b}");
+    if csv.is_some() {
+        let mut out = a.csv();
+        out.push_str(&b.csv());
+        gsrepro_bench::maybe_write_csv(&csv, &out);
+    }
+}

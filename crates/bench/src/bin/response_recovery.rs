@@ -1,0 +1,21 @@
+//! Regenerates the technical report's response/recovery-time breakdown
+//! (the per-condition C and E values that Figure 4 aggregates).
+
+fn main() {
+    let (opts, csv) = gsrepro_bench::parse_args();
+    let grid = gsrepro_testbed::experiments::run_full_grid(opts);
+    let t = gsrepro_testbed::experiments::response_recovery(&grid);
+    println!("{t}");
+    if csv.is_some() {
+        let mut out =
+            String::from("capacity,queue,system,cca,response_s,never_resp,recovery_s,never_rec\n");
+        for (cap, q, sys, cca, c, cn, e, en) in &t.rows {
+            out.push_str(&format!(
+                "{cap},{q},{},{},{c:.2},{cn:.2},{e:.2},{en:.2}\n",
+                sys.label(),
+                cca.label()
+            ));
+        }
+        gsrepro_bench::maybe_write_csv(&csv, &out);
+    }
+}

@@ -1,0 +1,14 @@
+//! Verifies every encoded paper claim against freshly-run grids and prints
+//! the PASS/PARTIAL/FAIL scorecard (the summary EXPERIMENTS.md reports).
+
+use gsrepro_testbed::experiments as ex;
+
+fn main() {
+    let (opts, _) = gsrepro_bench::parse_args();
+    eprintln!("running solo grid...");
+    let solo = ex::run_solo_grid(opts);
+    eprintln!("running competing grid...");
+    let grid = ex::run_full_grid(opts);
+    let sc = gsrepro_testbed::scorecard::scorecard(&solo, &grid);
+    println!("{sc}");
+}

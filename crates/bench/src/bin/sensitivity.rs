@@ -1,0 +1,62 @@
+//! Sensitivity analysis: do the headline fairness signs survive Internet
+//! weather? Re-runs a representative slice of Figure 3 with increasing WAN
+//! jitter (the noise the simulator's clean paths lack relative to the
+//! paper's campus-to-cloud testbed).
+
+use gsrepro_simcore::SimDuration;
+use gsrepro_testbed::config::Condition;
+use gsrepro_testbed::report::TextTable;
+use gsrepro_testbed::{metrics, run_many, CcaKind, SystemKind};
+
+fn main() {
+    let (opts, _) = gsrepro_bench::parse_args();
+    let jitters_ms = [0u64, 2, 5];
+    let slice = [
+        (SystemKind::Stadia, CcaKind::Cubic, 2.0),
+        (SystemKind::GeForce, CcaKind::Cubic, 2.0),
+        (SystemKind::Luna, CcaKind::Cubic, 2.0),
+        (SystemKind::Stadia, CcaKind::Bbr, 0.5),
+        (SystemKind::Luna, CcaKind::Bbr, 0.5),
+    ];
+
+    let mut conditions = Vec::new();
+    for &j in &jitters_ms {
+        for &(sys, cca, q) in &slice {
+            conditions.push(
+                Condition::new(sys, Some(cca), 25, q)
+                    .with_wan_jitter(SimDuration::from_millis(j))
+                    .with_timeline(opts.timeline),
+            );
+        }
+    }
+    eprintln!("running {} conditions × {} iterations...", conditions.len(), opts.iterations);
+    let results = run_many(&conditions, opts.iterations, opts.threads);
+
+    println!("fairness vs WAN jitter (25 Mb/s slice of Figure 3)\n");
+    let mut t = TextTable::new(vec!["condition", "0 ms", "2 ms", "5 ms"]);
+    for &(sys, cca, q) in &slice {
+        let mut row = vec![format!("{sys} vs {cca} @{q}x")];
+        for &j in &jitters_ms {
+            let cr = results
+                .iter()
+                .find(|r| {
+                    r.condition.system == sys
+                        && r.condition.cca == Some(cca)
+                        && (r.condition.queue_mult - q).abs() < 1e-9
+                        && r.condition.wan_jitter == SimDuration::from_millis(j)
+                })
+                .expect("condition present");
+            let f = cr
+                .runs
+                .iter()
+                .map(|r| metrics::fairness(r, &cr.condition))
+                .sum::<f64>()
+                / cr.runs.len() as f64;
+            row.push(format!("{f:+.2}"));
+        }
+        t.row(row);
+    }
+    println!("{}", t.render());
+    println!("the reproduction's conclusions should not depend on perfectly clean paths:");
+    println!("signs (who wins) are expected to be stable across the jitter sweep.");
+}

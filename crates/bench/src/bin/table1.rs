@@ -1,0 +1,8 @@
+//! Regenerates Table 1: unconstrained steady-state bitrates.
+
+fn main() {
+    let (opts, _) = gsrepro_bench::parse_args();
+    let t1 = gsrepro_testbed::experiments::table1(opts);
+    println!("Table 1 — game system bitrates, unconstrained (paper: Stadia 27.5 (2.3), GeForce 24.5 (1.8), Luna 23.7 (0.9))\n");
+    println!("{t1}");
+}

@@ -1,0 +1,5 @@
+//! Echoes Table 2: the experimental parameters.
+
+fn main() {
+    println!("{}", gsrepro_testbed::experiments::table2_text());
+}

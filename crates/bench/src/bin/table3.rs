@@ -1,0 +1,9 @@
+//! Regenerates Table 3: RTT without a competing flow.
+
+fn main() {
+    let (opts, csv) = gsrepro_bench::parse_args();
+    let solo = gsrepro_testbed::experiments::run_solo_grid(opts);
+    let t = gsrepro_testbed::experiments::table3(&solo);
+    println!("{t}");
+    gsrepro_bench::maybe_write_csv(&csv, &t.csv());
+}

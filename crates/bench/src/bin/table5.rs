@@ -1,0 +1,9 @@
+//! Regenerates Table 5: frame rate with a competing flow.
+
+fn main() {
+    let (opts, csv) = gsrepro_bench::parse_args();
+    let grid = gsrepro_testbed::experiments::run_full_grid(opts);
+    let t = gsrepro_testbed::experiments::table5(&grid);
+    println!("{t}");
+    gsrepro_bench::maybe_write_csv(&csv, &t.csv());
+}

@@ -1,0 +1,95 @@
+//! # gsrepro-bench
+//!
+//! Regeneration harness for every table and figure in Xu & Claypool
+//! (IMC '22), plus performance benches for the simulator itself.
+//!
+//! Each paper artifact has a binary (run with `--release`):
+//!
+//! | artifact | binary |
+//! |---|---|
+//! | Table 1 | `cargo run --release -p gsrepro-bench --bin table1` |
+//! | Table 2 | `... --bin table2` |
+//! | Figure 2 | `... --bin figure2` |
+//! | Figure 3 | `... --bin figure3` |
+//! | Figure 4 | `... --bin figure4` |
+//! | Table 3 | `... --bin table3` |
+//! | Table 4 | `... --bin table4` |
+//! | Table 5 | `... --bin table5` |
+//! | loss tables | `... --bin loss_tables` |
+//! | everything | `... --bin full_reproduction` |
+//!
+//! Every binary accepts `--iters N` (default 5; the paper used 15),
+//! `--full` (15 iterations), `--smoke` (tiny scaled run for CI), and
+//! `--csv PATH` to dump machine-readable data.
+
+use gsrepro_testbed::experiments::ExperimentOpts;
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("flags: --full | --smoke | --iters N | --threads N | --csv PATH");
+    std::process::exit(2);
+}
+
+/// Parse the shared CLI flags. Returns (opts, csv path).
+pub fn parse_args() -> (ExperimentOpts, Option<String>) {
+    let mut opts = ExperimentOpts::quick();
+    let mut csv = None;
+    let mut explicit_iters = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--full" => explicit_iters = Some(15),
+            "--smoke" => opts = ExperimentOpts::smoke(),
+            "--iters" => {
+                let v = args.next().unwrap_or_else(|| usage_error("--iters needs a value"));
+                opts.iterations = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--iters must be a positive integer"));
+                if opts.iterations == 0 {
+                    usage_error("--iters must be at least 1");
+                }
+                explicit_iters = Some(opts.iterations);
+            }
+            "--threads" => {
+                let v = args.next().unwrap_or_else(|| usage_error("--threads needs a value"));
+                opts.threads = v
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--threads must be a positive integer"));
+            }
+            "--csv" => {
+                let path = args.next().unwrap_or_else(|| usage_error("--csv needs a path"));
+                // Validate the path up front: failing *after* a long grid
+                // run would throw the results away.
+                if let Err(e) = std::fs::write(&path, "") {
+                    usage_error(&format!("cannot write --csv path {path}: {e}"));
+                }
+                csv = Some(path);
+            }
+            "--help" | "-h" => {
+                eprintln!("flags: --full | --smoke | --iters N | --threads N | --csv PATH");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other}; see --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    // An explicit --iters/--full wins regardless of flag order (--smoke
+    // replaces the whole option set otherwise).
+    if let Some(n) = explicit_iters {
+        opts.iterations = n;
+    }
+    (opts, csv)
+}
+
+/// Write CSV if a path was requested.
+pub fn maybe_write_csv(path: &Option<String>, contents: &str) {
+    if let Some(p) = path {
+        if let Err(e) = std::fs::write(p, contents) {
+            eprintln!("error: failed to write {p}: {e}");
+            std::process::exit(1);
+        }
+        eprintln!("wrote {p}");
+    }
+}

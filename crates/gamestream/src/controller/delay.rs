@@ -1,0 +1,213 @@
+//! Delay-conservative controller (the GeForce Now archetype).
+//!
+//! The measured GeForce Now *always* yields capacity to a competing TCP
+//! flow — roughly half its fair share against Cubic, and even less against
+//! BBR (paper §4.1, Figure 3). The behaviour is characteristic of a sender
+//! that treats *any* standing queue as a signal to leave:
+//!
+//! * queueing delay above a low threshold ⇒ gentle but *persistent*
+//!   multiplicative decrease (every 100 ms report), so the rate slides
+//!   until the queue it contributes to is gone;
+//! * even light loss ⇒ decrease;
+//! * recovery is a slow additive ramp that only starts after the path has
+//!   been clean for a hold period.
+//!
+//! Against BBR this is ruinous for the game stream: BBR maintains ~1 BDP
+//! of standing queue without loss, which sits above the threshold forever,
+//! so the controller slides to its floor — reproducing the darkest-blue
+//! cells of the paper's Figure 3.
+
+use gsrepro_simcore::{BitRate, SimDuration, SimTime};
+
+use super::{clamp_rate, FeedbackSnapshot, RateController};
+
+/// Tuning knobs for [`DelayConservativeController`].
+#[derive(Clone, Debug)]
+pub struct DelayConservativeConfig {
+    /// Hard floor for the encoder rate.
+    pub min_rate: BitRate,
+    /// Hard ceiling (the system's unconstrained bitrate).
+    pub max_rate: BitRate,
+    /// Queueing delay above which the controller decreases.
+    pub queue_delay_threshold: SimDuration,
+    /// Multiplicative decrease per report while over threshold.
+    pub backoff: f64,
+    /// Loss fraction above which the controller decreases.
+    pub loss_threshold: f64,
+    /// Multiplicative decrease per report while losing packets.
+    pub loss_backoff: f64,
+    /// Additive ramp per second once the path has been clean for `hold`.
+    pub ramp_per_sec: BitRate,
+    /// Clean time required before ramping up.
+    pub hold: SimDuration,
+}
+
+impl Default for DelayConservativeConfig {
+    fn default() -> Self {
+        DelayConservativeConfig {
+            min_rate: BitRate::from_mbps(4),
+            max_rate: BitRate::from_mbps_f64(24.5),
+            queue_delay_threshold: SimDuration::from_millis(12),
+            backoff: 0.985,
+            loss_threshold: 0.005,
+            loss_backoff: 0.93,
+            ramp_per_sec: BitRate::from_kbps(1_500),
+            hold: SimDuration::from_millis(500),
+        }
+    }
+}
+
+/// Conservative delay-threshold controller.
+pub struct DelayConservativeController {
+    cfg: DelayConservativeConfig,
+    rate: BitRate,
+    /// Last time the path showed congestion (delay or loss).
+    last_congested: SimTime,
+    /// Last report time, for the additive ramp integration.
+    last_report: Option<SimTime>,
+}
+
+impl DelayConservativeController {
+    /// Start at the configured maximum.
+    pub fn new(cfg: DelayConservativeConfig) -> Self {
+        let rate = cfg.max_rate;
+        DelayConservativeController {
+            cfg,
+            rate,
+            last_congested: SimTime::ZERO,
+            last_report: None,
+        }
+    }
+}
+
+impl RateController for DelayConservativeController {
+    fn on_feedback(&mut self, fb: &FeedbackSnapshot, now: SimTime) -> BitRate {
+        let dt = self
+            .last_report
+            .map(|t| now.saturating_since(t))
+            .unwrap_or(SimDuration::ZERO);
+        self.last_report = Some(now);
+
+        let delayed = fb.queue_delay() > self.cfg.queue_delay_threshold;
+        let lossy = fb.loss > self.cfg.loss_threshold;
+
+        if delayed || lossy {
+            self.last_congested = now;
+            let mut next = self.rate;
+            if delayed {
+                next = next.mul_f64(self.cfg.backoff);
+            }
+            if lossy {
+                next = next.mul_f64(self.cfg.loss_backoff);
+            }
+            self.rate = clamp_rate(next, self.cfg.min_rate, self.cfg.max_rate);
+        } else if now.saturating_since(self.last_congested) >= self.cfg.hold {
+            let add = self.cfg.ramp_per_sec.as_bps() as f64 * dt.as_secs_f64();
+            self.rate = clamp_rate(
+                BitRate(self.rate.as_bps() + add as u64),
+                self.cfg.min_rate,
+                self.cfg.max_rate,
+            );
+        }
+        self.rate
+    }
+
+    fn current(&self) -> BitRate {
+        self.rate
+    }
+
+    fn name(&self) -> &'static str {
+        "delay-conservative"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fb(loss: f64, queue_ms: u64) -> FeedbackSnapshot {
+        FeedbackSnapshot {
+            recv_rate: BitRate::from_mbps(10),
+            loss,
+            owd: SimDuration::from_millis(8 + queue_ms),
+            owd_min: SimDuration::from_millis(8),
+            trend_ms_per_s: 0.0,
+            rtt: SimDuration::from_millis(16 + queue_ms),
+        }
+    }
+
+    #[test]
+    fn persistent_queue_slides_to_floor() {
+        let mut c = DelayConservativeController::new(DelayConservativeConfig::default());
+        // A BBR competitor holds ~16 ms of standing queue forever.
+        let mut r = c.current();
+        for i in 0..1200 {
+            r = c.on_feedback(&fb(0.0, 16), SimTime::from_millis(i * 100));
+        }
+        assert_eq!(r, BitRate::from_mbps(4), "must slide to the floor, got {r}");
+    }
+
+    #[test]
+    fn clean_path_ramps_slowly() {
+        let mut c = DelayConservativeController::new(DelayConservativeConfig::default());
+        // Push down first.
+        for i in 0..100 {
+            c.on_feedback(&fb(0.0, 20), SimTime::from_millis(i * 100));
+        }
+        let low = c.current();
+        // 10 s of clean path: ramp = 1.5 Mb/s/s after the 0.5 s hold.
+        let mut r = low;
+        for i in 0..100 {
+            r = c.on_feedback(&fb(0.0, 0), SimTime::from_millis(10_000 + i * 100));
+        }
+        let gained = r.as_mbps() - low.as_mbps();
+        assert!(gained > 10.0, "should ramp ≈ 14 Mb/s in 9.4 s, got {gained}");
+        assert!(gained < 15.0, "ramp must be additive-slow, got {gained}");
+    }
+
+    #[test]
+    fn hold_delays_recovery() {
+        let mut c = DelayConservativeController::new(DelayConservativeConfig::default());
+        for i in 0..50 {
+            c.on_feedback(&fb(0.0, 20), SimTime::from_millis(i * 100));
+        }
+        let low = c.current();
+        // 0.4 s clean — still within the 0.5 s hold.
+        let mut r = low;
+        for i in 0..4 {
+            r = c.on_feedback(&fb(0.0, 0), SimTime::from_millis(5_000 + i * 100));
+        }
+        assert_eq!(r, low, "no ramp during hold");
+    }
+
+    #[test]
+    fn light_loss_decreases() {
+        let mut c = DelayConservativeController::new(DelayConservativeConfig::default());
+        let r0 = c.current();
+        let r = c.on_feedback(&fb(0.02, 0), SimTime::from_millis(100));
+        assert!(r < r0, "2% loss must decrease ({r} !< {r0})");
+    }
+
+    #[test]
+    fn sub_threshold_queue_is_tolerated() {
+        let mut c = DelayConservativeController::new(DelayConservativeConfig::default());
+        let r0 = c.current();
+        for i in 0..50 {
+            c.on_feedback(&fb(0.0, 8), SimTime::from_millis(i * 100));
+        }
+        assert_eq!(c.current(), r0, "8 ms queueing is below the threshold");
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut c = DelayConservativeController::new(DelayConservativeConfig::default());
+        for i in 0..2_000 {
+            let r = c.on_feedback(&fb(0.3, 100), SimTime::from_millis(i * 100));
+            assert!(r >= BitRate::from_mbps(4));
+        }
+        for i in 0..20_000 {
+            let r = c.on_feedback(&fb(0.0, 0), SimTime::from_millis(200_000 + i * 100));
+            assert!(r <= BitRate::from_mbps_f64(24.5));
+        }
+    }
+}

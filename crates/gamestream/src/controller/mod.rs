@@ -1,0 +1,89 @@
+//! Bitrate controllers — the behavioural core of each modelled system.
+//!
+//! A [`RateController`] consumes one [`FeedbackSnapshot`] per receiver
+//! report (every 100 ms) and returns the encoder's new target bitrate,
+//! clamped to the profile's `[min, max]`. The three archetypes:
+//!
+//! | archetype | module | models | key signal |
+//! |---|---|---|---|
+//! | GCC-like hybrid | [`gcc`] | Stadia | delay gradient + loss bounds |
+//! | delay-conservative | [`delay`] | GeForce Now | absolute queueing delay |
+//! | TFRC equation | [`tfrc`] | Luna | loss-event rate + RTT |
+
+pub mod delay;
+pub mod gcc;
+pub mod tfrc;
+
+use gsrepro_simcore::{BitRate, SimDuration, SimTime};
+
+/// Receiver feedback as seen by a controller, normalized from the wire
+/// format ([`gsrepro_netsim::wire::StreamFeedback`]).
+#[derive(Clone, Copy, Debug)]
+pub struct FeedbackSnapshot {
+    /// Goodput the client measured over the report window.
+    pub recv_rate: BitRate,
+    /// Media packet loss fraction over the window (0..=1).
+    pub loss: f64,
+    /// Latest one-way delay.
+    pub owd: SimDuration,
+    /// Minimum one-way delay since stream start (base path delay).
+    pub owd_min: SimDuration,
+    /// Delay slope over the window, ms/s (positive = queue building).
+    pub trend_ms_per_s: f64,
+    /// Round-trip estimate available to the server (owd + return path).
+    pub rtt: SimDuration,
+}
+
+impl FeedbackSnapshot {
+    /// Estimated queueing delay: OWD in excess of the base path delay.
+    pub fn queue_delay(&self) -> SimDuration {
+        self.owd.saturating_sub(self.owd_min)
+    }
+}
+
+/// A bitrate controller.
+pub trait RateController: Send {
+    /// Process one receiver report; returns the new target bitrate.
+    fn on_feedback(&mut self, fb: &FeedbackSnapshot, now: SimTime) -> BitRate;
+
+    /// Current target bitrate.
+    fn current(&self) -> BitRate;
+
+    /// Algorithm name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Clamp helper shared by controllers.
+pub(crate) fn clamp_rate(rate: BitRate, min: BitRate, max: BitRate) -> BitRate {
+    BitRate(rate.as_bps().clamp(min.as_bps(), max.as_bps()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_delay_saturates() {
+        let fb = FeedbackSnapshot {
+            recv_rate: BitRate::from_mbps(10),
+            loss: 0.0,
+            owd: SimDuration::from_millis(5),
+            owd_min: SimDuration::from_millis(8),
+            trend_ms_per_s: 0.0,
+            rtt: SimDuration::from_millis(16),
+        };
+        assert_eq!(fb.queue_delay(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn clamp_rate_bounds() {
+        let min = BitRate::from_mbps(5);
+        let max = BitRate::from_mbps(25);
+        assert_eq!(clamp_rate(BitRate::from_mbps(1), min, max), min);
+        assert_eq!(clamp_rate(BitRate::from_mbps(50), min, max), max);
+        assert_eq!(
+            clamp_rate(BitRate::from_mbps(10), min, max),
+            BitRate::from_mbps(10)
+        );
+    }
+}

@@ -1,0 +1,350 @@
+//! TFRC equation-based controller (the Luna archetype).
+//!
+//! TCP-Friendly Rate Control (RFC 5348) sets the sending rate to the
+//! throughput a TCP Reno flow would achieve at the measured loss-event rate
+//! `p` and round-trip time `R`, via the padhye throughput equation:
+//!
+//! ```text
+//! X = s / ( R·sqrt(2·b·p/3) + t_RTO·(3·sqrt(3·b·p/8))·p·(1 + 32·p²) )
+//! ```
+//!
+//! The loss-event rate uses the Weighted Average Loss Interval (WALI)
+//! method over the last 8 loss intervals, which is what makes TFRC — and
+//! the modelled Luna — *smooth*: it reacts slowly to individual events in
+//! both directions. The consequences the paper measures follow directly:
+//!
+//! * against **Cubic** (loss-based, drains queues after each loss), TFRC
+//!   converges near the fair share — the equation is TCP-fair by design;
+//! * against **BBR** (loss-blind, keeps the queue occupied), the persistent
+//!   loss and inflated RTT push `X` well below fair share, and the WALI
+//!   history keeps it low for a long time after the competitor leaves —
+//!   the paper's "Luna never recovers from a competing TCP BBR flow at
+//!   high capacity".
+
+use gsrepro_simcore::{BitRate, SimDuration, SimTime};
+
+use super::{clamp_rate, FeedbackSnapshot, RateController};
+
+/// Number of loss intervals in the WALI history (RFC 5348 default).
+const WALI_INTERVALS: usize = 8;
+/// WALI weights, newest interval first.
+const WALI_WEIGHTS: [f64; WALI_INTERVALS] = [1.0, 1.0, 1.0, 1.0, 0.8, 0.6, 0.4, 0.2];
+/// Packets acknowledged per TCP ack in the equation (b).
+const B: f64 = 1.0;
+
+/// Tuning knobs for [`TfrcController`].
+#[derive(Clone, Debug)]
+pub struct TfrcConfig {
+    /// Hard floor for the encoder rate.
+    pub min_rate: BitRate,
+    /// Hard ceiling (the system's unconstrained bitrate).
+    pub max_rate: BitRate,
+    /// Nominal packet size `s` used in the equation.
+    pub segment_size: f64,
+    /// Maximum multiplicative increase per report before any loss has been
+    /// seen (TFRC's slow-start-like doubling phase).
+    pub lossless_gain: f64,
+    /// Maximum multiplicative increase per report once loss history
+    /// exists. TFRC's selling point is smoothness: after congestion it
+    /// climbs gently even when the equation would allow a jump.
+    pub steady_gain: f64,
+    /// Queueing delay above which the controller eases off regardless of
+    /// loss. Pure TFRC has no delay term, but a cloud-gaming service is
+    /// latency-bound: parking 80+ ms of standing queue (which the raw
+    /// equation happily does on a bloated solo bottleneck) would be
+    /// unplayable. The paper's solo RTT table shows Luna keeps queues low.
+    pub delay_guard: SimDuration,
+    /// Multiplicative ease per report while over the delay guard.
+    pub delay_backoff: f64,
+}
+
+impl Default for TfrcConfig {
+    fn default() -> Self {
+        TfrcConfig {
+            min_rate: BitRate::from_mbps(4),
+            max_rate: BitRate::from_mbps_f64(23.7),
+            segment_size: 1200.0,
+            lossless_gain: 1.25,
+            steady_gain: 1.06,
+            delay_guard: SimDuration::from_millis(50),
+            delay_backoff: 0.97,
+        }
+    }
+}
+
+/// Equation-based TCP-friendly rate control.
+pub struct TfrcController {
+    cfg: TfrcConfig,
+    rate: BitRate,
+    /// Completed loss intervals, newest first, in packets.
+    intervals: Vec<f64>,
+    /// Packets received since the last loss event.
+    current_interval: f64,
+    /// Whether any loss event has occurred yet.
+    seen_loss: bool,
+}
+
+impl TfrcController {
+    /// Start at the configured maximum.
+    pub fn new(cfg: TfrcConfig) -> Self {
+        let rate = cfg.max_rate;
+        TfrcController {
+            cfg,
+            rate,
+            intervals: Vec::new(),
+            current_interval: 0.0,
+            seen_loss: false,
+        }
+    }
+
+    /// WALI loss-event rate estimate (0 if no loss seen).
+    pub fn loss_event_rate(&self) -> f64 {
+        if !self.seen_loss {
+            return 0.0;
+        }
+        // Average interval including the open one (RFC 5348 §5.4 takes the
+        // max of history-with and history-without the open interval; the
+        // open interval only counts when it is already long).
+        let mut with_open: Vec<f64> = Vec::with_capacity(WALI_INTERVALS);
+        with_open.push(self.current_interval);
+        with_open.extend(self.intervals.iter().copied());
+        let avg = |v: &[f64]| -> f64 {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for (i, &x) in v.iter().take(WALI_INTERVALS).enumerate() {
+                num += WALI_WEIGHTS[i] * x;
+                den += WALI_WEIGHTS[i];
+            }
+            if den > 0.0 {
+                num / den
+            } else {
+                0.0
+            }
+        };
+        let mean = avg(&self.intervals).max(avg(&with_open));
+        if mean <= 0.0 {
+            return 0.5;
+        }
+        (1.0 / mean).min(0.5)
+    }
+
+    /// The RFC 5348 throughput equation, bytes/second.
+    fn equation(&self, p: f64, rtt: SimDuration) -> f64 {
+        let s = self.cfg.segment_size;
+        let r = rtt.as_secs_f64().max(1e-4);
+        let t_rto = (4.0 * r).max(0.2); // RFC: t_RTO = max(4R, 1s); Linux-ish 200 ms floor
+        let term1 = r * (2.0 * B * p / 3.0).sqrt();
+        let term2 = t_rto * 3.0 * (3.0 * B * p / 8.0).sqrt() * p * (1.0 + 32.0 * p * p);
+        s / (term1 + term2)
+    }
+
+    /// Feed the WALI history with one report's worth of loss observations.
+    ///
+    /// TFRC counts loss *events*, not lost packets: all losses within
+    /// roughly one RTT collapse into a single event. The 100 ms report
+    /// cadence is ≥ the testbed RTT, so each *lossy report window* closes
+    /// exactly one loss interval whose length is the packets accumulated
+    /// since the previous lossy window.
+    fn update_loss_history(&mut self, fb: &FeedbackSnapshot) {
+        // Approximate packets in the report window from the received rate.
+        let pkts = (fb.recv_rate.as_bps() as f64 / 8.0 / self.cfg.segment_size * 0.1).max(1.0);
+        self.current_interval += pkts;
+        if fb.loss > 0.0 {
+            self.seen_loss = true;
+            self.intervals.insert(0, self.current_interval.max(1.0));
+            self.intervals.truncate(WALI_INTERVALS);
+            self.current_interval = 0.0;
+        }
+    }
+}
+
+impl RateController for TfrcController {
+    fn on_feedback(&mut self, fb: &FeedbackSnapshot, _now: SimTime) -> BitRate {
+        self.update_loss_history(fb);
+        let p = self.loss_event_rate();
+
+        // Latency guard: ease off while the standing queue exceeds the
+        // playability bound, whatever the loss picture says.
+        if fb.queue_delay() > self.cfg.delay_guard {
+            self.rate = clamp_rate(
+                self.rate.mul_f64(self.cfg.delay_backoff),
+                self.cfg.min_rate,
+                self.cfg.max_rate,
+            );
+            return self.rate;
+        }
+
+        if p <= 0.0 {
+            // No loss history: multiplicative probe toward the ceiling.
+            self.rate = clamp_rate(
+                self.rate.mul_f64(self.cfg.lossless_gain),
+                self.cfg.min_rate,
+                self.cfg.max_rate,
+            );
+            return self.rate;
+        }
+
+        let x_bytes = self.equation(p, fb.rtt);
+        let x = BitRate((x_bytes * 8.0).min(u64::MAX as f64 / 2.0) as u64);
+        // Decreases apply immediately; increases are slew-limited (RFC
+        // 5348 bounds X by 2·X_recv — here a per-report gain — so TFRC
+        // stays smooth) and anchored at the received rate so the sender
+        // never outruns what the path demonstrably delivers.
+        let next = if x > self.rate {
+            let recv_cap = fb.recv_rate.mul_f64(1.2).max(self.rate);
+            BitRate(x.as_bps().min(recv_cap.as_bps()).max(self.rate.as_bps()))
+                .min(self.rate.mul_f64(self.cfg.steady_gain))
+        } else {
+            x
+        };
+        self.rate = clamp_rate(next, self.cfg.min_rate, self.cfg.max_rate);
+        self.rate
+    }
+
+    fn current(&self) -> BitRate {
+        self.rate
+    }
+
+    fn name(&self) -> &'static str {
+        "tfrc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fb(recv_mbps: f64, loss: f64, rtt_ms: u64) -> FeedbackSnapshot {
+        FeedbackSnapshot {
+            recv_rate: BitRate::from_mbps_f64(recv_mbps),
+            loss,
+            owd: SimDuration::from_millis(rtt_ms / 2),
+            owd_min: SimDuration::from_millis(8),
+            trend_ms_per_s: 0.0,
+            rtt: SimDuration::from_millis(rtt_ms),
+        }
+    }
+
+    #[test]
+    fn no_loss_stays_at_max() {
+        let mut c = TfrcController::new(TfrcConfig::default());
+        for i in 0..50 {
+            c.on_feedback(&fb(23.0, 0.0, 17), SimTime::from_millis(i * 100));
+        }
+        assert_eq!(c.current(), BitRate::from_mbps_f64(23.7));
+        assert_eq!(c.loss_event_rate(), 0.0);
+    }
+
+    #[test]
+    fn equation_matches_reno_throughput_shape() {
+        // Sanity-check against the simplified Mathis formula
+        // X ≈ s·sqrt(3/2)/ (R·sqrt(p)) for small p.
+        let c = TfrcController::new(TfrcConfig::default());
+        let p = 0.001;
+        let rtt = SimDuration::from_millis(20);
+        let x = c.equation(p, rtt);
+        let mathis = 1200.0 * (1.5f64 / p).sqrt() / 0.020;
+        assert!(
+            (x - mathis).abs() / mathis < 0.25,
+            "equation {x} vs mathis {mathis}"
+        );
+    }
+
+    #[test]
+    fn higher_loss_means_lower_rate() {
+        let c = TfrcController::new(TfrcConfig::default());
+        let rtt = SimDuration::from_millis(20);
+        assert!(c.equation(0.01, rtt) < c.equation(0.001, rtt));
+        assert!(c.equation(0.1, rtt) < c.equation(0.01, rtt));
+    }
+
+    #[test]
+    fn higher_rtt_means_lower_rate() {
+        let c = TfrcController::new(TfrcConfig::default());
+        assert!(
+            c.equation(0.01, SimDuration::from_millis(100))
+                < c.equation(0.01, SimDuration::from_millis(20))
+        );
+    }
+
+    #[test]
+    fn persistent_loss_drives_rate_down() {
+        let mut c = TfrcController::new(TfrcConfig::default());
+        // 1.5% loss with a 55 ms RTT (BBR-occupied queue at 7x).
+        for i in 0..100 {
+            c.on_feedback(&fb(10.0, 0.015, 55), SimTime::from_millis(i * 100));
+        }
+        let r = c.current();
+        // Equation: ~1200·sqrt(1.5/0.015)/0.055 ≈ 1.7 Mb/s (floored at 4).
+        assert!(r < BitRate::from_mbps(7), "rate {r} must be far below fair");
+    }
+
+    #[test]
+    fn recovery_after_loss_stops_is_gradual() {
+        let mut c = TfrcController::new(TfrcConfig::default());
+        for i in 0..100 {
+            c.on_feedback(&fb(8.0, 0.01, 40), SimTime::from_millis(i * 100));
+        }
+        let low = c.current();
+        // Loss stops; the WALI history must damp the climb — strictly less
+        // than the lossless doubling it would do with a clear history.
+        let mut steps_to_max = 0;
+        for i in 0..600 {
+            let r = c.on_feedback(&fb(20.0, 0.0, 17), SimTime::from_millis(20_000 + i * 100));
+            steps_to_max = i;
+            if r >= BitRate::from_mbps_f64(23.7) {
+                break;
+            }
+        }
+        assert!(low < BitRate::from_mbps(10));
+        assert!(
+            steps_to_max > 10,
+            "WALI history must slow recovery (took {steps_to_max} reports)"
+        );
+    }
+
+    #[test]
+    fn loss_event_rate_tracks_observed_loss() {
+        let mut c = TfrcController::new(TfrcConfig::default());
+        for i in 0..200 {
+            c.on_feedback(&fb(10.0, 0.02, 30), SimTime::from_millis(i * 100));
+        }
+        let p = c.loss_event_rate();
+        assert!(p > 0.005 && p < 0.08, "p = {p} should be near 0.02");
+    }
+
+    #[test]
+    fn delay_guard_eases_standing_queues() {
+        let mut c = TfrcController::new(TfrcConfig::default());
+        // 80 ms of queueing with zero loss: the raw equation would stay at
+        // max; the latency guard must ease off.
+        let fb80 = FeedbackSnapshot {
+            recv_rate: BitRate::from_mbps_f64(15.0),
+            loss: 0.0,
+            owd: SimDuration::from_millis(88),
+            owd_min: SimDuration::from_millis(8),
+            trend_ms_per_s: 0.0,
+            rtt: SimDuration::from_millis(96),
+        };
+        let r0 = c.current();
+        let mut r = r0;
+        for i in 0..50 {
+            r = c.on_feedback(&fb80, SimTime::from_millis(i * 100));
+        }
+        assert!(r < r0.mul_f64(0.5), "guard must ease well below max: {r}");
+        // Below the guard the controller is unaffected.
+        let mut c2 = TfrcController::new(TfrcConfig::default());
+        let r2 = c2.on_feedback(&fb(23.0, 0.0, 17), SimTime::from_millis(100));
+        assert_eq!(r2, BitRate::from_mbps_f64(23.7));
+    }
+
+    #[test]
+    fn bounds_respected() {
+        let mut c = TfrcController::new(TfrcConfig::default());
+        for i in 0..500 {
+            let r = c.on_feedback(&fb(1.0, 0.3, 200), SimTime::from_millis(i * 100));
+            assert!(r >= BitRate::from_mbps(4));
+            assert!(r <= BitRate::from_mbps_f64(23.7));
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! System profiles: the three commercial systems as parameter sets.
+//!
+//! Table 1 of the paper gives each system's unconstrained bitrate on the
+//! test game (mean, σ over 0.5 s bins): Stadia 27.5 (2.3), GeForce Now
+//! 24.5 (1.8), Luna 23.7 (0.9) Mb/s. A [`SystemProfile`] couples that
+//! encoder ceiling (and the frame-size variability that produces the σ)
+//! with the controller archetype that reproduces the system's measured
+//! congestion response.
+
+use gsrepro_simcore::BitRate;
+
+/// Encoder frame-rate policy: commercial encoders trade frame rate for
+/// per-frame quality at the bottom of their bitrate range (Stadia's and
+/// Luna's low tiers run below 60 f/s), while GeForce Now is known to scale
+/// *resolution* and keep the frame rate — the paper's Table 5 shows exactly
+/// that split under BBR competition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FpsPolicy {
+    /// Below this encoder rate the reduced tier engages; `None` = always
+    /// full rate.
+    pub threshold: Option<(BitRate, u32)>,
+}
+
+impl FpsPolicy {
+    /// Always the nominal frame rate (GeForce-style resolution scaling).
+    pub const FULL: FpsPolicy = FpsPolicy { threshold: None };
+
+    /// Reduced tier below `rate`.
+    pub fn reduced_below(rate: BitRate, fps: u32) -> Self {
+        FpsPolicy { threshold: Some((rate, fps)) }
+    }
+
+    /// The frame rate to encode at for the given target rate.
+    pub fn fps_for(&self, rate: BitRate, nominal: u32) -> u32 {
+        match self.threshold {
+            Some((thresh, fps)) if rate < thresh => fps,
+            _ => nominal,
+        }
+    }
+}
+
+/// Wire-vs-payload overhead of the media stream: each ≤1200-byte chunk
+/// carries 28 bytes of UDP/IP header, so the on-the-wire bitrate the paper
+/// measured with Wireshark exceeds the encoder rate by ≈2.3%. Profile
+/// ceilings divide Table 1's wire numbers by this factor so the *measured*
+/// bitrates land on the paper's.
+pub const WIRE_OVERHEAD: f64 = 1228.0 / 1200.0;
+
+fn wire_target(mbps: f64) -> BitRate {
+    BitRate::from_mbps_f64(mbps / WIRE_OVERHEAD)
+}
+
+use crate::controller::delay::{DelayConservativeConfig, DelayConservativeController};
+use crate::controller::gcc::{GccConfig, GccController};
+use crate::controller::tfrc::{TfrcConfig, TfrcController};
+use crate::controller::RateController;
+use crate::frame::{FrameSource, FrameSourceConfig};
+
+/// The three systems measured by the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SystemKind {
+    /// Google Stadia — GCC-like hybrid (WebRTC).
+    Stadia,
+    /// NVidia GeForce Now — delay-conservative.
+    GeForce,
+    /// Amazon Luna — TFRC equation-based.
+    Luna,
+}
+
+impl SystemKind {
+    /// All three systems, in the paper's column order.
+    pub const ALL: [SystemKind; 3] = [SystemKind::Stadia, SystemKind::GeForce, SystemKind::Luna];
+
+    /// Label used in condition names and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            SystemKind::Stadia => "stadia",
+            SystemKind::GeForce => "geforce",
+            SystemKind::Luna => "luna",
+        }
+    }
+
+    /// Default profile for the system.
+    pub fn profile(self) -> SystemProfile {
+        SystemProfile::new(self)
+    }
+}
+
+impl std::fmt::Display for SystemKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A buildable description of one system's streaming stack.
+#[derive(Clone, Debug)]
+pub struct SystemProfile {
+    /// Which system this profiles.
+    pub kind: SystemKind,
+    /// Encoder ceiling (Table 1 mean).
+    pub max_rate: BitRate,
+    /// Encoder floor.
+    pub min_rate: BitRate,
+    /// Frame-generation parameters (jitter calibrated to Table 1 σ).
+    pub frames: FrameSourceConfig,
+    /// Which controller archetype drives the encoder. Normally matches
+    /// `kind`; the ablation benches deliberately mismatch them.
+    pub controller: ControllerKind,
+    /// Frame-rate tiering at low bitrates.
+    pub fps_policy: FpsPolicy,
+}
+
+/// Selector for the controller archetype (swappable for ablations).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ControllerKind {
+    /// GCC-like hybrid (Stadia's default).
+    Gcc,
+    /// Delay-conservative (GeForce's default).
+    DelayConservative,
+    /// TFRC equation (Luna's default).
+    Tfrc,
+}
+
+impl SystemProfile {
+    /// The calibrated default profile for `kind`.
+    pub fn new(kind: SystemKind) -> Self {
+        match kind {
+            SystemKind::Stadia => SystemProfile {
+                kind,
+                max_rate: wire_target(27.5),
+                // Stadia's lowest observed tier (720p30-ish): it does not
+                // reduce below this even under sustained congestion.
+                min_rate: BitRate::from_mbps_f64(6.5),
+                frames: FrameSourceConfig {
+                    jitter: 0.11,
+                    scene_amplitude: 0.07,
+                    ..FrameSourceConfig::default()
+                },
+                controller: ControllerKind::Gcc,
+                // The paper's Table 5 shows ≈58-60 f/s at bloated queues
+                // even at low bitrates, so the default profile keeps the
+                // frame rate and scales quality instead; the tiered policy
+                // remains available via `FpsPolicy::reduced_below`.
+                fps_policy: FpsPolicy::FULL,
+            },
+            SystemKind::GeForce => SystemProfile {
+                kind,
+                max_rate: wire_target(24.5),
+                // GeForce's deferential floor — it parks near a low tier
+                // rather than collapsing entirely.
+                min_rate: BitRate::from_mbps(6),
+                frames: FrameSourceConfig {
+                    jitter: 0.09,
+                    scene_amplitude: 0.06,
+                    ..FrameSourceConfig::default()
+                },
+                controller: ControllerKind::DelayConservative,
+                // GeForce scales resolution and holds 60 f/s (paper: "more
+                // resilient frame rates").
+                fps_policy: FpsPolicy::FULL,
+            },
+            SystemKind::Luna => SystemProfile {
+                kind,
+                max_rate: wire_target(23.7),
+                min_rate: BitRate::from_mbps(4),
+                frames: FrameSourceConfig {
+                    jitter: 0.045,
+                    scene_amplitude: 0.03,
+                    ..FrameSourceConfig::default()
+                },
+                controller: ControllerKind::Tfrc,
+                // See the Stadia note: full rate by default.
+                fps_policy: FpsPolicy::FULL,
+            },
+        }
+    }
+
+    /// Swap the controller archetype (ablation experiments).
+    pub fn with_controller(mut self, controller: ControllerKind) -> Self {
+        self.controller = controller;
+        self
+    }
+
+    /// Build the rate controller configured for this profile's rate bounds.
+    pub fn build_controller(&self) -> Box<dyn RateController> {
+        match self.controller {
+            ControllerKind::Gcc => Box::new(GccController::new(GccConfig {
+                min_rate: self.min_rate,
+                max_rate: self.max_rate,
+                ..GccConfig::default()
+            })),
+            ControllerKind::DelayConservative => {
+                Box::new(DelayConservativeController::new(DelayConservativeConfig {
+                    min_rate: self.min_rate,
+                    max_rate: self.max_rate,
+                    ..DelayConservativeConfig::default()
+                }))
+            }
+            ControllerKind::Tfrc => Box::new(TfrcController::new(TfrcConfig {
+                min_rate: self.min_rate,
+                max_rate: self.max_rate,
+                ..TfrcConfig::default()
+            })),
+        }
+    }
+
+    /// Build the frame source for this profile.
+    pub fn build_source(&self, seed: u64, stream: u64) -> FrameSource {
+        FrameSource::new(self.frames.clone(), seed, stream)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_ceilings_map_to_wire_rates() {
+        // Encoder ceiling × wire overhead = Table 1's measured bitrate.
+        for (kind, wire) in [
+            (SystemKind::Stadia, 27.5),
+            (SystemKind::GeForce, 24.5),
+            (SystemKind::Luna, 23.7),
+        ] {
+            let on_wire = kind.profile().max_rate.as_mbps() * WIRE_OVERHEAD;
+            assert!((on_wire - wire).abs() < 0.01, "{kind}: {on_wire} vs {wire}");
+        }
+    }
+
+    #[test]
+    fn default_controllers_match_archetypes() {
+        assert_eq!(
+            SystemKind::Stadia.profile().build_controller().name(),
+            "gcc"
+        );
+        assert_eq!(
+            SystemKind::GeForce.profile().build_controller().name(),
+            "delay-conservative"
+        );
+        assert_eq!(SystemKind::Luna.profile().build_controller().name(), "tfrc");
+    }
+
+    #[test]
+    fn ablation_swap() {
+        let p = SystemKind::Stadia
+            .profile()
+            .with_controller(ControllerKind::Tfrc);
+        assert_eq!(p.build_controller().name(), "tfrc");
+        // Rate bounds follow the profile, not the controller default.
+        assert_eq!(p.max_rate, wire_target(27.5));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(SystemKind::Stadia.label(), "stadia");
+        assert_eq!(SystemKind::GeForce.to_string(), "geforce");
+        assert_eq!(SystemKind::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,268 @@
+//! The game-streaming server agent.
+//!
+//! Every 1/60 s the server takes one encoded frame from its
+//! [`FrameSource`], splits it into ≤[`MEDIA_MTU`]-byte chunks, and paces
+//! the chunks across ~90% of the frame interval — the WebRTC-style frame
+//! pacing all three modelled systems use, which keeps a solo stream from
+//! bursting the bottleneck queue. Receiver reports arriving on the
+//! feedback path update the profile's [`RateController`], whose output
+//! becomes the encoder target for subsequent frames.
+
+use std::collections::VecDeque;
+
+use gsrepro_netsim::net::{Agent, AgentId, Ctx, NodeId, PacketSpec};
+use gsrepro_netsim::wire::{FlowId, MediaChunk, Packet, Payload, MEDIA_MTU, UDP_HEADER};
+use gsrepro_simcore::stats::Samples;
+use gsrepro_simcore::{BitRate, Bytes, SimDuration};
+
+use crate::controller::{FeedbackSnapshot, RateController};
+use crate::frame::FrameSource;
+use crate::profile::FpsPolicy;
+
+/// Forward-error-correction configuration. Real WebRTC-based streamers
+/// (Stadia among them) protect media with FEC so isolated packet losses do
+/// not cost whole frames. Modelled as systematic erasure coding: one
+/// parity chunk per `data_per_parity` data chunks, and a frame is
+/// recoverable as long as the number of missing data chunks does not
+/// exceed the parity chunks received (Reed-Solomon-style, documented
+/// simplification). The encoder budget is scaled down so media + parity
+/// together match the controller's target rate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FecConfig {
+    /// Data chunks per parity chunk (10 → ~10% overhead).
+    pub data_per_parity: u16,
+}
+
+const TOK_FRAME: u64 = 0;
+const TOK_CHUNK: u64 = 1;
+
+/// Pacer rate as a multiple of the encoder target. WebRTC-style senders
+/// drain their packet queue at a small multiple of the media rate, so
+/// ordinary frames spread across most of a frame interval while oversized
+/// key frames smooth across *several* intervals instead of slamming the
+/// bottleneck queue with a burst it cannot hold.
+const PACER_FACTOR: f64 = 1.15;
+
+/// The streaming server: frame source + packetizer + rate controller.
+pub struct StreamServer {
+    flow: FlowId,
+    client_node: NodeId,
+    client_agent: AgentId,
+    source: FrameSource,
+    controller: Box<dyn RateController>,
+    fps_policy: FpsPolicy,
+    fec: Option<FecConfig>,
+    next_seq: u64,
+    frames_sent: u64,
+    /// Chunks awaiting their paced transmission slot.
+    pending: VecDeque<PacketSpec>,
+    /// Gap between paced chunk transmissions for the current frame.
+    chunk_spacing: SimDuration,
+    /// Whether a TOK_CHUNK timer is outstanding.
+    chunk_timer_armed: bool,
+    /// (time s, rate Mb/s) at every controller update, for diagnostics.
+    rate_trace: Samples,
+    last_feedback_seq: Option<u64>,
+}
+
+impl StreamServer {
+    /// New server streaming to `(client_node, client_agent)` on `flow`.
+    pub fn new(
+        flow: FlowId,
+        client_node: NodeId,
+        client_agent: AgentId,
+        source: FrameSource,
+        controller: Box<dyn RateController>,
+    ) -> Self {
+        Self::with_fps_policy(flow, client_node, client_agent, source, controller, FpsPolicy::FULL)
+    }
+
+    /// New server with an explicit encoder frame-rate policy.
+    pub fn with_fps_policy(
+        flow: FlowId,
+        client_node: NodeId,
+        client_agent: AgentId,
+        source: FrameSource,
+        controller: Box<dyn RateController>,
+        fps_policy: FpsPolicy,
+    ) -> Self {
+        StreamServer {
+            flow,
+            client_node,
+            client_agent,
+            source,
+            controller,
+            fps_policy,
+            fec: None,
+            next_seq: 0,
+            frames_sent: 0,
+            pending: VecDeque::new(),
+            chunk_spacing: SimDuration::ZERO,
+            chunk_timer_armed: false,
+            rate_trace: Samples::new(),
+            last_feedback_seq: None,
+        }
+    }
+
+    /// Current encoder target bitrate.
+    pub fn current_rate(&self) -> BitRate {
+        self.controller.current()
+    }
+
+    /// Frames emitted so far.
+    pub fn frames_sent(&self) -> u64 {
+        self.frames_sent
+    }
+
+    /// Controller rate samples (Mb/s) captured at each feedback.
+    pub fn rate_trace(&self) -> &Samples {
+        &self.rate_trace
+    }
+
+    /// The controller's algorithm name.
+    pub fn controller_name(&self) -> &'static str {
+        self.controller.name()
+    }
+
+    /// Enable forward error correction (builder style).
+    pub fn with_fec(mut self, fec: FecConfig) -> Self {
+        assert!(fec.data_per_parity > 0, "FEC group must be positive");
+        self.fec = Some(fec);
+        self
+    }
+
+    /// The encoder's current frame rate per the fps policy.
+    pub fn current_fps(&self) -> u32 {
+        self.fps_policy
+            .fps_for(self.controller.current(), self.source.fps())
+    }
+
+    fn send_frame(&mut self, ctx: &mut Ctx) {
+        let target = self.controller.current();
+        let fps = self.fps_policy.fps_for(target, self.source.fps());
+        // With FEC the encoder leaves room for the parity overhead so the
+        // wire rate still matches the controller target.
+        let encode_target = match self.fec {
+            Some(f) => target.mul_f64(f.data_per_parity as f64 / (f.data_per_parity as f64 + 1.0)),
+            None => target,
+        };
+        let frame = self.source.next_frame_at(encode_target, fps);
+        self.frames_sent += 1;
+
+        let mtu = MEDIA_MTU.as_u64();
+        let chunk_count = frame.size.as_u64().div_ceil(mtu).max(1) as u16;
+        let parity_count = match self.fec {
+            Some(f) => chunk_count.div_ceil(f.data_per_parity),
+            None => 0,
+        };
+        let mut remaining = frame.size.as_u64();
+        for idx in 0..chunk_count + parity_count {
+            let is_parity = idx >= chunk_count;
+            let payload = if is_parity { mtu } else { remaining.min(mtu) };
+            if !is_parity {
+                remaining -= payload;
+            }
+            self.pending.push_back(PacketSpec {
+                flow: self.flow,
+                dst: self.client_node,
+                dst_agent: self.client_agent,
+                size: Bytes(payload) + UDP_HEADER,
+                payload: Payload::Media(MediaChunk {
+                    seq: self.next_seq,
+                    frame_id: frame.id,
+                    chunk_index: idx,
+                    chunk_count,
+                    parity_count,
+                    is_parity,
+                    frame_ts: ctx.now(),
+                    key_frame: frame.key,
+                }),
+            });
+            self.next_seq += 1;
+        }
+
+        // Continuous pacing at PACER_FACTOR × the current encoder rate:
+        // the spacing between chunk transmissions follows the chunk wire
+        // size, so the pacer's output rate is independent of frame sizes.
+        let pace_rate = target.mul_f64(PACER_FACTOR);
+        self.chunk_spacing = pace_rate.tx_time(gsrepro_netsim::wire::MEDIA_MTU + UDP_HEADER);
+        if !self.chunk_timer_armed {
+            self.send_next_chunk(ctx);
+        }
+    }
+
+    fn send_next_chunk(&mut self, ctx: &mut Ctx) {
+        if let Some(spec) = self.pending.pop_front() {
+            ctx.send(spec);
+        }
+        if !self.pending.is_empty() && !self.chunk_timer_armed {
+            self.chunk_timer_armed = true;
+            ctx.set_timer(self.chunk_spacing, TOK_CHUNK);
+        }
+    }
+}
+
+impl Agent for StreamServer {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        ctx.set_timer(gsrepro_simcore::SimDuration::ZERO, TOK_FRAME);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        let Payload::Feedback(fb) = pkt.payload else { return };
+        // Ignore duplicated/reordered reports (cannot happen on the FIFO
+        // testbed, but the check documents the assumption).
+        if let Some(last) = self.last_feedback_seq {
+            if fb.seq <= last {
+                return;
+            }
+        }
+        self.last_feedback_seq = Some(fb.seq);
+
+        let snapshot = FeedbackSnapshot {
+            recv_rate: fb.recv_rate,
+            loss: fb.loss,
+            owd: fb.owd,
+            owd_min: fb.owd_min,
+            trend_ms_per_s: fb.owd_trend_ms_per_s,
+            // Return path carries no queueing in this testbed, so RTT is
+            // the measured downstream OWD plus the base (min) path delay.
+            rtt: fb.owd + fb.owd_min,
+        };
+        let rate = self.controller.on_feedback(&snapshot, ctx.now());
+        self.rate_trace.add(rate.as_mbps());
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+        match token {
+            TOK_FRAME => {
+                self.send_frame(ctx);
+                let fps = self.current_fps();
+                ctx.set_timer(FrameSource::interval_for(fps), TOK_FRAME);
+            }
+            TOK_CHUNK => {
+                self.chunk_timer_armed = false;
+                self.send_next_chunk(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Expected chunk count for a frame of `size` (exposed for tests).
+pub fn chunks_for(size: Bytes) -> u16 {
+    size.as_u64().div_ceil(MEDIA_MTU.as_u64()).max(1) as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_count_rounding() {
+        assert_eq!(chunks_for(Bytes(1)), 1);
+        assert_eq!(chunks_for(Bytes(1200)), 1);
+        assert_eq!(chunks_for(Bytes(1201)), 2);
+        assert_eq!(chunks_for(Bytes(60_000)), 50);
+        assert_eq!(chunks_for(Bytes(0)), 1);
+    }
+}

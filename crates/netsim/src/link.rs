@@ -1,0 +1,498 @@
+//! Unidirectional links: token-bucket shaping, propagation delay, fault
+//! injection.
+//!
+//! The paper's bottleneck was created with
+//! `tc qdisc ... tbf rate 15mbit burst 1mbit limit 510kbit` layered under a
+//! `netem delay`. A [`LinkSpec`] mirrors exactly those knobs: a token-bucket
+//! [`Shaper`] (rate + burst), a [`QueueSpec`] (the `limit`), and a one-way
+//! propagation `delay` (the `netem` half). Optional random loss and jitter
+//! provide the fault injection the smoltcp examples recommend for testing.
+//!
+//! Token-bucket arithmetic is exact integer math in units of
+//! *bit-nanoseconds* (1 byte = 8×10⁹ bit-ns): refills never accumulate
+//! rounding drift, so long runs stay deterministic to the nanosecond.
+
+use gsrepro_simcore::{BitRate, Bytes, SimDuration, SimTime};
+
+use crate::net::NodeId;
+use crate::queue::{Queue, QueueSpec};
+use crate::wire::Packet;
+
+/// Identifies a link within a [`crate::net::Network`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct LinkId(pub u32);
+
+/// Rate-limiting policy for a link.
+#[derive(Clone, Copy, Debug)]
+pub enum Shaper {
+    /// No rate limit (packets depart as soon as they are queued). Used for
+    /// the testbed's 1 Gb/s LAN segments, which the paper verified are never
+    /// the bottleneck.
+    Unshaped,
+    /// Token bucket: tokens accrue at `rate` up to `burst`; a packet departs
+    /// when the bucket holds its full size (`tc tbf` semantics).
+    TokenBucket {
+        /// Token accrual rate — the link capacity.
+        rate: BitRate,
+        /// Bucket depth. Must be at least one MTU or large packets would
+        /// stall forever; the builder enforces a 2 kB floor.
+        burst: Bytes,
+    },
+}
+
+impl Shaper {
+    /// Convenience: a token bucket with a single-MTU burst, i.e. plain
+    /// serialization at `rate`.
+    pub fn rate(rate: BitRate) -> Self {
+        Shaper::TokenBucket { rate, burst: Bytes(2_000) }
+    }
+
+    /// The configured rate, if shaped.
+    pub fn rate_bps(&self) -> Option<BitRate> {
+        match *self {
+            Shaper::Unshaped => None,
+            Shaper::TokenBucket { rate, .. } => Some(rate),
+        }
+    }
+}
+
+/// Declarative link configuration.
+#[derive(Clone, Debug)]
+pub struct LinkSpec {
+    /// Rate limit.
+    pub shaper: Shaper,
+    /// One-way propagation delay (the `netem delay` half).
+    pub delay: SimDuration,
+    /// Buffering policy in front of the shaper.
+    pub queue: QueueSpec,
+    /// Uniform random extra delay in `[0, jitter]` applied per packet.
+    pub jitter: SimDuration,
+    /// Independent per-packet drop probability (fault injection).
+    pub loss_prob: f64,
+    /// Independent per-packet duplication probability (`netem duplicate`);
+    /// the copy is delivered back-to-back with the original.
+    pub dup_prob: f64,
+}
+
+impl LinkSpec {
+    /// An unshaped link with the given propagation delay and an effectively
+    /// unlimited buffer — a LAN segment.
+    pub fn lan(delay: SimDuration) -> Self {
+        LinkSpec {
+            shaper: Shaper::Unshaped,
+            delay,
+            queue: QueueSpec::DropTail { limit: Bytes(u64::MAX / 2) },
+            jitter: SimDuration::ZERO,
+            loss_prob: 0.0,
+            dup_prob: 0.0,
+        }
+    }
+
+    /// A shaped bottleneck: `rate` capacity, `limit`-byte drop-tail queue,
+    /// `delay` one-way propagation — the paper's router configuration.
+    pub fn bottleneck(rate: BitRate, limit: Bytes, delay: SimDuration) -> Self {
+        LinkSpec {
+            shaper: Shaper::rate(rate),
+            delay,
+            queue: QueueSpec::DropTail { limit },
+            jitter: SimDuration::ZERO,
+            loss_prob: 0.0,
+            dup_prob: 0.0,
+        }
+    }
+
+    /// Add uniform jitter.
+    pub fn with_jitter(mut self, jitter: SimDuration) -> Self {
+        self.jitter = jitter;
+        self
+    }
+
+    /// Add independent random loss.
+    pub fn with_loss(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "loss probability out of range");
+        self.loss_prob = p;
+        self
+    }
+
+    /// Add independent random duplication.
+    pub fn with_duplication(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "duplication probability out of range");
+        self.dup_prob = p;
+        self
+    }
+
+    pub(crate) fn build(&self, id: LinkId, from: NodeId, to: NodeId) -> Link {
+        let (rate, burst) = match self.shaper {
+            Shaper::Unshaped => (None, Bytes::ZERO),
+            Shaper::TokenBucket { rate, burst } => {
+                assert!(rate.as_bps() > 0, "shaped link must have a positive rate");
+                (Some(rate), Bytes(burst.as_u64().max(2_000)))
+            }
+        };
+        Link {
+            id,
+            from,
+            to,
+            rate,
+            burst_bitns: bitns(burst),
+            tokens_bitns: bitns(burst), // start with a full bucket
+            last_refill: SimTime::ZERO,
+            delay: self.delay,
+            jitter: self.jitter,
+            loss_prob: self.loss_prob,
+            dup_prob: self.dup_prob,
+            queue: self.queue.build(),
+            wakeup_scheduled: false,
+            last_arrival: SimTime::ZERO,
+            delivered_pkts: 0,
+            delivered_bytes: Bytes::ZERO,
+        }
+    }
+}
+
+#[inline]
+fn bitns(b: Bytes) -> u128 {
+    b.bits() as u128 * 1_000_000_000u128
+}
+
+/// Outcome of asking a link for its next departure.
+#[derive(Debug)]
+pub(crate) enum Service {
+    /// A packet departs now; it arrives at the far node after the link's
+    /// propagation delay (plus jitter, applied by the network).
+    Deliver(Packet),
+    /// The head packet must wait for tokens until the given time.
+    Wait(SimTime),
+    /// The queue is empty.
+    Idle,
+}
+
+/// A built link, created from a [`LinkSpec`] inside
+/// [`crate::net::NetworkBuilder`].
+pub struct Link {
+    pub(crate) id: LinkId,
+    pub(crate) from: NodeId,
+    pub(crate) to: NodeId,
+    rate: Option<BitRate>,
+    burst_bitns: u128,
+    tokens_bitns: u128,
+    last_refill: SimTime,
+    pub(crate) delay: SimDuration,
+    pub(crate) jitter: SimDuration,
+    pub(crate) loss_prob: f64,
+    pub(crate) dup_prob: f64,
+    pub(crate) queue: Box<dyn Queue>,
+    /// True while a `LinkWakeup` event is in flight, to avoid duplicates.
+    pub(crate) wakeup_scheduled: bool,
+    /// Latest scheduled arrival time, so jitter never reorders a flow:
+    /// real path jitter is queue-induced and FIFO-preserving, and TCP
+    /// reacts badly (spurious loss detection) to artificial reordering.
+    pub(crate) last_arrival: SimTime,
+    delivered_pkts: u64,
+    delivered_bytes: Bytes,
+}
+
+impl Link {
+    /// This link's id.
+    pub fn id(&self) -> LinkId {
+        self.id
+    }
+
+    /// Change the shaping rate at runtime (emulating `tc qdisc change`).
+    /// `None` removes the limit. The token bucket restarts empty at the
+    /// new rate so a rate *cut* takes effect immediately instead of being
+    /// masked by banked tokens.
+    pub(crate) fn set_rate(&mut self, rate: Option<BitRate>, now: SimTime) {
+        if let Some(r) = rate {
+            assert!(r.as_bps() > 0, "shaped link must have a positive rate");
+            if self.burst_bitns == 0 {
+                // Was unshaped: give it the default single-MTU burst.
+                self.burst_bitns = bitns(Bytes(2_000));
+            }
+        }
+        self.rate = rate;
+        self.tokens_bitns = 0;
+        self.last_refill = now;
+    }
+
+    /// Source node.
+    pub fn from(&self) -> NodeId {
+        self.from
+    }
+
+    /// Destination node.
+    pub fn to(&self) -> NodeId {
+        self.to
+    }
+
+    /// One-way propagation delay.
+    pub fn delay(&self) -> SimDuration {
+        self.delay
+    }
+
+    /// Configured rate, if shaped.
+    pub fn rate(&self) -> Option<BitRate> {
+        self.rate
+    }
+
+    /// Current queue occupancy in bytes.
+    pub fn backlog(&self) -> Bytes {
+        self.queue.len_bytes()
+    }
+
+    /// Packets delivered onto the wire so far.
+    pub fn delivered_pkts(&self) -> u64 {
+        self.delivered_pkts
+    }
+
+    /// Bytes delivered onto the wire so far.
+    pub fn delivered_bytes(&self) -> Bytes {
+        self.delivered_bytes
+    }
+
+    /// Offer a packet to the link's queue. `Err` is a queue drop (see the
+    /// [`Queue::enqueue`] note on why the packet is returned by value).
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn offer(&mut self, pkt: Packet, now: SimTime) -> Result<(), Packet> {
+        self.queue.enqueue(pkt, now)
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        let Some(rate) = self.rate else { return };
+        let dt = now.saturating_since(self.last_refill);
+        self.last_refill = now;
+        self.tokens_bitns = (self.tokens_bitns + rate.as_bps() as u128 * dt.as_nanos() as u128)
+            .min(self.burst_bitns);
+    }
+
+    /// Try to release the next packet. AQM drops encountered along the way
+    /// are appended to `dropped`.
+    pub(crate) fn service(&mut self, now: SimTime, dropped: &mut Vec<Packet>) -> Service {
+        let Some(rate) = self.rate else {
+            // Unshaped: everything queued departs immediately.
+            return match self.queue.dequeue(now, dropped) {
+                Some(p) => {
+                    self.delivered_pkts += 1;
+                    self.delivered_bytes += p.size;
+                    Service::Deliver(p)
+                }
+                None => Service::Idle,
+            };
+        };
+
+        self.refill(now);
+        let Some(head) = self.queue.peek_size() else {
+            return Service::Idle;
+        };
+        let need = bitns(head);
+        if self.tokens_bitns >= need {
+            match self.queue.dequeue(now, dropped) {
+                Some(p) => {
+                    // AQM may have dropped the peeked head and returned a
+                    // different (possibly larger) packet; charge actual size.
+                    let actual = bitns(p.size);
+                    self.tokens_bitns = self.tokens_bitns.saturating_sub(actual);
+                    self.delivered_pkts += 1;
+                    self.delivered_bytes += p.size;
+                    Service::Deliver(p)
+                }
+                None => Service::Idle,
+            }
+        } else {
+            let deficit = need - self.tokens_bitns;
+            let ns = deficit.div_ceil(rate.as_bps() as u128);
+            Service::Wait(now + SimDuration::from_nanos(ns.min(u64::MAX as u128) as u64))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::AgentId;
+    use crate::wire::{FlowId, Payload};
+
+    fn pkt(size: u64) -> Packet {
+        Packet {
+            id: 0,
+            flow: FlowId(1),
+            src: NodeId(0),
+            dst: NodeId(1),
+            dst_agent: AgentId(0),
+            size: Bytes(size),
+            sent_at: SimTime::ZERO,
+            enqueued_at: SimTime::ZERO,
+            payload: Payload::Raw,
+        }
+    }
+
+    fn shaped_link(rate_mbps: u64, burst: u64, limit: u64) -> Link {
+        LinkSpec {
+            shaper: Shaper::TokenBucket {
+                rate: BitRate::from_mbps(rate_mbps),
+                burst: Bytes(burst),
+            },
+            delay: SimDuration::from_millis(1),
+            queue: QueueSpec::DropTail { limit: Bytes(limit) },
+            jitter: SimDuration::ZERO,
+            loss_prob: 0.0,
+            dup_prob: 0.0,
+        }
+        .build(LinkId(0), NodeId(0), NodeId(1))
+    }
+
+    #[test]
+    fn unshaped_link_releases_immediately() {
+        let mut l = LinkSpec::lan(SimDuration::from_millis(2)).build(LinkId(0), NodeId(0), NodeId(1));
+        l.offer(pkt(1500), SimTime::ZERO).unwrap();
+        let mut dropped = vec![];
+        match l.service(SimTime::ZERO, &mut dropped) {
+            Service::Deliver(p) => assert_eq!(p.size, Bytes(1500)),
+            other => panic!("expected Deliver, got {other:?}"),
+        }
+        assert!(matches!(l.service(SimTime::ZERO, &mut dropped), Service::Idle));
+    }
+
+    #[test]
+    fn token_bucket_paces_at_configured_rate() {
+        // 12 Mb/s, minimal burst: after the initial bucket is spent, packets
+        // must depart 1 ms apart (1500 B = 12 kbit at 12 Mb/s).
+        let mut l = shaped_link(12, 2_000, 1_000_000);
+        let mut dropped = vec![];
+        for _ in 0..10 {
+            l.offer(pkt(1500), SimTime::ZERO).unwrap();
+        }
+        let mut now = SimTime::ZERO;
+        let mut departures = vec![];
+        loop {
+            match l.service(now, &mut dropped) {
+                Service::Deliver(_) => departures.push(now),
+                Service::Wait(t) => now = t,
+                Service::Idle => break,
+            }
+        }
+        assert_eq!(departures.len(), 10);
+        // First departs at t=0 from the initial full bucket (2000 B > 1500 B).
+        assert_eq!(departures[0], SimTime::ZERO);
+        // Steady state: inter-departure 1 ms.
+        for w in departures.windows(2).skip(1) {
+            let gap = w[1] - w[0];
+            assert_eq!(gap, SimDuration::from_millis(1), "gap was {gap:?}");
+        }
+    }
+
+    #[test]
+    fn throughput_matches_rate_over_long_run() {
+        let mut l = shaped_link(25, 2_000, 10_000_000);
+        let mut dropped = vec![];
+        let n = 5_000u64;
+        for _ in 0..n {
+            l.offer(pkt(1250), SimTime::ZERO).unwrap();
+        }
+        let mut now = SimTime::ZERO;
+        let mut last = SimTime::ZERO;
+        let mut count = 0u64;
+        loop {
+            match l.service(now, &mut dropped) {
+                Service::Deliver(_) => {
+                    count += 1;
+                    last = now;
+                }
+                Service::Wait(t) => now = t,
+                Service::Idle => break,
+            }
+        }
+        assert_eq!(count, n);
+        // n packets of 1250 B = 10 kbit each at 25 Mb/s → 0.4 ms each; the
+        // initial 2 kB bucket gives the train up to one burst of head start.
+        let expect = SimDuration::from_secs_f64((n - 1) as f64 * 0.0004);
+        let err = expect.as_secs_f64() - last.as_secs_f64();
+        assert!(
+            (0.0..0.00065).contains(&err),
+            "finished at {last}, expected ~{expect}"
+        );
+    }
+
+    #[test]
+    fn burst_allows_back_to_back_departures() {
+        // 10 kB burst lets ~6 MTU packets leave instantly.
+        let mut l = shaped_link(10, 10_000, 1_000_000);
+        let mut dropped = vec![];
+        for _ in 0..6 {
+            l.offer(pkt(1500), SimTime::ZERO).unwrap();
+        }
+        let mut instant = 0;
+        while let Service::Deliver(_) = l.service(SimTime::ZERO, &mut dropped) {
+            instant += 1;
+        }
+        assert_eq!(instant, 6);
+    }
+
+    #[test]
+    fn queue_overflow_drops() {
+        let mut l = shaped_link(1, 2_000, 3_000);
+        assert!(l.offer(pkt(1500), SimTime::ZERO).is_ok());
+        assert!(l.offer(pkt(1500), SimTime::ZERO).is_ok());
+        assert!(l.offer(pkt(1500), SimTime::ZERO).is_err());
+        assert_eq!(l.backlog(), Bytes(3_000));
+    }
+
+    #[test]
+    fn tokens_cap_at_burst() {
+        let mut l = shaped_link(10, 2_000, 100_000);
+        let mut dropped = vec![];
+        // Drain the initial bucket.
+        l.offer(pkt(2000), SimTime::ZERO).unwrap();
+        assert!(matches!(l.service(SimTime::ZERO, &mut dropped), Service::Deliver(_)));
+        // Wait a long time: bucket refills but caps at burst, so only one
+        // 2000-B packet can leave instantly.
+        let later = SimTime::from_secs(100);
+        l.offer(pkt(2000), later).unwrap();
+        l.offer(pkt(2000), later).unwrap();
+        assert!(matches!(l.service(later, &mut dropped), Service::Deliver(_)));
+        match l.service(later, &mut dropped) {
+            Service::Wait(t) => {
+                // 2000 B = 16 kbit at 10 Mb/s = 1.6 ms.
+                assert_eq!(t - later, SimDuration::from_micros(1600));
+            }
+            other => panic!("expected Wait, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn burst_floor_prevents_stalls() {
+        // A burst below one MTU would deadlock; the builder clamps it.
+        let l = LinkSpec {
+            shaper: Shaper::TokenBucket {
+                rate: BitRate::from_mbps(1),
+                burst: Bytes(10),
+            },
+            delay: SimDuration::ZERO,
+            queue: QueueSpec::DropTail { limit: Bytes(10_000) },
+            jitter: SimDuration::ZERO,
+            loss_prob: 0.0,
+            dup_prob: 0.0,
+        }
+        .build(LinkId(0), NodeId(0), NodeId(1));
+        // Clamped to 2 kB: a 1500-B packet can depart.
+        assert_eq!(l.burst_bitns, 2_000 * 8 * 1_000_000_000);
+    }
+
+    #[test]
+    fn wait_time_is_exact() {
+        let mut l = shaped_link(15, 2_000, 100_000);
+        let mut dropped = vec![];
+        l.offer(pkt(2000), SimTime::ZERO).unwrap();
+        assert!(matches!(l.service(SimTime::ZERO, &mut dropped), Service::Deliver(_)));
+        l.offer(pkt(1500), SimTime::ZERO).unwrap();
+        match l.service(SimTime::ZERO, &mut dropped) {
+            Service::Wait(t) => {
+                // Need 1500*8 = 12000 bits at 15 Mb/s = 800 us exactly.
+                assert_eq!(t.as_nanos(), 800_000);
+                // Serving again at exactly t must deliver.
+                assert!(matches!(l.service(t, &mut dropped), Service::Deliver(_)));
+            }
+            other => panic!("expected Wait, got {other:?}"),
+        }
+    }
+}

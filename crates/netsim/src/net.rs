@@ -1,0 +1,826 @@
+//! The network world: nodes, routing, agents, and the event-loop glue.
+//!
+//! A [`Network`] is a set of nodes joined by unidirectional [`Link`]s, with
+//! static shortest-path routes computed at build time (the testbed topology
+//! is tiny and fixed for a whole run, exactly like the paper's). Protocol
+//! endpoints are [`Agent`]s bound to nodes; they receive packets and timer
+//! callbacks through a [`Ctx`] that queues outgoing actions, keeping the
+//! borrow graph simple and the event order deterministic.
+//!
+//! [`Sim`] couples a [`Network`] with a [`gsrepro_simcore::Engine`] and is
+//! the type most users interact with:
+//!
+//! ```
+//! use gsrepro_netsim::{NetworkBuilder, LinkSpec, apps};
+//! use gsrepro_simcore::{BitRate, Bytes, SimDuration, SimTime};
+//!
+//! let mut b = NetworkBuilder::new(42);
+//! let server = b.add_node("server");
+//! let client = b.add_node("client");
+//! b.duplex(server, client, LinkSpec::bottleneck(
+//!     BitRate::from_mbps(25), Bytes(100_000), SimDuration::from_millis(8)));
+//! let flow = b.flow("cbr");
+//! let sink = b.add_agent(client, Box::new(apps::SinkAgent::new()));
+//! b.add_agent(server, Box::new(apps::CbrSource::new(
+//!     flow, client, sink, BitRate::from_mbps(5), Bytes(1200))));
+//! let mut sim = b.build();
+//! sim.run_until(SimTime::from_secs(10));
+//! let delivered = sim.net.monitor().stats(flow).delivered_bytes;
+//! assert!(delivered.as_u64() > 0);
+//! ```
+
+use std::any::Any;
+
+use gsrepro_simcore::rng::rng_for;
+use gsrepro_simcore::{Engine, Scheduler, SimDuration, SimRng, SimTime, World};
+use gsrepro_simcore::{BitRate, Bytes};
+use rand::Rng;
+
+use crate::link::{Link, LinkId, LinkSpec, Service};
+use crate::monitor::{DropKind, Monitor};
+use crate::trace::{proto_tag, Trace, TraceEvent, TraceKind};
+use crate::wire::{FlowId, Packet, Payload};
+
+/// Identifies a node (host or router).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u32);
+
+/// Identifies an agent (protocol endpoint) within the network.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct AgentId(pub u32);
+
+/// A protocol endpoint. Implemented by TCP endpoints, game-stream
+/// servers/clients, ping apps, and traffic generators.
+///
+/// Agents are `Any` so results can be read back after a run via
+/// [`Network::agent`] / [`Network::agent_mut`].
+pub trait Agent: Any {
+    /// Called once at t = 0 (or at agent insertion time if added late).
+    fn on_start(&mut self, _ctx: &mut Ctx) {}
+
+    /// A packet addressed to this agent arrived at its node.
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx);
+
+    /// A timer set via [`Ctx::set_timer`] fired.
+    fn on_timer(&mut self, _token: u64, _ctx: &mut Ctx) {}
+}
+
+/// What a sending agent must specify; the network stamps the rest
+/// (packet id, source node, send time).
+#[derive(Clone, Debug)]
+pub struct PacketSpec {
+    /// Flow for accounting.
+    pub flow: FlowId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Agent at the destination to deliver to.
+    pub dst_agent: AgentId,
+    /// Total wire size.
+    pub size: Bytes,
+    /// Protocol content.
+    pub payload: Payload,
+}
+
+enum Command {
+    Send(PacketSpec),
+    Timer { agent: AgentId, delay: SimDuration, token: u64 },
+}
+
+/// Handed to agents during callbacks; collects outgoing actions.
+pub struct Ctx<'a> {
+    now: SimTime,
+    agent: AgentId,
+    node: NodeId,
+    rng: &'a mut SimRng,
+    cmds: &'a mut Vec<Command>,
+}
+
+impl Ctx<'_> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The node this agent lives on.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// This agent's id (used as the reply-to address in payloads).
+    pub fn agent_id(&self) -> AgentId {
+        self.agent
+    }
+
+    /// Send a packet. It is routed and enqueued after the callback returns.
+    pub fn send(&mut self, spec: PacketSpec) {
+        self.cmds.push(Command::Send(spec));
+    }
+
+    /// Arrange for [`Agent::on_timer`] to fire after `delay` with `token`.
+    /// Timers cannot be cancelled; agents ignore stale tokens instead.
+    pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
+        self.cmds.push(Command::Timer { agent: self.agent, delay, token });
+    }
+
+    /// Deterministic per-network RNG (for app-level jitter).
+    pub fn rng(&mut self) -> &mut SimRng {
+        self.rng
+    }
+}
+
+/// Events of the network world.
+pub enum NetEvent {
+    /// Change a link's shaping rate at a scheduled time (`tc qdisc
+    /// change` mid-run — the Carrascosa & Bellalta methodology of limiting
+    /// a live stream's link).
+    SetLinkRate {
+        /// The link to modify.
+        link: LinkId,
+        /// The new rate; `None` removes shaping.
+        rate: Option<BitRate>,
+    },
+    /// Deliver `Agent::on_start`.
+    AgentStart(AgentId),
+    /// Deliver `Agent::on_timer`.
+    AgentTimer { agent: AgentId, token: u64 },
+    /// A shaped link's token bucket may now have enough for its head packet.
+    LinkWakeup(LinkId),
+    /// A packet finished propagating and arrives at `node`.
+    Arrive { node: NodeId, pkt: Packet },
+}
+
+struct Node {
+    name: String,
+    /// Next-hop link for each destination node, indexed by `NodeId`.
+    routes: Vec<Option<LinkId>>,
+}
+
+/// The complete simulated network.
+pub struct Network {
+    nodes: Vec<Node>,
+    links: Vec<Link>,
+    agents: Vec<Option<Box<dyn Agent>>>,
+    agent_node: Vec<NodeId>,
+    monitor: Monitor,
+    trace: Option<Trace>,
+    rng: SimRng,
+    next_pkt_id: u64,
+    cmd_buf: Vec<Command>,
+    drop_buf: Vec<Packet>,
+}
+
+impl Network {
+    /// Per-flow statistics.
+    pub fn monitor(&self) -> &Monitor {
+        &self.monitor
+    }
+
+    /// The packet trace, if enabled via
+    /// [`NetworkBuilder::trace_capacity`].
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    fn record_trace(&mut self, at: SimTime, kind: TraceKind, pkt: &Packet) {
+        if let Some(trace) = self.trace.as_mut() {
+            trace.record(TraceEvent {
+                at,
+                kind,
+                packet: pkt.id,
+                flow: pkt.flow,
+                size: pkt.size,
+                proto: proto_tag(&pkt.payload),
+            });
+        }
+    }
+
+    /// A link, for inspecting backlog or delivery counters.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Node name (diagnostics).
+    pub fn node_name(&self, id: NodeId) -> &str {
+        &self.nodes[id.0 as usize].name
+    }
+
+    /// Downcast an agent to its concrete type to read results after a run.
+    ///
+    /// # Panics
+    /// Panics if the agent is of a different type or currently executing.
+    pub fn agent<T: Agent>(&self, id: AgentId) -> &T {
+        let a = self.agents[id.0 as usize]
+            .as_ref()
+            .expect("agent is executing");
+        (a.as_ref() as &dyn Any)
+            .downcast_ref::<T>()
+            .expect("agent type mismatch")
+    }
+
+    /// Mutable variant of [`Network::agent`].
+    pub fn agent_mut<T: Agent>(&mut self, id: AgentId) -> &mut T {
+        let a = self.agents[id.0 as usize]
+            .as_mut()
+            .expect("agent is executing");
+        (a.as_mut() as &mut dyn Any)
+            .downcast_mut::<T>()
+            .expect("agent type mismatch")
+    }
+
+    fn call_agent(
+        &mut self,
+        id: AgentId,
+        sched: &mut Scheduler<NetEvent>,
+        f: impl FnOnce(&mut dyn Agent, &mut Ctx),
+    ) {
+        let mut agent = self.agents[id.0 as usize]
+            .take()
+            .expect("re-entrant agent call");
+        let mut cmds = std::mem::take(&mut self.cmd_buf);
+        {
+            let mut ctx = Ctx {
+                now: sched.now(),
+                agent: id,
+                node: self.agent_node[id.0 as usize],
+                rng: &mut self.rng,
+                cmds: &mut cmds,
+            };
+            f(agent.as_mut(), &mut ctx);
+        }
+        self.agents[id.0 as usize] = Some(agent);
+        let src_node = self.agent_node[id.0 as usize];
+        for cmd in cmds.drain(..) {
+            match cmd {
+                Command::Send(spec) => self.send_from(src_node, spec, sched),
+                Command::Timer { agent, delay, token } => {
+                    sched.schedule_in(delay, NetEvent::AgentTimer { agent, token });
+                }
+            }
+        }
+        self.cmd_buf = cmds;
+    }
+
+    fn send_from(&mut self, src: NodeId, spec: PacketSpec, sched: &mut Scheduler<NetEvent>) {
+        let pkt = Packet {
+            id: self.next_pkt_id,
+            flow: spec.flow,
+            src,
+            dst: spec.dst,
+            dst_agent: spec.dst_agent,
+            size: spec.size,
+            sent_at: sched.now(),
+            enqueued_at: sched.now(),
+            payload: spec.payload,
+        };
+        self.next_pkt_id += 1;
+        self.monitor.on_sent(pkt.flow, pkt.size, sched.now());
+        self.record_trace(sched.now(), TraceKind::Send, &pkt);
+        if spec.dst == src {
+            // Loopback: deliver through the normal arrival path.
+            sched.schedule_in(SimDuration::ZERO, NetEvent::Arrive { node: src, pkt });
+        } else {
+            self.forward(src, pkt, sched);
+        }
+    }
+
+    fn forward(&mut self, at: NodeId, pkt: Packet, sched: &mut Scheduler<NetEvent>) {
+        let Some(link_id) = self.nodes[at.0 as usize].routes[pkt.dst.0 as usize] else {
+            panic!(
+                "no route from {} to {}",
+                self.nodes[at.0 as usize].name, self.nodes[pkt.dst.0 as usize].name
+            );
+        };
+        let link = &mut self.links[link_id.0 as usize];
+        match link.offer(pkt, sched.now()) {
+            Ok(()) => self.pump_link(link_id, sched),
+            Err(dropped) => {
+                let now = sched.now();
+                self.monitor.on_dropped(dropped.flow, DropKind::Queue, now);
+                self.record_trace(now, TraceKind::QueueDrop, &dropped);
+            }
+        }
+    }
+
+    fn pump_link(&mut self, id: LinkId, sched: &mut Scheduler<NetEvent>) {
+        let mut dropped = std::mem::take(&mut self.drop_buf);
+        loop {
+            let link = &mut self.links[id.0 as usize];
+            match link.service(sched.now(), &mut dropped) {
+                Service::Deliver(pkt) => {
+                    let to = link.to();
+                    let base = link.delay();
+                    let jitter = link.jitter;
+                    let loss = link.loss_prob;
+                    let dup = link.dup_prob;
+                    if loss > 0.0 && self.rng.gen::<f64>() < loss {
+                        self.monitor.on_dropped(pkt.flow, DropKind::Link, sched.now());
+                        self.record_trace(sched.now(), TraceKind::LinkDrop, &pkt);
+                        continue;
+                    }
+                    let extra = if jitter.is_zero() {
+                        SimDuration::ZERO
+                    } else {
+                        SimDuration::from_nanos(self.rng.gen_range(0..=jitter.as_nanos()))
+                    };
+                    // FIFO-preserving arrival: path jitter is queue-induced
+                    // in reality and never reorders a flow; artificial
+                    // reordering would trip TCP's loss detection.
+                    let mut arrive_at = sched.now() + base + extra;
+                    let link = &mut self.links[id.0 as usize];
+                    if arrive_at < link.last_arrival {
+                        arrive_at = link.last_arrival;
+                    }
+                    link.last_arrival = arrive_at;
+                    if dup > 0.0 && self.rng.gen::<f64>() < dup {
+                        // netem-style duplication: the copy follows the
+                        // original immediately. Duplicates are not counted
+                        // as "sent" so loss accounting stays truthful.
+                        sched.schedule_at(
+                            arrive_at,
+                            NetEvent::Arrive { node: to, pkt: pkt.clone() },
+                        );
+                    }
+                    sched.schedule_at(arrive_at, NetEvent::Arrive { node: to, pkt });
+                }
+                Service::Wait(at) => {
+                    if !link.wakeup_scheduled {
+                        link.wakeup_scheduled = true;
+                        sched.schedule_at(at, NetEvent::LinkWakeup(id));
+                    }
+                    break;
+                }
+                Service::Idle => break,
+            }
+        }
+        let now = sched.now();
+        for d in dropped.drain(..) {
+            self.monitor.on_dropped(d.flow, DropKind::Queue, now);
+            self.record_trace(now, TraceKind::QueueDrop, &d);
+        }
+        self.drop_buf = dropped;
+    }
+}
+
+impl World for Network {
+    type Event = NetEvent;
+
+    fn handle(&mut self, event: NetEvent, sched: &mut Scheduler<NetEvent>) {
+        match event {
+            NetEvent::AgentStart(id) => {
+                self.call_agent(id, sched, |a, ctx| a.on_start(ctx));
+            }
+            NetEvent::AgentTimer { agent, token } => {
+                self.call_agent(agent, sched, |a, ctx| a.on_timer(token, ctx));
+            }
+            NetEvent::LinkWakeup(id) => {
+                self.links[id.0 as usize].wakeup_scheduled = false;
+                self.pump_link(id, sched);
+            }
+            NetEvent::SetLinkRate { link, rate } => {
+                self.links[link.0 as usize].set_rate(rate, sched.now());
+                self.pump_link(link, sched);
+            }
+            NetEvent::Arrive { node, pkt } => {
+                if pkt.dst == node {
+                    let owd = pkt.age(sched.now());
+                    self.monitor.on_delivered(pkt.flow, pkt.size, owd, sched.now());
+                    self.record_trace(sched.now(), TraceKind::Deliver, &pkt);
+                    let agent = pkt.dst_agent;
+                    self.call_agent(agent, sched, |a, ctx| a.on_packet(pkt, ctx));
+                } else {
+                    self.forward(node, pkt, sched);
+                }
+            }
+        }
+    }
+}
+
+/// Builds a [`Network`] and wraps it in a ready-to-run [`Sim`].
+pub struct NetworkBuilder {
+    seed: u64,
+    node_names: Vec<String>,
+    link_specs: Vec<(NodeId, NodeId, LinkSpec)>,
+    agents: Vec<(NodeId, Box<dyn Agent>)>,
+    flow_labels: Vec<String>,
+    bin: SimDuration,
+    trace_capacity: usize,
+}
+
+impl NetworkBuilder {
+    /// Start a topology with the given base RNG seed.
+    pub fn new(seed: u64) -> Self {
+        NetworkBuilder {
+            seed,
+            node_names: Vec::new(),
+            link_specs: Vec::new(),
+            agents: Vec::new(),
+            flow_labels: Vec::new(),
+            bin: SimDuration::from_millis(500),
+            trace_capacity: 0,
+        }
+    }
+
+    /// Override the monitor's bitrate bin width (default 0.5 s, as in the
+    /// paper).
+    pub fn bin_width(mut self, bin: SimDuration) -> Self {
+        self.bin = bin;
+        self
+    }
+
+    /// Enable packet tracing, retaining the most recent `capacity` events
+    /// (0 = disabled, the default — tracing every packet of a 9-minute run
+    /// is for debugging, not for the measurement harness).
+    pub fn trace_capacity(mut self, capacity: usize) -> Self {
+        self.trace_capacity = capacity;
+        self
+    }
+
+    /// Add a node.
+    pub fn add_node(&mut self, name: impl Into<String>) -> NodeId {
+        let id = NodeId(self.node_names.len() as u32);
+        self.node_names.push(name.into());
+        id
+    }
+
+    /// Add a unidirectional link.
+    pub fn link(&mut self, from: NodeId, to: NodeId, spec: LinkSpec) -> LinkId {
+        let id = LinkId(self.link_specs.len() as u32);
+        self.link_specs.push((from, to, spec));
+        id
+    }
+
+    /// Add a pair of links in both directions with the same spec.
+    pub fn duplex(&mut self, a: NodeId, b: NodeId, spec: LinkSpec) -> (LinkId, LinkId) {
+        let ab = self.link(a, b, spec.clone());
+        let ba = self.link(b, a, spec);
+        (ab, ba)
+    }
+
+    /// Register an accounting flow.
+    pub fn flow(&mut self, label: impl Into<String>) -> FlowId {
+        let id = FlowId(self.flow_labels.len() as u32);
+        self.flow_labels.push(label.into());
+        id
+    }
+
+    /// Bind an agent to a node.
+    pub fn add_agent(&mut self, node: NodeId, agent: Box<dyn Agent>) -> AgentId {
+        let id = AgentId(self.agents.len() as u32);
+        self.agents.push((node, agent));
+        id
+    }
+
+    /// Compute routes, build the network, and schedule agent starts.
+    ///
+    /// # Panics
+    /// Panics if any node pair with traffic potential is disconnected
+    /// (routing uses BFS hop count; ties broken by lower link id).
+    pub fn build(self) -> Sim {
+        let n = self.node_names.len();
+        // Adjacency: node -> (neighbor, link id), in insertion order.
+        let mut adj: Vec<Vec<(NodeId, LinkId)>> = vec![Vec::new(); n];
+        let mut links = Vec::new();
+        for (i, (from, to, spec)) in self.link_specs.iter().enumerate() {
+            let id = LinkId(i as u32);
+            adj[from.0 as usize].push((*to, id));
+            links.push(spec.build(id, *from, *to));
+        }
+
+        // BFS from every node to get next-hop tables.
+        let mut nodes = Vec::with_capacity(n);
+        for (src, name) in self.node_names.iter().enumerate() {
+            let mut dist = vec![u32::MAX; n];
+            let mut first_hop: Vec<Option<LinkId>> = vec![None; n];
+            let mut q = std::collections::VecDeque::new();
+            dist[src] = 0;
+            q.push_back(src);
+            while let Some(u) = q.pop_front() {
+                for &(v, l) in &adj[u] {
+                    let v = v.0 as usize;
+                    if dist[v] == u32::MAX {
+                        dist[v] = dist[u] + 1;
+                        first_hop[v] = if u == src { Some(l) } else { first_hop[u] };
+                        q.push_back(v);
+                    }
+                }
+            }
+            nodes.push(Node { name: name.clone(), routes: first_hop });
+        }
+
+        let mut monitor = Monitor::new(self.bin);
+        for label in &self.flow_labels {
+            monitor.register(label.clone());
+        }
+
+        let mut agents = Vec::new();
+        let mut agent_node = Vec::new();
+        for (node, agent) in self.agents {
+            agents.push(Some(agent));
+            agent_node.push(node);
+        }
+
+        let net = Network {
+            nodes,
+            links,
+            agents,
+            agent_node,
+            monitor,
+            trace: if self.trace_capacity > 0 {
+                Some(Trace::new(self.trace_capacity))
+            } else {
+                None
+            },
+            rng: rng_for(self.seed, 0),
+            next_pkt_id: 0,
+            cmd_buf: Vec::new(),
+            drop_buf: Vec::new(),
+        };
+
+        let mut engine = Engine::new();
+        for i in 0..net.agents.len() {
+            engine
+                .scheduler()
+                .schedule_at(SimTime::ZERO, NetEvent::AgentStart(AgentId(i as u32)));
+        }
+        Sim { engine, net }
+    }
+}
+
+/// A network together with its engine — the top-level simulation handle.
+pub struct Sim {
+    engine: Engine<Network>,
+    /// The network world; inspect monitors, links, and agents through it.
+    pub net: Network,
+}
+
+impl Sim {
+    /// Advance simulated time to `until` (exclusive; see
+    /// [`Engine::run_until`]).
+    pub fn run_until(&mut self, until: SimTime) {
+        self.engine.run_until(&mut self.net, until);
+    }
+
+    /// Advance simulated time by `dur`.
+    pub fn run_for(&mut self, dur: SimDuration) {
+        let t = self.engine.now() + dur;
+        self.run_until(t);
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.engine.now()
+    }
+
+    /// Events processed so far (engine-health metric).
+    pub fn events_processed(&self) -> u64 {
+        self.engine.events_processed()
+    }
+
+    /// Utilization helper: overall goodput of `flow` across `[from, to)`.
+    pub fn goodput_mbps(&self, flow: FlowId, from: SimTime, to: SimTime) -> f64 {
+        self.net.monitor().stats(flow).mean_goodput_mbps(from, to)
+    }
+
+    /// Schedule a link-rate change at `at` (absolute sim time). Emulates
+    /// running `tc qdisc change` on the router mid-experiment.
+    pub fn schedule_link_rate(&mut self, link: LinkId, rate: Option<BitRate>, at: SimTime) {
+        self.engine
+            .scheduler()
+            .schedule_at(at, NetEvent::SetLinkRate { link, rate });
+    }
+}
+
+/// Convenience: the rate used for "effectively unshaped" LAN links in specs
+/// that need a concrete number.
+pub const LAN_RATE: BitRate = BitRate(1_000_000_000);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apps::{CbrSource, SinkAgent};
+    use crate::link::Shaper;
+    use crate::queue::QueueSpec;
+
+    fn two_node_sim(rate_mbps: u64, cbr_mbps: u64, seed: u64) -> (Sim, FlowId) {
+        let mut b = NetworkBuilder::new(seed);
+        let s = b.add_node("server");
+        let c = b.add_node("client");
+        b.link(
+            s,
+            c,
+            LinkSpec {
+                shaper: Shaper::rate(BitRate::from_mbps(rate_mbps)),
+                delay: SimDuration::from_millis(5),
+                queue: QueueSpec::DropTail { limit: Bytes(50_000) },
+                jitter: SimDuration::ZERO,
+                loss_prob: 0.0,
+                dup_prob: 0.0,
+            },
+        );
+        b.link(c, s, LinkSpec::lan(SimDuration::from_millis(5)));
+        let f = b.flow("cbr");
+        let sink = b.add_agent(c, Box::new(SinkAgent::new()));
+        b.add_agent(
+            s,
+            Box::new(CbrSource::new(f, c, sink, BitRate::from_mbps(cbr_mbps), Bytes(1200))),
+        );
+        (b.build(), f)
+    }
+
+    #[test]
+    fn cbr_below_capacity_is_lossless() {
+        let (mut sim, f) = two_node_sim(10, 5, 1);
+        sim.run_until(SimTime::from_secs(10));
+        let st = sim.net.monitor().stats(f);
+        assert_eq!(st.dropped_pkts(), 0);
+        let gp = st.mean_goodput_mbps(SimTime::from_secs(1), SimTime::from_secs(10));
+        assert!((gp - 5.0).abs() < 0.3, "goodput {gp} != 5");
+        // One-way delay ≈ propagation (queue stays empty).
+        assert!(st.owd.mean() < 7.0, "owd {}", st.owd.mean());
+    }
+
+    #[test]
+    fn cbr_above_capacity_is_clamped_and_lossy() {
+        let (mut sim, f) = two_node_sim(10, 20, 2);
+        sim.run_until(SimTime::from_secs(10));
+        let st = sim.net.monitor().stats(f);
+        let gp = st.mean_goodput_mbps(SimTime::from_secs(1), SimTime::from_secs(10));
+        assert!((gp - 10.0).abs() < 0.5, "goodput {gp} should clamp to 10");
+        // Half the offered load must drop.
+        assert!(st.loss_rate() > 0.4, "loss {}", st.loss_rate());
+        // Queue is standing at its limit: OWD ≈ prop + 50 kB / 10 Mb/s = 45 ms.
+        assert!(st.owd.mean() > 30.0, "owd {}", st.owd.mean());
+    }
+
+    #[test]
+    fn determinism_same_seed_same_results() {
+        let (mut a, fa) = two_node_sim(10, 20, 7);
+        let (mut b2, fb) = two_node_sim(10, 20, 7);
+        a.run_until(SimTime::from_secs(5));
+        b2.run_until(SimTime::from_secs(5));
+        let sa = a.net.monitor().stats(fa);
+        let sb = b2.net.monitor().stats(fb);
+        assert_eq!(sa.delivered_pkts, sb.delivered_pkts);
+        assert_eq!(sa.dropped_pkts(), sb.dropped_pkts());
+        assert_eq!(a.events_processed(), b2.events_processed());
+    }
+
+    #[test]
+    fn multihop_forwarding() {
+        let mut b = NetworkBuilder::new(3);
+        let s = b.add_node("server");
+        let r = b.add_node("router");
+        let c = b.add_node("client");
+        b.duplex(s, r, LinkSpec::lan(SimDuration::from_millis(2)));
+        b.duplex(r, c, LinkSpec::lan(SimDuration::from_millis(3)));
+        let f = b.flow("x");
+        let sink = b.add_agent(c, Box::new(SinkAgent::new()));
+        b.add_agent(s, Box::new(CbrSource::new(f, c, sink, BitRate::from_mbps(1), Bytes(1000))));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(2));
+        let st = sim.net.monitor().stats(f);
+        assert!(st.delivered_pkts > 0);
+        // OWD = 2 + 3 = 5 ms across two unshaped hops.
+        assert!((st.owd.mean() - 5.0).abs() < 0.1, "owd {}", st.owd.mean());
+        let sink_agent: &SinkAgent = sim.net.agent(sink);
+        assert_eq!(sink_agent.received_pkts(), st.delivered_pkts);
+    }
+
+    #[test]
+    fn link_fault_injection_drops_packets() {
+        let mut b = NetworkBuilder::new(11);
+        let s = b.add_node("s");
+        let c = b.add_node("c");
+        b.link(s, c, LinkSpec::lan(SimDuration::from_millis(1)).with_loss(0.3));
+        b.link(c, s, LinkSpec::lan(SimDuration::from_millis(1)));
+        let f = b.flow("x");
+        let sink = b.add_agent(c, Box::new(SinkAgent::new()));
+        b.add_agent(s, Box::new(CbrSource::new(f, c, sink, BitRate::from_mbps(2), Bytes(1000))));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(20));
+        let st = sim.net.monitor().stats(f);
+        let loss = st.link_drop_pkts as f64 / st.sent_pkts as f64;
+        assert!((loss - 0.3).abs() < 0.03, "observed loss {loss}");
+    }
+
+    #[test]
+    fn jitter_spreads_delays() {
+        let mut b = NetworkBuilder::new(13);
+        let s = b.add_node("s");
+        let c = b.add_node("c");
+        b.link(
+            s,
+            c,
+            LinkSpec::lan(SimDuration::from_millis(5)).with_jitter(SimDuration::from_millis(10)),
+        );
+        b.link(c, s, LinkSpec::lan(SimDuration::from_millis(5)));
+        let f = b.flow("x");
+        let sink = b.add_agent(c, Box::new(SinkAgent::new()));
+        b.add_agent(s, Box::new(CbrSource::new(f, c, sink, BitRate::from_mbps(2), Bytes(1000))));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(10));
+        let st = sim.net.monitor().stats(f);
+        // Mean extra delay ≈ jitter/2 → total ≈ 10 ms.
+        assert!((st.owd.mean() - 10.0).abs() < 1.0, "owd {}", st.owd.mean());
+        assert!(st.owd.stddev() > 1.0);
+    }
+
+    #[test]
+    fn link_rate_changes_take_effect() {
+        let mut b = NetworkBuilder::new(23);
+        let s = b.add_node("s");
+        let c = b.add_node("c");
+        let bottleneck = b.link(
+            s,
+            c,
+            LinkSpec::bottleneck(BitRate::from_mbps(20), Bytes(100_000), SimDuration::from_millis(2)),
+        );
+        b.link(c, s, LinkSpec::lan(SimDuration::from_millis(2)));
+        let f = b.flow("x");
+        let sink = b.add_agent(c, Box::new(SinkAgent::new()));
+        // Offer 15 Mb/s throughout.
+        b.add_agent(s, Box::new(CbrSource::new(f, c, sink, BitRate::from_mbps(15), Bytes(1200))));
+        let mut sim = b.build();
+        // Cut the link to 5 Mb/s for the middle third.
+        sim.schedule_link_rate(bottleneck, Some(BitRate::from_mbps(5)), SimTime::from_secs(10));
+        sim.schedule_link_rate(bottleneck, Some(BitRate::from_mbps(20)), SimTime::from_secs(20));
+        sim.run_until(SimTime::from_secs(30));
+        let st = sim.net.monitor().stats(f);
+        let before = st.mean_goodput_mbps(SimTime::from_secs(2), SimTime::from_secs(10));
+        let during = st.mean_goodput_mbps(SimTime::from_secs(12), SimTime::from_secs(20));
+        let after = st.mean_goodput_mbps(SimTime::from_secs(22), SimTime::from_secs(30));
+        assert!((before - 15.0).abs() < 0.5, "before {before}");
+        assert!((during - 5.0).abs() < 0.5, "during {during}");
+        assert!((after - 15.0).abs() < 1.0, "after {after}");
+        assert!(st.dropped_pkts() > 0, "the 5 Mb/s phase must drop");
+    }
+
+    #[test]
+    fn duplication_fault_injection() {
+        let mut b = NetworkBuilder::new(17);
+        let s = b.add_node("s");
+        let c = b.add_node("c");
+        b.link(s, c, LinkSpec::lan(SimDuration::from_millis(1)).with_duplication(0.25));
+        b.link(c, s, LinkSpec::lan(SimDuration::from_millis(1)));
+        let f = b.flow("x");
+        let sink = b.add_agent(c, Box::new(SinkAgent::new()));
+        b.add_agent(s, Box::new(CbrSource::new(f, c, sink, BitRate::from_mbps(2), Bytes(1000))));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(20));
+        let st = sim.net.monitor().stats(f);
+        // Delivered ≈ 1.25 × sent: each duplicate arrives as an extra copy.
+        let ratio = st.delivered_pkts as f64 / st.sent_pkts as f64;
+        assert!((ratio - 1.25).abs() < 0.03, "duplication ratio {ratio}");
+        assert_eq!(st.dropped_pkts(), 0);
+    }
+
+    #[test]
+    fn trace_records_send_and_delivery() {
+        let mut b = NetworkBuilder::new(31).trace_capacity(1000);
+        let s = b.add_node("s");
+        let c = b.add_node("c");
+        b.duplex(s, c, LinkSpec::lan(SimDuration::from_millis(1)));
+        let f = b.flow("x");
+        let sink = b.add_agent(c, Box::new(SinkAgent::new()));
+        b.add_agent(s, Box::new(CbrSource::new(f, c, sink, BitRate::from_kbps(800), Bytes(1000))));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(1));
+        let trace = sim.net.trace().expect("tracing enabled");
+        let sends = trace
+            .events()
+            .filter(|e| e.kind == crate::trace::TraceKind::Send)
+            .count();
+        let delivers = trace
+            .events()
+            .filter(|e| e.kind == crate::trace::TraceKind::Deliver)
+            .count();
+        assert!((99..=101).contains(&sends), "sends {sends}");
+        // Last packet may still be in flight at the cut-off.
+        assert!(delivers >= sends - 1, "delivers {delivers} sends {sends}");
+        assert!(trace.to_csv().contains("raw"));
+    }
+
+    #[test]
+    fn trace_disabled_by_default() {
+        let mut b = NetworkBuilder::new(32);
+        let s = b.add_node("s");
+        b.add_agent(s, Box::new(SinkAgent::new()));
+        let sim = b.build();
+        assert!(sim.net.trace().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "no route")]
+    fn disconnected_send_panics() {
+        let mut b = NetworkBuilder::new(1);
+        let s = b.add_node("s");
+        let c = b.add_node("c");
+        // Only a reverse link exists; s cannot reach c.
+        b.link(c, s, LinkSpec::lan(SimDuration::from_millis(1)));
+        let f = b.flow("x");
+        let sink = b.add_agent(c, Box::new(SinkAgent::new()));
+        b.add_agent(s, Box::new(CbrSource::new(f, c, sink, BitRate::from_mbps(1), Bytes(500))));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(1));
+    }
+}

@@ -1,0 +1,665 @@
+//! Bottleneck queue disciplines.
+//!
+//! The paper's router ran a byte-limited drop-tail queue (`tc tbf ... limit
+//! <bytes>`), sized at 0.5x, 2x, or 7x the bandwidth-delay product
+//! ([`DropTailQueue`]). The paper's future-work section asks how the systems
+//! would behave under Active Queue Management; [`CoDelQueue`] (RFC 8289) and
+//! [`FqCoDelQueue`] (RFC 8290) answer that in the `aqm_future_work` example
+//! and the ablation benches.
+
+use gsrepro_simcore::{Bytes, SimDuration, SimTime};
+use std::collections::VecDeque;
+
+use crate::wire::Packet;
+
+/// A buffering/drop policy for a link.
+///
+/// Queues never shape traffic — rate limiting is the link's token bucket —
+/// they only decide what to hold and what to drop. Packets dropped at
+/// enqueue are returned in `Err`; packets dropped at *dequeue* time (CoDel
+/// does this) are pushed into `dropped`.
+pub trait Queue {
+    /// Offer a packet. `Err(p)` means the packet was dropped (tail drop or
+    /// overflow). Returning the packet by value is deliberate — the caller
+    /// owns drop accounting, and boxing every enqueue to appease
+    /// `result_large_err` would cost an allocation per packet on the
+    /// hottest path in the simulator.
+    #[allow(clippy::result_large_err)]
+    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> Result<(), Packet>;
+
+    /// Take the next packet to transmit. AQM disciplines may drop packets
+    /// here; they are appended to `dropped`.
+    fn dequeue(&mut self, now: SimTime, dropped: &mut Vec<Packet>) -> Option<Packet>;
+
+    /// Wire size of the packet `dequeue` would return, without removing it.
+    /// AQM head drops may make this an over-estimate; the link only uses it
+    /// to size token-bucket waits, and re-checks after the actual dequeue.
+    fn peek_size(&self) -> Option<Bytes>;
+
+    /// Current occupancy in bytes.
+    fn len_bytes(&self) -> Bytes;
+
+    /// Current occupancy in packets.
+    fn len_pkts(&self) -> usize;
+
+    /// Configured capacity in bytes, if byte-limited.
+    fn capacity_bytes(&self) -> Option<Bytes>;
+}
+
+/// Declarative queue configuration, used by topology builders.
+#[derive(Clone, Debug)]
+pub enum QueueSpec {
+    /// Byte-limited FIFO tail-drop — the paper's router configuration.
+    DropTail {
+        /// Maximum queued bytes (the `tbf limit`).
+        limit: Bytes,
+    },
+    /// Packet-limited FIFO tail-drop.
+    DropTailPkts {
+        /// Maximum queued packets.
+        limit: usize,
+    },
+    /// CoDel (RFC 8289) with a byte-limited backstop.
+    CoDel {
+        /// Hard byte limit (CoDel still needs a finite buffer).
+        limit: Bytes,
+        /// Sojourn-time target (RFC default 5 ms).
+        target: SimDuration,
+        /// Sliding interval (RFC default 100 ms).
+        interval: SimDuration,
+    },
+    /// FQ-CoDel (RFC 8290): per-flow queues with DRR and CoDel each.
+    FqCoDel {
+        /// Hard byte limit across all flow queues.
+        limit: Bytes,
+        /// CoDel target.
+        target: SimDuration,
+        /// CoDel interval.
+        interval: SimDuration,
+        /// DRR quantum (RFC default 1514 bytes).
+        quantum: Bytes,
+    },
+}
+
+impl QueueSpec {
+    /// Drop-tail with the RFC-default CoDel parameters filled in.
+    pub fn codel_default(limit: Bytes) -> Self {
+        QueueSpec::CoDel {
+            limit,
+            target: SimDuration::from_millis(5),
+            interval: SimDuration::from_millis(100),
+        }
+    }
+
+    /// FQ-CoDel with RFC-default parameters.
+    pub fn fq_codel_default(limit: Bytes) -> Self {
+        QueueSpec::FqCoDel {
+            limit,
+            target: SimDuration::from_millis(5),
+            interval: SimDuration::from_millis(100),
+            quantum: Bytes(1514),
+        }
+    }
+
+    /// Instantiate the queue.
+    pub fn build(&self) -> Box<dyn Queue> {
+        match *self {
+            QueueSpec::DropTail { limit } => Box::new(DropTailQueue::bytes(limit)),
+            QueueSpec::DropTailPkts { limit } => Box::new(DropTailQueue::packets(limit)),
+            QueueSpec::CoDel { limit, target, interval } => {
+                Box::new(CoDelQueue::new(limit, target, interval))
+            }
+            QueueSpec::FqCoDel { limit, target, interval, quantum } => {
+                Box::new(FqCoDelQueue::new(limit, target, interval, quantum))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Drop-tail
+// ---------------------------------------------------------------------------
+
+/// FIFO tail-drop queue, limited by bytes (like `tbf limit`) or by packets.
+pub struct DropTailQueue {
+    q: VecDeque<Packet>,
+    bytes: Bytes,
+    byte_limit: Option<Bytes>,
+    pkt_limit: Option<usize>,
+}
+
+impl DropTailQueue {
+    /// Byte-limited drop-tail. A packet is accepted only if it fits entirely
+    /// within `limit` — matching `tbf`, which drops when the backlog would
+    /// exceed the configured limit.
+    pub fn bytes(limit: Bytes) -> Self {
+        DropTailQueue {
+            q: VecDeque::new(),
+            bytes: Bytes::ZERO,
+            byte_limit: Some(limit),
+            pkt_limit: None,
+        }
+    }
+
+    /// Packet-limited drop-tail.
+    pub fn packets(limit: usize) -> Self {
+        DropTailQueue {
+            q: VecDeque::new(),
+            bytes: Bytes::ZERO,
+            byte_limit: None,
+            pkt_limit: Some(limit),
+        }
+    }
+}
+
+impl Queue for DropTailQueue {
+    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> Result<(), Packet> {
+        if let Some(lim) = self.byte_limit {
+            if self.bytes + pkt.size > lim {
+                return Err(pkt);
+            }
+        }
+        if let Some(lim) = self.pkt_limit {
+            if self.q.len() >= lim {
+                return Err(pkt);
+            }
+        }
+        pkt.enqueued_at = now;
+        self.bytes += pkt.size;
+        self.q.push_back(pkt);
+        Ok(())
+    }
+
+    fn dequeue(&mut self, _now: SimTime, _dropped: &mut Vec<Packet>) -> Option<Packet> {
+        let pkt = self.q.pop_front()?;
+        self.bytes -= pkt.size;
+        Some(pkt)
+    }
+
+    fn peek_size(&self) -> Option<Bytes> {
+        self.q.front().map(|p| p.size)
+    }
+
+    fn len_bytes(&self) -> Bytes {
+        self.bytes
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.q.len()
+    }
+
+    fn capacity_bytes(&self) -> Option<Bytes> {
+        self.byte_limit
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CoDel (RFC 8289)
+// ---------------------------------------------------------------------------
+
+/// Controlled-delay AQM (RFC 8289).
+///
+/// Tracks packet sojourn time; once sojourn exceeds `target` continuously
+/// for `interval`, CoDel enters the dropping state and drops head packets at
+/// intervals shrinking with the square root of the drop count.
+pub struct CoDelQueue {
+    q: VecDeque<Packet>,
+    bytes: Bytes,
+    limit: Bytes,
+    target: SimDuration,
+    interval: SimDuration,
+
+    // Control-law state, names per RFC 8289 pseudocode.
+    first_above_time: Option<SimTime>,
+    drop_next: SimTime,
+    count: u32,
+    last_count: u32,
+    dropping: bool,
+}
+
+impl CoDelQueue {
+    /// New CoDel queue with a hard byte limit and the given target/interval.
+    pub fn new(limit: Bytes, target: SimDuration, interval: SimDuration) -> Self {
+        CoDelQueue {
+            q: VecDeque::new(),
+            bytes: Bytes::ZERO,
+            limit,
+            target,
+            interval,
+            first_above_time: None,
+            drop_next: SimTime::ZERO,
+            count: 0,
+            last_count: 0,
+            dropping: false,
+        }
+    }
+
+    fn control_law(&self, t: SimTime) -> SimTime {
+        // interval / sqrt(count)
+        let denom = (self.count.max(1) as f64).sqrt();
+        t + SimDuration::from_secs_f64(self.interval.as_secs_f64() / denom)
+    }
+
+    /// Pop the head and decide whether it should be dropped (sojourn above
+    /// target). Returns `(packet, ok_to_deliver)`.
+    fn do_dequeue(&mut self, now: SimTime) -> Option<(Packet, bool)> {
+        let pkt = self.q.pop_front()?;
+        self.bytes -= pkt.size;
+        let sojourn = now.saturating_since(pkt.enqueued_at);
+        if sojourn < self.target || self.bytes < Bytes(1514) {
+            // Went below target (or queue nearly empty): reset the clock.
+            self.first_above_time = None;
+            Some((pkt, true))
+        } else {
+            let fat = *self.first_above_time.get_or_insert(now + self.interval);
+            Some((pkt, now < fat))
+        }
+    }
+}
+
+impl Queue for CoDelQueue {
+    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> Result<(), Packet> {
+        if self.bytes + pkt.size > self.limit {
+            return Err(pkt);
+        }
+        pkt.enqueued_at = now;
+        self.bytes += pkt.size;
+        self.q.push_back(pkt);
+        Ok(())
+    }
+
+    fn dequeue(&mut self, now: SimTime, dropped: &mut Vec<Packet>) -> Option<Packet> {
+        let (mut pkt, mut ok) = self.do_dequeue(now)?;
+
+        if self.dropping {
+            if ok {
+                self.dropping = false;
+            } else {
+                while self.dropping && now >= self.drop_next {
+                    self.count += 1;
+                    dropped.push(pkt);
+                    match self.do_dequeue(now) {
+                        Some((p, k)) => {
+                            pkt = p;
+                            ok = k;
+                            if ok {
+                                self.dropping = false;
+                            } else {
+                                self.drop_next = self.control_law(self.drop_next);
+                            }
+                        }
+                        None => {
+                            self.dropping = false;
+                            return None;
+                        }
+                    }
+                }
+            }
+        } else if !ok {
+            // Enter dropping state: drop this packet and deliver the next.
+            dropped.push(pkt);
+            self.dropping = true;
+            // RFC: if we recently dropped, resume from a higher count.
+            let delta = self.count.saturating_sub(self.last_count);
+            self.count = if delta > 1 && now.saturating_since(self.drop_next) < self.interval * 16 {
+                delta
+            } else {
+                1
+            };
+            self.drop_next = self.control_law(now);
+            self.last_count = self.count;
+            let (p, _) = self.do_dequeue(now)?;
+            pkt = p;
+        }
+        Some(pkt)
+    }
+
+    fn peek_size(&self) -> Option<Bytes> {
+        self.q.front().map(|p| p.size)
+    }
+
+    fn len_bytes(&self) -> Bytes {
+        self.bytes
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.q.len()
+    }
+
+    fn capacity_bytes(&self) -> Option<Bytes> {
+        Some(self.limit)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FQ-CoDel (RFC 8290)
+// ---------------------------------------------------------------------------
+
+const FQ_BUCKETS: usize = 64;
+
+struct FqFlow {
+    codel: CoDelQueue,
+    deficit: i64,
+}
+
+/// Flow-queuing CoDel (RFC 8290): packets are hashed by flow into one of 64
+/// sub-queues, serviced by deficit round-robin with new flows prioritized,
+/// each sub-queue running its own CoDel.
+pub struct FqCoDelQueue {
+    flows: Vec<FqFlow>,
+    new_flows: VecDeque<usize>,
+    old_flows: VecDeque<usize>,
+    in_new: Vec<bool>,
+    in_old: Vec<bool>,
+    bytes: Bytes,
+    limit: Bytes,
+    quantum: Bytes,
+    pkts: usize,
+}
+
+impl FqCoDelQueue {
+    /// New FQ-CoDel queue.
+    pub fn new(limit: Bytes, target: SimDuration, interval: SimDuration, quantum: Bytes) -> Self {
+        let flows = (0..FQ_BUCKETS)
+            .map(|_| FqFlow {
+                codel: CoDelQueue::new(limit, target, interval),
+                deficit: 0,
+            })
+            .collect();
+        FqCoDelQueue {
+            flows,
+            new_flows: VecDeque::new(),
+            old_flows: VecDeque::new(),
+            in_new: vec![false; FQ_BUCKETS],
+            in_old: vec![false; FQ_BUCKETS],
+            bytes: Bytes::ZERO,
+            limit,
+            quantum,
+            pkts: 0,
+        }
+    }
+
+    fn bucket(flow: crate::wire::FlowId) -> usize {
+        // Multiplicative hash; flows in the testbed are few, collisions are
+        // acceptable (RFC 8290 uses a similar stochastic hash).
+        (flow.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize % FQ_BUCKETS
+    }
+}
+
+impl Queue for FqCoDelQueue {
+    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> Result<(), Packet> {
+        if self.bytes + pkt.size > self.limit {
+            return Err(pkt);
+        }
+        let b = Self::bucket(pkt.flow);
+        let size = pkt.size;
+        self.flows[b].codel.enqueue(pkt, now)?;
+        self.bytes += size;
+        self.pkts += 1;
+        if !self.in_new[b] && !self.in_old[b] {
+            self.in_new[b] = true;
+            self.flows[b].deficit = self.quantum.as_u64() as i64;
+            self.new_flows.push_back(b);
+        }
+        Ok(())
+    }
+
+    fn dequeue(&mut self, now: SimTime, dropped: &mut Vec<Packet>) -> Option<Packet> {
+        loop {
+            // Pick the next flow: new list first, then old list.
+            let (b, from_new) = if let Some(&b) = self.new_flows.front() {
+                (b, true)
+            } else if let Some(&b) = self.old_flows.front() {
+                (b, false)
+            } else {
+                return None;
+            };
+
+            if self.flows[b].deficit <= 0 {
+                // Refill and rotate to the old list.
+                self.flows[b].deficit += self.quantum.as_u64() as i64;
+                if from_new {
+                    self.new_flows.pop_front();
+                    self.in_new[b] = false;
+                } else {
+                    self.old_flows.pop_front();
+                    self.in_old[b] = false;
+                }
+                self.old_flows.push_back(b);
+                self.in_old[b] = true;
+                continue;
+            }
+
+            let before = dropped.len();
+            match self.flows[b].codel.dequeue(now, dropped) {
+                Some(pkt) => {
+                    // Account for CoDel's internal drops.
+                    for d in &dropped[before..] {
+                        self.bytes -= d.size;
+                        self.pkts -= 1;
+                    }
+                    self.bytes -= pkt.size;
+                    self.pkts -= 1;
+                    self.flows[b].deficit -= pkt.size.as_u64() as i64;
+                    return Some(pkt);
+                }
+                None => {
+                    for d in &dropped[before..] {
+                        self.bytes -= d.size;
+                        self.pkts -= 1;
+                    }
+                    // Queue empty: remove from its list. A new flow that
+                    // empties leaves the lists entirely (RFC: becomes old,
+                    // but with no backlog removal is the common shortcut).
+                    if from_new {
+                        self.new_flows.pop_front();
+                        self.in_new[b] = false;
+                    } else {
+                        self.old_flows.pop_front();
+                        self.in_old[b] = false;
+                    }
+                }
+            }
+        }
+    }
+
+    fn peek_size(&self) -> Option<Bytes> {
+        // Exact peek across DRR is intrusive; report the head of the next
+        // non-empty candidate list. Links use this only to size token waits.
+        for &b in self.new_flows.iter().chain(self.old_flows.iter()) {
+            if let Some(s) = self.flows[b].codel.peek_size() {
+                return Some(s);
+            }
+        }
+        None
+    }
+
+    fn len_bytes(&self) -> Bytes {
+        self.bytes
+    }
+
+    fn len_pkts(&self) -> usize {
+        self.pkts
+    }
+
+    fn capacity_bytes(&self) -> Option<Bytes> {
+        Some(self.limit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::{AgentId, NodeId};
+    use crate::wire::{FlowId, Payload};
+
+    fn pkt(flow: u32, size: u64) -> Packet {
+        Packet {
+            id: 0,
+            flow: FlowId(flow),
+            src: NodeId(0),
+            dst: NodeId(1),
+            dst_agent: AgentId(0),
+            size: Bytes(size),
+            sent_at: SimTime::ZERO,
+            enqueued_at: SimTime::ZERO,
+            payload: Payload::Raw,
+        }
+    }
+
+    #[test]
+    fn drop_tail_respects_byte_limit() {
+        let mut q = DropTailQueue::bytes(Bytes(3000));
+        let now = SimTime::ZERO;
+        assert!(q.enqueue(pkt(1, 1500), now).is_ok());
+        assert!(q.enqueue(pkt(1, 1500), now).is_ok());
+        // Third packet would exceed 3000 bytes.
+        assert!(q.enqueue(pkt(1, 1500), now).is_err());
+        assert_eq!(q.len_bytes(), Bytes(3000));
+        assert_eq!(q.len_pkts(), 2);
+        // Small packet still refused (3000 + 1 > 3000).
+        assert!(q.enqueue(pkt(1, 1), now).is_err());
+        let mut dropped = vec![];
+        q.dequeue(now, &mut dropped);
+        assert!(q.enqueue(pkt(1, 1500), now).is_ok());
+        assert!(dropped.is_empty());
+    }
+
+    #[test]
+    fn drop_tail_is_fifo() {
+        let mut q = DropTailQueue::bytes(Bytes(10_000));
+        for i in 0..5u64 {
+            let mut p = pkt(1, 100);
+            p.id = i;
+            q.enqueue(p, SimTime::ZERO).unwrap();
+        }
+        let mut dropped = vec![];
+        for i in 0..5u64 {
+            assert_eq!(q.dequeue(SimTime::ZERO, &mut dropped).unwrap().id, i);
+        }
+        assert!(q.dequeue(SimTime::ZERO, &mut dropped).is_none());
+    }
+
+    #[test]
+    fn drop_tail_packet_limit() {
+        let mut q = DropTailQueue::packets(2);
+        assert!(q.enqueue(pkt(1, 1), SimTime::ZERO).is_ok());
+        assert!(q.enqueue(pkt(1, 1), SimTime::ZERO).is_ok());
+        assert!(q.enqueue(pkt(1, 1), SimTime::ZERO).is_err());
+        assert_eq!(q.capacity_bytes(), None);
+    }
+
+    #[test]
+    fn codel_passes_packets_below_target() {
+        let mut q = CoDelQueue::new(
+            Bytes(100_000),
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(100),
+        );
+        let mut dropped = vec![];
+        // Packets that sit for < 5 ms are never dropped.
+        for i in 0..100 {
+            let now = SimTime::from_millis(i * 10);
+            q.enqueue(pkt(1, 1000), now).unwrap();
+            let out = q.dequeue(now + SimDuration::from_millis(1), &mut dropped);
+            assert!(out.is_some());
+        }
+        assert!(dropped.is_empty());
+    }
+
+    #[test]
+    fn codel_drops_under_persistent_delay() {
+        let mut q = CoDelQueue::new(
+            Bytes(1_000_000),
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(100),
+        );
+        let mut dropped = vec![];
+        // Fill a standing queue, then dequeue slowly so sojourn stays high.
+        let mut now;
+        let mut delivered = 0;
+        for step in 0..2_000u64 {
+            now = SimTime::from_millis(step);
+            q.enqueue(pkt(1, 1000), now).unwrap();
+            if step % 2 == 0 {
+                // Drain at half the arrival rate → persistent backlog.
+                if q.dequeue(now, &mut dropped).is_some() {
+                    delivered += 1;
+                }
+            }
+        }
+        assert!(delivered > 0);
+        assert!(
+            !dropped.is_empty(),
+            "CoDel must drop under persistent standing queue"
+        );
+    }
+
+    #[test]
+    fn fq_codel_isolates_flows() {
+        let mut q = FqCoDelQueue::new(
+            Bytes(1_000_000),
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(100),
+            Bytes(1514),
+        );
+        let now = SimTime::ZERO;
+        // Flow 1 floods; flow 2 sends one packet.
+        for _ in 0..50 {
+            q.enqueue(pkt(1, 1000), now).unwrap();
+        }
+        q.enqueue(pkt(2, 1000), now).unwrap();
+        let mut dropped = vec![];
+        // Flow 2's packet must come out within the first few dequeues
+        // (DRR round-robin), not after all 50 of flow 1's.
+        let mut seen_flow2_at = None;
+        for i in 0..51 {
+            let p = q.dequeue(now, &mut dropped).unwrap();
+            if p.flow == FlowId(2) {
+                seen_flow2_at = Some(i);
+                break;
+            }
+        }
+        let pos = seen_flow2_at.expect("flow 2 packet never dequeued");
+        assert!(pos <= 2, "flow 2 should be scheduled early, was at {pos}");
+    }
+
+    #[test]
+    fn fq_codel_byte_accounting_with_drops() {
+        let mut q = FqCoDelQueue::new(
+            Bytes(1_000_000),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+            Bytes(1514),
+        );
+        let mut dropped = vec![];
+        let mut now = SimTime::ZERO;
+        for step in 0..1_000u64 {
+            now = SimTime::from_millis(step);
+            q.enqueue(pkt(1, 1000), now).unwrap();
+            if step % 3 == 0 {
+                q.dequeue(now, &mut dropped);
+            }
+        }
+        // Drain fully; accounting must come back to exactly zero.
+        while q.dequeue(now, &mut dropped).is_some() {}
+        assert_eq!(q.len_bytes(), Bytes::ZERO);
+        assert_eq!(q.len_pkts(), 0);
+    }
+
+    #[test]
+    fn queue_spec_builds_each_variant() {
+        let specs = [
+            QueueSpec::DropTail { limit: Bytes(1000) },
+            QueueSpec::DropTailPkts { limit: 10 },
+            QueueSpec::codel_default(Bytes(1000)),
+            QueueSpec::fq_codel_default(Bytes(1000)),
+        ];
+        for spec in &specs {
+            let mut q = spec.build();
+            assert!(q.enqueue(pkt(1, 500), SimTime::ZERO).is_ok());
+            assert_eq!(q.len_pkts(), 1);
+            assert_eq!(q.peek_size(), Some(Bytes(500)));
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Packet-event tracing — the simulator's `tcpdump`.
+//!
+//! The physical testbed captured every packet with Wireshark; most analyses
+//! only need the [`crate::monitor::Monitor`] aggregates, but debugging a
+//! protocol (or exporting a trace for external tooling) wants the raw
+//! per-packet event stream. [`Trace`] records [`TraceEvent`]s — sends,
+//! queue drops, link-loss drops, and deliveries — with bounded memory
+//! (a ring buffer), and renders them as text or CSV.
+//!
+//! Tracing is off by default; enable it per network with
+//! [`crate::net::NetworkBuilder::trace_capacity`].
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use gsrepro_simcore::{Bytes, SimTime};
+
+use crate::wire::{FlowId, Payload};
+
+/// What happened to a packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceKind {
+    /// Handed to the network by an agent.
+    Send,
+    /// Dropped by a queue (tail drop or AQM).
+    QueueDrop,
+    /// Dropped by link fault injection.
+    LinkDrop,
+    /// Arrived at its destination node.
+    Deliver,
+}
+
+impl TraceKind {
+    fn label(self) -> &'static str {
+        match self {
+            TraceKind::Send => "send",
+            TraceKind::QueueDrop => "qdrop",
+            TraceKind::LinkDrop => "ldrop",
+            TraceKind::Deliver => "deliver",
+        }
+    }
+}
+
+/// One traced packet event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Packet id.
+    pub packet: u64,
+    /// Flow the packet belongs to.
+    pub flow: FlowId,
+    /// Wire size.
+    pub size: Bytes,
+    /// Short protocol tag ("tcp seq=...", "media f=...", ...).
+    pub proto: String,
+}
+
+/// Compact protocol tag for an event line.
+pub fn proto_tag(payload: &Payload) -> String {
+    match payload {
+        Payload::Tcp(seg) => {
+            if seg.len == 0 {
+                format!("tcp ack={}", seg.ack)
+            } else {
+                format!("tcp seq={} len={}", seg.seq, seg.len)
+            }
+        }
+        Payload::Media(m) => format!("media f={} c={}/{}", m.frame_id, m.chunk_index, m.chunk_count),
+        Payload::Feedback(fb) => format!("fb seq={} loss={:.3}", fb.seq, fb.loss),
+        Payload::Ping(p) => format!("ping seq={}{}", p.seq, if p.is_reply { " reply" } else { "" }),
+        Payload::Raw => "raw".to_string(),
+    }
+}
+
+/// Bounded ring buffer of packet events.
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    total_recorded: u64,
+}
+
+impl Trace {
+    /// A trace retaining at most `capacity` most-recent events.
+    pub fn new(capacity: usize) -> Self {
+        Trace {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            total_recorded: 0,
+        }
+    }
+
+    /// Record one event.
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(ev);
+        self.total_recorded += 1;
+    }
+
+    /// Events currently retained (oldest first).
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+
+    /// Events of one flow.
+    pub fn for_flow(&self, flow: FlowId) -> Vec<&TraceEvent> {
+        self.events.iter().filter(|e| e.flow == flow).collect()
+    }
+
+    /// CSV rendering: `t_s,kind,packet,flow,size,proto`.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_s,kind,packet,flow,size,proto\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "{:.9},{},{},{},{},{}\n",
+                e.at.as_secs_f64(),
+                e.kind.label(),
+                e.packet,
+                e.flow.0,
+                e.size.as_u64(),
+                e.proto
+            ));
+        }
+        out
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:>12.6}s {:>7} pkt={} flow={} {}B {}",
+            self.at.as_secs_f64(),
+            self.kind.label(),
+            self.packet,
+            self.flow.0,
+            self.size.as_u64(),
+            self.proto
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::TcpSegment;
+
+    fn ev(at_ms: u64, kind: TraceKind, id: u64) -> TraceEvent {
+        TraceEvent {
+            at: SimTime::from_millis(at_ms),
+            kind,
+            packet: id,
+            flow: FlowId((id % 2) as u32),
+            size: Bytes(1200),
+            proto: "raw".into(),
+        }
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::new(3);
+        for i in 0..5 {
+            t.record(ev(i, TraceKind::Send, i));
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_recorded(), 5);
+        let ids: Vec<u64> = t.events().map(|e| e.packet).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_capacity_records_nothing() {
+        let mut t = Trace::new(0);
+        t.record(ev(1, TraceKind::Send, 1));
+        assert!(t.is_empty());
+        assert_eq!(t.total_recorded(), 0);
+    }
+
+    #[test]
+    fn flow_filter() {
+        let mut t = Trace::new(10);
+        for i in 0..6 {
+            t.record(ev(i, TraceKind::Deliver, i));
+        }
+        assert_eq!(t.for_flow(FlowId(0)).len(), 3);
+        assert_eq!(t.for_flow(FlowId(1)).len(), 3);
+        assert_eq!(t.for_flow(FlowId(9)).len(), 0);
+    }
+
+    #[test]
+    fn csv_and_display() {
+        let mut t = Trace::new(4);
+        t.record(ev(1, TraceKind::Send, 7));
+        t.record(ev(2, TraceKind::QueueDrop, 8));
+        let csv = t.to_csv();
+        assert!(csv.starts_with("t_s,kind,"));
+        assert!(csv.contains("send"));
+        assert!(csv.contains("qdrop"));
+        let line = format!("{}", t.events().next().expect("event present"));
+        assert!(line.contains("pkt=7"));
+    }
+
+    #[test]
+    fn proto_tags() {
+        assert_eq!(proto_tag(&Payload::Raw), "raw");
+        assert_eq!(
+            proto_tag(&Payload::Tcp(TcpSegment::data(100, 1448))),
+            "tcp seq=100 len=1448"
+        );
+        assert_eq!(
+            proto_tag(&Payload::Tcp(TcpSegment::pure_ack(5, 10, None))),
+            "tcp ack=5"
+        );
+    }
+}

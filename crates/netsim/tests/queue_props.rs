@@ -1,0 +1,138 @@
+//! Property-based tests for the queue disciplines and the token-bucket
+//! shaper: FIFO order, byte accounting, capacity respect, and AQM
+//! invariants across randomized workloads.
+
+use gsrepro_netsim::net::{AgentId, NodeId};
+use gsrepro_netsim::queue::{DropTailQueue, Queue, QueueSpec};
+use gsrepro_netsim::wire::{FlowId, Packet, Payload};
+use gsrepro_simcore::{Bytes, SimTime};
+use proptest::prelude::*;
+
+fn pkt(id: u64, flow: u32, size: u64) -> Packet {
+    Packet {
+        id,
+        flow: FlowId(flow),
+        src: NodeId(0),
+        dst: NodeId(1),
+        dst_agent: AgentId(0),
+        size: Bytes(size),
+        sent_at: SimTime::ZERO,
+        enqueued_at: SimTime::ZERO,
+        payload: Payload::Raw,
+    }
+}
+
+/// A randomized enqueue/dequeue schedule applied to any queue type.
+/// Returns (accepted, delivered + queued + aqm-dropped, aqm-dropped,
+/// delivered ids): the first two must match for a conserving queue.
+fn churn(
+    q: &mut dyn Queue,
+    ops: &[(bool, u16, u64)], // (enqueue?, flow, size 64..1500)
+) -> (u64, u64, u64, Vec<u64>) {
+    let mut accepted = 0u64;
+    let mut delivered = 0u64;
+    let mut aqm_dropped = 0u64;
+    let mut out_ids = Vec::new();
+    let mut scratch = Vec::new();
+    let mut id = 0u64;
+    for (i, &(is_enq, flow, size)) in ops.iter().enumerate() {
+        let now = SimTime::from_millis(i as u64);
+        if is_enq {
+            let p = pkt(id, flow as u32 % 8, 64 + size % 1437);
+            id += 1;
+            if q.enqueue(p, now).is_ok() {
+                accepted += 1;
+            }
+        } else {
+            scratch.clear();
+            if let Some(p) = q.dequeue(now, &mut scratch) {
+                delivered += 1;
+                out_ids.push(p.id);
+            }
+            aqm_dropped += scratch.len() as u64;
+        }
+    }
+    let accounted = delivered + q.len_pkts() as u64 + aqm_dropped;
+    (accepted, accounted, aqm_dropped, out_ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Drop-tail preserves FIFO order and conserves packets.
+    #[test]
+    fn drop_tail_fifo_and_conservation(
+        ops in prop::collection::vec((any::<bool>(), any::<u16>(), 0u64..2000), 1..500),
+        limit in 2_000u64..100_000,
+    ) {
+        let mut q = DropTailQueue::bytes(Bytes(limit));
+        let (accepted, accounted, _dropped, out_ids) = churn(&mut q, &ops);
+        // Every accepted packet is either delivered or still queued.
+        prop_assert_eq!(accepted, accounted);
+        // FIFO: output ids strictly increasing.
+        prop_assert!(out_ids.windows(2).all(|w| w[0] < w[1]));
+        // Byte limit never exceeded.
+        prop_assert!(q.len_bytes().as_u64() <= limit);
+    }
+
+    /// CoDel conserves packets (delivered + dropped + queued = accepted)
+    /// and respects its byte limit.
+    #[test]
+    fn codel_conservation(
+        ops in prop::collection::vec((any::<bool>(), any::<u16>(), 0u64..2000), 1..500),
+    ) {
+        let spec = QueueSpec::codel_default(Bytes(30_000));
+        let mut q = spec.build();
+        let (accepted, accounted, _, out_ids) = churn(q.as_mut(), &ops);
+        prop_assert_eq!(accepted, accounted);
+        prop_assert!(q.len_bytes().as_u64() <= 30_000);
+        prop_assert!(out_ids.windows(2).all(|w| w[0] < w[1]), "CoDel must stay FIFO");
+    }
+
+    /// FQ-CoDel conserves packets and bytes across random multi-flow churn.
+    #[test]
+    fn fq_codel_conservation(
+        ops in prop::collection::vec((any::<bool>(), any::<u16>(), 0u64..2000), 1..500),
+    ) {
+        let spec = QueueSpec::fq_codel_default(Bytes(50_000));
+        let mut q = spec.build();
+        let (accepted, accounted, _, _) = churn(q.as_mut(), &ops);
+        prop_assert_eq!(accepted, accounted);
+        prop_assert!(q.len_bytes().as_u64() <= 50_000);
+        // Draining fully zeroes the accounting.
+        let mut scratch = Vec::new();
+        while q.dequeue(SimTime::from_secs(10_000), &mut scratch).is_some() {}
+        prop_assert_eq!(q.len_pkts(), 0);
+        prop_assert_eq!(q.len_bytes().as_u64(), 0);
+    }
+
+    /// FQ-CoDel delivers every flow that has backlog within a bounded
+    /// number of dequeues (no starvation).
+    #[test]
+    fn fq_codel_no_starvation(heavy in 10u64..60, flows in 2u32..6) {
+        let spec = QueueSpec::fq_codel_default(Bytes(1_000_000));
+        let mut q = spec.build();
+        let now = SimTime::ZERO;
+        let mut id = 0;
+        // One heavy flow, plus (flows-1) light flows with one packet each.
+        for _ in 0..heavy {
+            q.enqueue(pkt(id, 0, 1000), now).expect("fits");
+            id += 1;
+        }
+        for fl in 1..flows {
+            q.enqueue(pkt(id, fl, 1000), now).expect("fits");
+            id += 1;
+        }
+        let mut scratch = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        // Within flows × 3 dequeues every flow must appear at least once.
+        for _ in 0..(flows as usize * 3) {
+            if let Some(p) = q.dequeue(now, &mut scratch) {
+                seen.insert(p.flow.0);
+            }
+        }
+        for fl in 0..flows {
+            prop_assert!(seen.contains(&fl), "flow {} starved (saw {:?})", fl, seen);
+        }
+    }
+}

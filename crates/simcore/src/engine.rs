@@ -1,0 +1,296 @@
+//! The discrete-event engine: a time-ordered event queue and a run loop.
+//!
+//! The engine is generic over a [`World`] — the complete mutable state of a
+//! simulation — and its associated event type. Components never hold
+//! references to each other; they communicate by scheduling events, which the
+//! engine delivers back to [`World::handle`] in timestamp order.
+//!
+//! # Determinism
+//!
+//! Two events scheduled for the same instant are delivered in the order they
+//! were scheduled (FIFO), enforced by a monotonically increasing sequence
+//! number used as a tie-breaker. Event ordering therefore never depends on
+//! heap internals, allocation order, or hashing.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// The complete mutable state of a simulation.
+pub trait World {
+    /// The event alphabet of this simulation.
+    type Event;
+
+    /// Handle one event. `sched.now()` is the event's timestamp; new events
+    /// may be scheduled at or after that instant.
+    fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<Self::Event>);
+}
+
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Ordering intentionally ignores the event payload: (time, seq) is a total
+// order because seq is unique.
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// The event queue. Handed to [`World::handle`] so handlers can schedule
+/// follow-up events.
+pub struct Scheduler<E> {
+    now: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+}
+
+impl<E> Scheduler<E> {
+    fn new() -> Self {
+        Scheduler {
+            now: SimTime::ZERO,
+            seq: 0,
+            heap: BinaryHeap::new(),
+        }
+    }
+
+    /// Current simulated time (the timestamp of the event being handled).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `event` at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error; the event is clamped to `now`
+    /// in release builds and panics in debug builds.
+    pub fn schedule_at(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "scheduling into the past: {at:?} < {:?}", self.now);
+        let at = at.max(self.now);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Reverse(Entry { time: at, seq, event }));
+    }
+
+    /// Schedule `event` after `delay`.
+    #[inline]
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule_at(self.now + delay, event);
+    }
+
+    /// Number of pending events.
+    #[inline]
+    pub fn pending(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Timestamp of the next pending event, if any.
+    #[inline]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| (e.time, e.event))
+    }
+}
+
+/// Drives a [`World`] through simulated time.
+pub struct Engine<W: World> {
+    sched: Scheduler<W::Event>,
+    events_processed: u64,
+}
+
+impl<W: World> Engine<W> {
+    /// A fresh engine at t = 0 with an empty queue.
+    pub fn new() -> Self {
+        Engine {
+            sched: Scheduler::new(),
+            events_processed: 0,
+        }
+    }
+
+    /// Access the scheduler, e.g. to seed initial events before running.
+    pub fn scheduler(&mut self) -> &mut Scheduler<W::Event> {
+        &mut self.sched
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.sched.now
+    }
+
+    /// Total events handled so far (an engine-health metric used by benches).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Run until the queue is empty or simulated time would exceed `until`.
+    ///
+    /// Events with timestamp exactly `until` are **not** delivered, so
+    /// consecutive `run_until` calls partition time into half-open intervals
+    /// `[start, until)`. On return the clock rests at `until` (or at the last
+    /// event time if the queue drained first).
+    pub fn run_until(&mut self, world: &mut W, until: SimTime) {
+        while let Some(t) = self.sched.peek_time() {
+            if t >= until {
+                break;
+            }
+            let (time, event) = self.sched.pop().expect("peeked entry vanished");
+            self.sched.now = time;
+            self.events_processed += 1;
+            world.handle(event, &mut self.sched);
+        }
+        if self.sched.now < until {
+            self.sched.now = until;
+        }
+    }
+
+    /// Run until the queue is empty.
+    pub fn run_to_completion(&mut self, world: &mut W) {
+        self.run_until(world, SimTime::MAX);
+    }
+
+    /// Deliver exactly one event. Returns `false` if the queue was empty.
+    pub fn step(&mut self, world: &mut W) -> bool {
+        match self.sched.pop() {
+            Some((time, event)) => {
+                self.sched.now = time;
+                self.events_processed += 1;
+                world.handle(event, &mut self.sched);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl<W: World> Default for Engine<W> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A world that records the order in which events arrive.
+    struct Recorder {
+        log: Vec<(SimTime, u32)>,
+    }
+
+    enum Ev {
+        Tag(u32),
+        /// Schedules `Tag(n)` `k` more times at 1 ms intervals.
+        Repeat(u32, u32),
+    }
+
+    impl World for Recorder {
+        type Event = Ev;
+        fn handle(&mut self, event: Ev, sched: &mut Scheduler<Ev>) {
+            match event {
+                Ev::Tag(n) => self.log.push((sched.now(), n)),
+                Ev::Repeat(n, k) => {
+                    self.log.push((sched.now(), n));
+                    if k > 0 {
+                        sched.schedule_in(SimDuration::from_millis(1), Ev::Repeat(n, k - 1));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn events_fire_in_time_order() {
+        let mut w = Recorder { log: vec![] };
+        let mut eng = Engine::new();
+        eng.scheduler().schedule_at(SimTime::from_millis(30), Ev::Tag(3));
+        eng.scheduler().schedule_at(SimTime::from_millis(10), Ev::Tag(1));
+        eng.scheduler().schedule_at(SimTime::from_millis(20), Ev::Tag(2));
+        eng.run_to_completion(&mut w);
+        let tags: Vec<u32> = w.log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn simultaneous_events_fire_fifo() {
+        let mut w = Recorder { log: vec![] };
+        let mut eng = Engine::new();
+        let t = SimTime::from_millis(5);
+        for n in 0..100 {
+            eng.scheduler().schedule_at(t, Ev::Tag(n));
+        }
+        eng.run_to_completion(&mut w);
+        let tags: Vec<u32> = w.log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(tags, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_is_half_open() {
+        let mut w = Recorder { log: vec![] };
+        let mut eng = Engine::new();
+        eng.scheduler().schedule_at(SimTime::from_millis(10), Ev::Tag(1));
+        eng.scheduler().schedule_at(SimTime::from_millis(20), Ev::Tag(2));
+        eng.run_until(&mut w, SimTime::from_millis(20));
+        assert_eq!(w.log.len(), 1);
+        assert_eq!(eng.now(), SimTime::from_millis(20));
+        // The boundary event is still pending and fires on the next window.
+        eng.run_until(&mut w, SimTime::from_millis(21));
+        assert_eq!(w.log.len(), 2);
+    }
+
+    #[test]
+    fn handlers_can_schedule_followups() {
+        let mut w = Recorder { log: vec![] };
+        let mut eng = Engine::new();
+        eng.scheduler().schedule_at(SimTime::ZERO, Ev::Repeat(7, 4));
+        eng.run_to_completion(&mut w);
+        assert_eq!(w.log.len(), 5);
+        assert_eq!(w.log.last().unwrap().0, SimTime::from_millis(4));
+        assert_eq!(eng.events_processed(), 5);
+    }
+
+    #[test]
+    fn step_returns_false_on_empty() {
+        let mut w = Recorder { log: vec![] };
+        let mut eng = Engine::new();
+        assert!(!eng.step(&mut w));
+        eng.scheduler().schedule_at(SimTime::ZERO, Ev::Tag(0));
+        assert!(eng.step(&mut w));
+        assert!(!eng.step(&mut w));
+    }
+
+    #[test]
+    fn clock_advances_to_until_even_when_queue_drains() {
+        let mut w = Recorder { log: vec![] };
+        let mut eng = Engine::new();
+        eng.run_until(&mut w, SimTime::from_secs(5));
+        assert_eq!(eng.now(), SimTime::from_secs(5));
+    }
+
+    #[test]
+    fn peek_and_pending() {
+        let mut eng: Engine<Recorder> = Engine::new();
+        assert_eq!(eng.scheduler().peek_time(), None);
+        assert_eq!(eng.scheduler().pending(), 0);
+        eng.scheduler().schedule_at(SimTime::from_secs(1), Ev::Tag(1));
+        eng.scheduler().schedule_at(SimTime::from_secs(2), Ev::Tag(2));
+        assert_eq!(eng.scheduler().peek_time(), Some(SimTime::from_secs(1)));
+        assert_eq!(eng.scheduler().pending(), 2);
+    }
+}

@@ -1,0 +1,327 @@
+//! Simulated time.
+//!
+//! [`SimTime`] is an instant measured in nanoseconds since the start of the
+//! simulation; [`SimDuration`] is a span between two instants. Both are thin
+//! wrappers over `u64`, giving ~584 years of range — far beyond the paper's
+//! nine-minute experiment runs — with exact integer arithmetic so event
+//! ordering never depends on floating-point rounding.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in simulated time (nanoseconds since simulation start).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of simulated time (nanoseconds).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; useful as an "armed but never firing" timer value.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Construct from raw nanoseconds since the epoch.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Construct from whole seconds since the epoch.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Construct from whole milliseconds since the epoch.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Nanoseconds since the epoch.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since the epoch as a float (for reporting only — never use
+    /// floats to decide event ordering).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Time elapsed since `earlier`, saturating at zero if `earlier` is in
+    /// the future.
+    #[inline]
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Duration since `earlier`. Panics in debug builds if `earlier > self`.
+    #[inline]
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        debug_assert!(earlier.0 <= self.0, "since() called with a later time");
+        SimDuration(self.0 - earlier.0)
+    }
+}
+
+impl SimDuration {
+    /// Zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// Largest representable duration.
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Construct from nanoseconds.
+    #[inline]
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Construct from microseconds.
+    #[inline]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Construct from milliseconds.
+    #[inline]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Construct from whole seconds.
+    #[inline]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Construct from fractional seconds, rounding to the nearest nanosecond.
+    /// Negative or non-finite input clamps to zero.
+    #[inline]
+    pub fn from_secs_f64(s: f64) -> Self {
+        if !s.is_finite() || s <= 0.0 {
+            return SimDuration(0);
+        }
+        let ns = s * 1e9;
+        if ns >= u64::MAX as f64 {
+            SimDuration(u64::MAX)
+        } else {
+            SimDuration(ns.round() as u64)
+        }
+    }
+
+    /// Nanoseconds in this duration.
+    #[inline]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Milliseconds as a float (reporting only).
+    #[inline]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds as a float (reporting only).
+    #[inline]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// True if this is the zero duration.
+    #[inline]
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Multiply by a non-negative float, rounding to the nearest nanosecond.
+    #[inline]
+    pub fn mul_f64(self, k: f64) -> Self {
+        SimDuration::from_secs_f64(self.as_secs_f64() * k)
+    }
+
+    /// Saturating subtraction.
+    #[inline]
+    pub fn saturating_sub(self, rhs: SimDuration) -> Self {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign for SimDuration {
+    #[inline]
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        debug_assert!(rhs.0 <= self.0, "duration underflow");
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    #[inline]
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(rhs))
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    #[inline]
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}ns", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.1}us", self.0 as f64 / 1e3)
+        } else if self.0 < 1_000_000_000 {
+            write!(f, "{:.2}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        }
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_round_trips() {
+        assert_eq!(SimTime::from_secs(3).as_nanos(), 3_000_000_000);
+        assert_eq!(SimTime::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(SimDuration::from_micros(7).as_nanos(), 7_000);
+        assert_eq!(SimDuration::from_millis(2).as_millis_f64(), 2.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::from_secs(10);
+        let d = SimDuration::from_millis(1500);
+        assert_eq!((t + d).as_nanos(), 11_500_000_000);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t - d).as_secs_f64(), 8.5);
+    }
+
+    #[test]
+    fn saturating_behaviour() {
+        let early = SimTime::from_secs(1);
+        let late = SimTime::from_secs(2);
+        assert_eq!(early.saturating_since(late), SimDuration::ZERO);
+        assert_eq!(late.saturating_since(early), SimDuration::from_secs(1));
+        assert_eq!(SimTime::ZERO - SimDuration::from_secs(5), SimTime::ZERO);
+    }
+
+    #[test]
+    fn from_secs_f64_edge_cases() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
+        assert_eq!(
+            SimDuration::from_secs_f64(0.001),
+            SimDuration::from_millis(1)
+        );
+        assert_eq!(SimDuration::from_secs_f64(1e30), SimDuration::MAX);
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(SimTime::from_secs(1) < SimTime::from_secs(2));
+        assert!(SimDuration::from_millis(999) < SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn mul_div() {
+        let d = SimDuration::from_millis(10);
+        assert_eq!(d * 3, SimDuration::from_millis(30));
+        assert_eq!(d / 2, SimDuration::from_millis(5));
+        assert_eq!(d.mul_f64(2.5), SimDuration::from_millis(25));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(3)), "3.0us");
+        assert_eq!(format!("{}", SimDuration::from_millis(4)), "4.00ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(2)), "2.000s");
+    }
+}

@@ -1,0 +1,325 @@
+//! TCP Cubic (Ha, Rhee & Xu, 2008) — the Linux default and one of the two
+//! competitors in the paper's experiments.
+//!
+//! The window grows along the cubic `W(t) = C·(t − K)³ + W_max` centred on
+//! the window at the last congestion event, giving fast recovery toward
+//! `W_max`, a plateau around it, and aggressive probing beyond it. The
+//! implementation follows the paper and the Linux `tcp_cubic.c` structure:
+//!
+//! * β = 0.7 multiplicative decrease (`BETA`),
+//! * C = 0.4 scaling constant (`C`),
+//! * fast convergence (release capacity when the new `W_max` is below the
+//!   previous one),
+//! * a TCP-friendly region that never grows slower than an equivalent
+//!   AIMD flow with the same loss rate.
+
+use gsrepro_simcore::{BitRate, SimTime};
+
+use super::{AckInfo, CongestionControl, INITIAL_WINDOW_SEGMENTS};
+
+/// Multiplicative decrease factor.
+const BETA: f64 = 0.7;
+/// Cubic scaling constant (units: segments/second³).
+const C: f64 = 0.4;
+
+/// TCP Cubic congestion control.
+pub struct Cubic {
+    mss: u64,
+    cwnd: u64,
+    ssthresh: u64,
+
+    /// Window (in segments) at the last congestion event, after fast
+    /// convergence.
+    w_last_max: f64,
+    /// Start of the current growth epoch.
+    epoch_start: Option<SimTime>,
+    /// Window (segments) at epoch start.
+    w_epoch: f64,
+    /// Time (seconds from epoch start) at which the cubic reaches
+    /// `w_last_max`.
+    k: f64,
+    /// Reno-equivalent window estimate for the TCP-friendly region
+    /// (segments).
+    w_tcp: f64,
+    /// Byte accumulator implementing "cwnd += MSS every cnt acked segments".
+    acked_accum: f64,
+}
+
+impl Cubic {
+    /// New controller with the Linux initial window.
+    pub fn new(mss: u64) -> Self {
+        Cubic {
+            mss,
+            cwnd: INITIAL_WINDOW_SEGMENTS * mss,
+            ssthresh: u64::MAX,
+            w_last_max: 0.0,
+            epoch_start: None,
+            w_epoch: 0.0,
+            k: 0.0,
+            w_tcp: 0.0,
+            acked_accum: 0.0,
+        }
+    }
+
+    /// Current `K` (diagnostics/tests).
+    pub fn k_secs(&self) -> f64 {
+        self.k
+    }
+
+    fn segments(&self) -> f64 {
+        self.cwnd as f64 / self.mss as f64
+    }
+
+    fn cubic_update(&mut self, ack: &AckInfo) {
+        let w = self.segments();
+        let now = ack.now;
+
+        if self.epoch_start.is_none() {
+            self.epoch_start = Some(now);
+            self.w_epoch = w;
+            self.k = if w < self.w_last_max {
+                ((self.w_last_max - w) / C).cbrt()
+            } else {
+                0.0
+            };
+            // The cubic's origin is the larger of current and last-max.
+            if self.w_last_max < w {
+                self.w_last_max = w;
+            }
+            self.w_tcp = w;
+        }
+
+        // Target one RTT ahead, as Linux does (t + srtt).
+        let t = (now + ack.srtt).since(self.epoch_start.expect("set above")).as_secs_f64();
+        let target = self.w_last_max + C * (t - self.k).powi(3);
+
+        // Segments to ack per 1-segment increase.
+        let cnt = if target > w {
+            (w / (target - w)).max(0.01)
+        } else {
+            100.0 * w // plateau: crawl
+        };
+
+        // TCP-friendly region (average AIMD rate with β = 0.7):
+        // W_tcp grows by 3(1−β)/(1+β) segments per RTT.
+        self.w_tcp += 3.0 * (1.0 - BETA) / (1.0 + BETA) * (ack.bytes_acked as f64 / self.cwnd as f64);
+        let cnt = if self.w_tcp > w {
+            cnt.min(w / (self.w_tcp - w))
+        } else {
+            cnt
+        };
+
+        self.acked_accum += ack.bytes_acked as f64 / self.mss as f64;
+        if self.acked_accum >= cnt {
+            let inc = (self.acked_accum / cnt).floor();
+            self.acked_accum -= inc * cnt;
+            self.cwnd += (inc as u64) * self.mss;
+        }
+    }
+}
+
+impl CongestionControl for Cubic {
+    fn on_ack(&mut self, ack: &AckInfo) {
+        if self.cwnd < self.ssthresh {
+            self.cwnd += ack.bytes_acked;
+            return;
+        }
+        self.cubic_update(ack);
+    }
+
+    fn on_congestion_event(&mut self, _now: SimTime, _in_flight: u64) {
+        let w = self.segments();
+        // Fast convergence: if this max is below the previous one, the
+        // available capacity shrank — release more.
+        self.w_last_max = if w < self.w_last_max {
+            w * (2.0 - BETA) / 2.0
+        } else {
+            w
+        };
+        self.cwnd = ((self.cwnd as f64 * BETA) as u64).max(2 * self.mss);
+        self.ssthresh = self.cwnd;
+        self.epoch_start = None;
+        self.acked_accum = 0.0;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        let w = self.segments();
+        self.w_last_max = if w < self.w_last_max {
+            w * (2.0 - BETA) / 2.0
+        } else {
+            w
+        };
+        self.ssthresh = ((self.cwnd as f64 * BETA) as u64).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.epoch_start = None;
+        self.acked_accum = 0.0;
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn pacing_rate(&self) -> Option<BitRate> {
+        None
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cca::testutil::drive_acks;
+    use gsrepro_simcore::SimDuration;
+
+    const MSS: u64 = 1448;
+    const RTT: SimDuration = SimDuration::from_millis(20);
+    const RATE: BitRate = BitRate(10_000_000);
+
+    /// Acks per round used by these synthetic drives (16 acks every 20 ms).
+    const APR: u64 = 16;
+
+    #[test]
+    fn slow_start_then_loss_sets_ssthresh() {
+        let mut c = Cubic::new(MSS);
+        assert!(c.in_slow_start());
+        drive_acks(&mut c, MSS, 100, APR, RTT, RATE, SimTime::ZERO, 0, 0);
+        let before = c.cwnd();
+        c.on_congestion_event(SimTime::from_secs(1), before);
+        assert!(!c.in_slow_start());
+        let expect = (before as f64 * BETA) as u64;
+        assert_eq!(c.cwnd(), expect);
+    }
+
+    #[test]
+    fn k_matches_formula() {
+        let mut c = Cubic::new(MSS);
+        // Get to a known window, suffer a loss, then ack once to open an
+        // epoch.
+        drive_acks(&mut c, MSS, 90, APR, RTT, RATE, SimTime::ZERO, 0, 0);
+        let w_loss = c.cwnd() as f64 / MSS as f64;
+        c.on_congestion_event(SimTime::from_secs(2), c.cwnd());
+        drive_acks(&mut c, MSS, 1, APR, RTT, RATE, SimTime::from_secs(2), 100, 1_000_000);
+        // K = cbrt((W_max − W)/C), W = β·W_max.
+        let expect_k = ((w_loss - BETA * w_loss) / C).cbrt();
+        assert!(
+            (c.k_secs() - expect_k).abs() < 0.2,
+            "K = {}, expected ≈ {}",
+            c.k_secs(),
+            expect_k
+        );
+    }
+
+    #[test]
+    fn recovers_toward_w_max_within_k_seconds() {
+        let mut c = Cubic::new(MSS);
+        drive_acks(&mut c, MSS, 200, APR, RTT, RATE, SimTime::ZERO, 0, 0);
+        let w_max = c.cwnd();
+        c.on_congestion_event(SimTime::from_secs(5), w_max);
+        // Drive acks for well past K seconds of simulated time (4 000 acks
+        // at 16/round and 20 ms rounds = 5 s).
+        drive_acks(
+            &mut c,
+            MSS,
+            4_000,
+            APR,
+            RTT,
+            RATE,
+            SimTime::from_secs(5),
+            300,
+            10_000_000,
+        );
+        assert!(
+            c.cwnd() >= w_max * 7 / 10,
+            "cwnd {} should re-approach w_max {}",
+            c.cwnd(),
+            w_max
+        );
+    }
+
+    #[test]
+    fn fast_convergence_shrinks_w_max_on_consecutive_losses() {
+        let mut c = Cubic::new(MSS);
+        drive_acks(&mut c, MSS, 100, APR, RTT, RATE, SimTime::ZERO, 0, 0);
+        c.on_congestion_event(SimTime::from_secs(1), c.cwnd());
+        let w_max_1 = c.w_last_max;
+        // Immediate second loss at a smaller window.
+        c.on_congestion_event(SimTime::from_secs(1), c.cwnd());
+        assert!(
+            c.w_last_max < w_max_1,
+            "fast convergence must lower w_max ({} !< {})",
+            c.w_last_max,
+            w_max_1
+        );
+    }
+
+    #[test]
+    fn growth_is_convex_beyond_k() {
+        // Past the inflection point K, cubic growth accelerates: equal
+        // spans of time further beyond K must add more window.
+        let mut c = Cubic::new(MSS);
+        drive_acks(&mut c, MSS, 400, APR, RTT, RATE, SimTime::ZERO, 0, 0);
+        c.on_congestion_event(SimTime::from_secs(5), c.cwnd());
+        // Open the epoch and learn K.
+        let (mut t, mut r) =
+            drive_acks(&mut c, MSS, 1, APR, RTT, RATE, SimTime::from_secs(5), 100, 1_000_000);
+        let k = c.k_secs();
+        // Run up to roughly K.
+        let acks_to_k = ((k / 0.02) as u64) * APR;
+        let (t1, r1) = drive_acks(&mut c, MSS, acks_to_k, APR, RTT, RATE, t, r, 2_000_000);
+        t = t1;
+        r = r1;
+        // Window growth over [K, K+3 s] vs [K+3 s, K+6 s].
+        let per_3s = 150 * APR;
+        let w0 = c.cwnd();
+        let (t2, r2) = drive_acks(&mut c, MSS, per_3s, APR, RTT, RATE, t, r, 4_000_000);
+        let grow_1 = c.cwnd() - w0;
+        let w1 = c.cwnd();
+        drive_acks(&mut c, MSS, per_3s, APR, RTT, RATE, t2, r2, 8_000_000);
+        let grow_2 = c.cwnd() - w1;
+        assert!(
+            grow_2 > grow_1,
+            "convex region must accelerate: {grow_2} !> {grow_1}"
+        );
+    }
+
+    #[test]
+    fn rto_resets_to_one_segment() {
+        let mut c = Cubic::new(MSS);
+        drive_acks(&mut c, MSS, 100, APR, RTT, RATE, SimTime::ZERO, 0, 0);
+        c.on_rto(SimTime::from_secs(3));
+        assert_eq!(c.cwnd(), MSS);
+        assert!(c.in_slow_start());
+    }
+
+    #[test]
+    fn tcp_friendly_region_dominates_at_small_windows() {
+        // At small windows and large RTT the cubic term is tiny; growth
+        // should track the Reno-equivalent rate instead of stalling.
+        let mut c = Cubic::new(MSS);
+        c.on_congestion_event(SimTime::from_secs(1), c.cwnd());
+        let w0 = c.cwnd();
+        drive_acks(
+            &mut c,
+            MSS,
+            300,
+            8,
+            SimDuration::from_millis(100),
+            BitRate::from_mbps(1),
+            SimTime::from_secs(1),
+            10,
+            100_000,
+        );
+        assert!(c.cwnd() > w0, "window must keep growing in friendly region");
+    }
+}

@@ -1,0 +1,165 @@
+//! TCP NewReno: the classic AIMD baseline.
+//!
+//! Slow start doubles the window every round trip; congestion avoidance adds
+//! one MSS per round trip; a congestion event halves the window (β = 0.5).
+//! Included as the simplest reference point for the testbed's validation
+//! suite — every other controller's behaviour is checked against Reno's.
+
+use gsrepro_simcore::{BitRate, SimTime};
+
+use super::{AckInfo, CongestionControl, INITIAL_WINDOW_SEGMENTS};
+
+/// NewReno congestion control.
+pub struct Reno {
+    mss: u64,
+    cwnd: u64,
+    ssthresh: u64,
+    /// Byte accumulator for the one-MSS-per-RTT additive increase.
+    acked_accum: u64,
+}
+
+impl Reno {
+    /// New controller with the Linux initial window.
+    pub fn new(mss: u64) -> Self {
+        Reno {
+            mss,
+            cwnd: INITIAL_WINDOW_SEGMENTS * mss,
+            ssthresh: u64::MAX,
+            acked_accum: 0,
+        }
+    }
+}
+
+impl CongestionControl for Reno {
+    fn on_ack(&mut self, ack: &AckInfo) {
+        if self.cwnd < self.ssthresh {
+            // Slow start: one MSS per acked MSS.
+            self.cwnd += ack.bytes_acked;
+        } else {
+            // Congestion avoidance: cwnd += MSS per cwnd bytes acked.
+            self.acked_accum += ack.bytes_acked;
+            if self.acked_accum >= self.cwnd {
+                self.acked_accum -= self.cwnd;
+                self.cwnd += self.mss;
+            }
+        }
+    }
+
+    fn on_congestion_event(&mut self, _now: SimTime, _in_flight: u64) {
+        self.ssthresh = (self.cwnd / 2).max(2 * self.mss);
+        self.cwnd = self.ssthresh;
+        self.acked_accum = 0;
+    }
+
+    fn on_rto(&mut self, _now: SimTime) {
+        self.ssthresh = (self.cwnd / 2).max(2 * self.mss);
+        self.cwnd = self.mss;
+        self.acked_accum = 0;
+    }
+
+    fn cwnd(&self) -> u64 {
+        self.cwnd
+    }
+
+    fn pacing_rate(&self) -> Option<BitRate> {
+        None
+    }
+
+    fn in_slow_start(&self) -> bool {
+        self.cwnd < self.ssthresh
+    }
+
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+
+    fn as_any(&self) -> &dyn std::any::Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsrepro_simcore::SimDuration;
+
+    const MSS: u64 = 1448;
+
+    fn ack(bytes: u64) -> AckInfo {
+        AckInfo {
+            now: SimTime::from_secs(1),
+            bytes_acked: bytes,
+            rtt: Some(SimDuration::from_millis(20)),
+            srtt: SimDuration::from_millis(20),
+            min_rtt: SimDuration::from_millis(20),
+            delivered: 0,
+            delivery_rate: None,
+            in_flight: 0,
+            round_start: false,
+            round: 0,
+            app_limited: false,
+        }
+    }
+
+    #[test]
+    fn starts_with_iw10() {
+        let r = Reno::new(MSS);
+        assert_eq!(r.cwnd(), 10 * MSS);
+        assert!(r.in_slow_start());
+    }
+
+    #[test]
+    fn slow_start_doubles_per_rtt() {
+        let mut r = Reno::new(MSS);
+        let start = r.cwnd();
+        // Ack a full window: cwnd should double.
+        for _ in 0..10 {
+            r.on_ack(&ack(MSS));
+        }
+        assert_eq!(r.cwnd(), 2 * start);
+    }
+
+    #[test]
+    fn congestion_event_halves() {
+        let mut r = Reno::new(MSS);
+        for _ in 0..100 {
+            r.on_ack(&ack(MSS));
+        }
+        let before = r.cwnd();
+        r.on_congestion_event(SimTime::from_secs(1), before);
+        assert_eq!(r.cwnd(), before / 2);
+        assert!(!r.in_slow_start());
+    }
+
+    #[test]
+    fn additive_increase_after_loss() {
+        let mut r = Reno::new(MSS);
+        r.on_congestion_event(SimTime::from_secs(1), r.cwnd());
+        let w = r.cwnd();
+        // One full window of acks adds exactly one MSS.
+        let acks_per_window = w / MSS;
+        for _ in 0..acks_per_window {
+            r.on_ack(&ack(MSS));
+        }
+        assert_eq!(r.cwnd(), w + MSS);
+    }
+
+    #[test]
+    fn rto_collapses_to_one_mss() {
+        let mut r = Reno::new(MSS);
+        for _ in 0..50 {
+            r.on_ack(&ack(MSS));
+        }
+        r.on_rto(SimTime::from_secs(2));
+        assert_eq!(r.cwnd(), MSS);
+        assert!(r.in_slow_start());
+    }
+
+    #[test]
+    fn cwnd_never_below_two_mss_after_loss() {
+        let mut r = Reno::new(MSS);
+        r.on_rto(SimTime::from_secs(1));
+        r.on_congestion_event(SimTime::from_secs(1), MSS);
+        assert!(r.cwnd() >= 2 * MSS);
+    }
+}

@@ -1,0 +1,1174 @@
+//! TCP sender and receiver agents.
+//!
+//! [`TcpSender`] is a bulk-data sender (the paper's iperf server): an
+//! unlimited application source, window- and optionally pacing-limited,
+//! with SACK-based loss recovery and an RFC 6298 retransmission timer.
+//! [`TcpReceiver`] is the iperf client: it acks every arriving segment
+//! immediately, echoing the segment's transmit timestamp and up to three
+//! SACK blocks.
+//!
+//! Segment sizes on the wire are payload + [`TCP_HEADER`]; pure acks carry
+//! [`ACK_SIZE`] bytes (header + timestamp/SACK options).
+
+use std::collections::BTreeMap;
+
+use gsrepro_netsim::net::{Agent, AgentId, Ctx, NodeId, PacketSpec};
+use gsrepro_netsim::wire::{FlowId, Packet, Payload, TcpSegment, TCP_HEADER, TCP_MSS};
+use gsrepro_simcore::{BitRate, Bytes, SimDuration, SimTime};
+
+use crate::cca::{AckInfo, CcaKind, CongestionControl};
+
+/// Wire size of a pure ack (TCP/IP header + timestamp and SACK options).
+pub const ACK_SIZE: Bytes = Bytes(60);
+
+/// Minimum retransmission timeout (Linux: 200 ms).
+const MIN_RTO: SimDuration = SimDuration::from_millis(200);
+/// Maximum retransmission timeout.
+const MAX_RTO: SimDuration = SimDuration::from_secs(60);
+/// Initial RTO before any RTT sample (RFC 6298: 1 s).
+const INITIAL_RTO: SimDuration = SimDuration::from_secs(1);
+
+/// Segments released back-to-back per pacing slot. Linux fq pacing emits
+/// small bursts (TSO autosizing, quantum ≥ 2 segments) rather than perfect
+/// per-packet spacing; the clustering matters at full drop-tail queues,
+/// where a burst's trailing segments absorb the drops that a perfectly
+/// paced stream would spread onto its neighbours.
+const PACE_QUANTUM: u64 = 2;
+
+const TOK_START: u64 = 0;
+const TOK_RTO: u64 = 1;
+const TOK_PACE: u64 = 2;
+
+/// Configuration for a [`TcpSender`].
+#[derive(Clone, Debug)]
+pub struct TcpSenderConfig {
+    /// Flow id for the data direction (downstream accounting).
+    pub flow: FlowId,
+    /// Receiver's node.
+    pub dst: NodeId,
+    /// Receiver's agent.
+    pub dst_agent: AgentId,
+    /// Congestion-control algorithm.
+    pub cca: CcaKind,
+    /// Maximum segment size (payload bytes). Default [`TCP_MSS`].
+    pub mss: Bytes,
+    /// When the bulk transfer starts (the paper starts iperf at 185 s).
+    pub start_at: SimTime,
+    /// When the sender stops offering new data (370 s in the paper).
+    pub stop_at: SimTime,
+}
+
+impl TcpSenderConfig {
+    /// Bulk transfer running over `[start, stop)` with standard MSS.
+    pub fn new(flow: FlowId, dst: NodeId, dst_agent: AgentId, cca: CcaKind) -> Self {
+        TcpSenderConfig {
+            flow,
+            dst,
+            dst_agent,
+            cca,
+            mss: TCP_MSS,
+            start_at: SimTime::ZERO,
+            stop_at: SimTime::MAX,
+        }
+    }
+
+    /// Restrict the transfer to `[start, stop)`.
+    pub fn active_during(mut self, start: SimTime, stop: SimTime) -> Self {
+        self.start_at = start;
+        self.stop_at = stop;
+        self
+    }
+}
+
+// A tracked transmission. SACKed segments are removed from tracking
+// immediately (simulated receivers never renege on SACKs, so the sender
+// will never need to retransmit them), which keeps the tracked set bounded
+// by the in-flight window even when a loss hole stalls the cumulative ack
+// for a long time.
+struct SentSeg {
+    seq: u64,
+    len: u64,
+    sent_at: SimTime,
+    delivered_at_send: u64,
+    delivered_time_at_send: SimTime,
+    lost: bool,
+    retx: u32,
+}
+
+/// Bulk-data TCP sender agent.
+pub struct TcpSender {
+    cfg: TcpSenderConfig,
+    cca: Box<dyn CongestionControl>,
+
+    running: bool,
+    /// `None` = unlimited bulk data (iperf). `Some(budget)` = application-
+    /// limited: only bytes queued via [`TcpSender::queue_app_bytes`] may be
+    /// sent. Used by request/response applications such as DASH video.
+    app_budget: Option<u64>,
+    next_seq: u64,
+    snd_una: u64,
+    segs: Vec<SentSeg>,
+    lost_count: usize,
+
+    delivered: u64,
+    next_round_delivered: u64,
+    round: u64,
+
+    srtt: Option<SimDuration>,
+    rttvar: SimDuration,
+    min_rtt: SimDuration,
+    rto_backoff: u32,
+    rto_deadline: SimTime,
+    rto_timer_armed: bool,
+
+    dupacks: u32,
+    recovery_point: u64,
+    /// Highest sequence covered by any SACK block seen (monotonic).
+    highest_sacked: u64,
+
+    pace_next: SimTime,
+    pace_timer_armed: bool,
+
+    /// Anchor for short-timescale ("ack clock") delivery-rate samples:
+    /// (time, delivered) at the start of the current burst window.
+    burst_anchor: Option<(SimTime, u64)>,
+
+    // Lifetime statistics.
+    retransmissions: u64,
+    rto_events: u64,
+    fast_retransmit_events: u64,
+}
+
+impl TcpSender {
+    /// Create a sender; the controller is built from `cfg.cca`.
+    pub fn new(cfg: TcpSenderConfig) -> Self {
+        let cca = cfg.cca.build(cfg.mss.as_u64());
+        Self::with_controller(cfg, cca)
+    }
+
+    /// Create a sender with an explicitly constructed controller (ablation
+    /// experiments use this to vary controller parameters beyond what
+    /// [`CcaKind`] exposes). `cfg.cca` is kept only as a label.
+    pub fn with_controller(cfg: TcpSenderConfig, cca: Box<dyn CongestionControl>) -> Self {
+        TcpSender {
+            cfg,
+            cca,
+            running: false,
+            app_budget: None,
+            next_seq: 0,
+            snd_una: 0,
+            segs: Vec::new(),
+            lost_count: 0,
+            delivered: 0,
+            next_round_delivered: 0,
+            round: 0,
+            srtt: None,
+            rttvar: SimDuration::ZERO,
+            min_rtt: SimDuration::MAX,
+            rto_backoff: 0,
+            rto_deadline: SimTime::MAX,
+            rto_timer_armed: false,
+            dupacks: 0,
+            recovery_point: 0,
+            highest_sacked: 0,
+            pace_next: SimTime::ZERO,
+            pace_timer_armed: false,
+            burst_anchor: None,
+            retransmissions: 0,
+            rto_events: 0,
+            fast_retransmit_events: 0,
+        }
+    }
+
+    /// Switch to application-limited mode: the sender only transmits bytes
+    /// that have been queued with [`TcpSender::queue_app_bytes`]. Call
+    /// before the simulation starts.
+    pub fn set_app_limited(&mut self) {
+        self.app_budget = Some(0);
+    }
+
+    /// Queue `bytes` of application data for transmission (app-limited
+    /// mode only; a no-op in bulk mode, which is already unlimited).
+    /// Returns the new outstanding budget.
+    pub fn queue_app_bytes(&mut self, bytes: u64) -> u64 {
+        match self.app_budget.as_mut() {
+            Some(b) => {
+                *b += bytes;
+                *b
+            }
+            None => 0,
+        }
+    }
+
+    /// Unsent application budget (app-limited mode).
+    pub fn app_budget(&self) -> u64 {
+        self.app_budget.unwrap_or(0)
+    }
+
+    /// The sender's configuration.
+    pub fn config(&self) -> &TcpSenderConfig {
+        &self.cfg
+    }
+
+    /// Kick the send loop. Wrapper applications call this after queueing
+    /// new app bytes — an idle sender has no pending ack or timer to wake
+    /// it otherwise.
+    pub fn poke(&mut self, ctx: &mut Ctx) {
+        self.try_send(ctx);
+    }
+
+    /// Bytes acknowledged as delivered end-to-end.
+    pub fn delivered_bytes(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Total retransmitted segments.
+    pub fn retransmissions(&self) -> u64 {
+        self.retransmissions
+    }
+
+    /// Retransmission-timeout episodes.
+    pub fn rto_events(&self) -> u64 {
+        self.rto_events
+    }
+
+    /// Fast-retransmit (recovery) episodes.
+    pub fn fast_retransmit_events(&self) -> u64 {
+        self.fast_retransmit_events
+    }
+
+    /// Smoothed RTT, if measured.
+    pub fn srtt(&self) -> Option<SimDuration> {
+        self.srtt
+    }
+
+    /// Minimum RTT observed.
+    pub fn min_rtt(&self) -> SimDuration {
+        self.min_rtt
+    }
+
+    /// Segments currently tracked (in flight, SACKed, or awaiting
+    /// retransmission).
+    pub fn tracked_segments(&self) -> usize {
+        self.segs.len()
+    }
+
+    /// Current congestion window (bytes).
+    pub fn cwnd(&self) -> u64 {
+        self.cca.cwnd()
+    }
+
+    /// The congestion controller (diagnostics).
+    pub fn cca(&self) -> &dyn CongestionControl {
+        self.cca.as_ref()
+    }
+
+    fn mss(&self) -> u64 {
+        self.cfg.mss.as_u64()
+    }
+
+    fn cur_rto(&self) -> SimDuration {
+        let base = match self.srtt {
+            Some(srtt) => srtt + self.rttvar * 4,
+            None => INITIAL_RTO,
+        };
+        let backed = base * (1u64 << self.rto_backoff.min(8));
+        backed.clamp(MIN_RTO, MAX_RTO)
+    }
+
+    fn pipe(&self) -> u64 {
+        self.segs
+            .iter()
+            .filter(|s| !s.lost)
+            .map(|s| s.len)
+            .sum()
+    }
+
+    fn in_recovery(&self) -> bool {
+        self.snd_una < self.recovery_point
+    }
+
+    fn update_rtt(&mut self, sample: SimDuration) {
+        if sample < self.min_rtt {
+            self.min_rtt = sample;
+        }
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2;
+            }
+            Some(srtt) => {
+                // RFC 6298: beta = 1/4, alpha = 1/8.
+                let delta = if srtt > sample { srtt - sample } else { sample - srtt };
+                self.rttvar = (self.rttvar * 3 + delta) / 4;
+                self.srtt = Some((srtt * 7 + sample) / 8);
+            }
+        }
+    }
+
+    fn arm_rto(&mut self, ctx: &mut Ctx, deadline: SimTime) {
+        self.rto_deadline = deadline;
+        if !self.rto_timer_armed {
+            self.rto_timer_armed = true;
+            let delay = deadline.saturating_since(ctx.now());
+            ctx.set_timer(delay, TOK_RTO);
+        }
+    }
+
+    /// RFC 6298 semantics: the retransmission timer covers the *oldest*
+    /// outstanding (un-SACKed) transmission. Anchoring the deadline there —
+    /// rather than pushing it out on every ack — guarantees that a hole
+    /// whose retransmissions keep getting dropped still triggers an RTO
+    /// about one RTO after its last (re)transmission, no matter how much
+    /// later data is being SACKed around it.
+    fn rearm_rto_from_oldest(&mut self, ctx: &mut Ctx) {
+        let oldest = self.segs.iter().map(|s| s.sent_at).min();
+        match oldest {
+            Some(t) => {
+                let deadline = t + self.cur_rto();
+                self.arm_rto(ctx, deadline);
+            }
+            None => self.rto_deadline = SimTime::MAX,
+        }
+    }
+
+    fn send_segment(&mut self, ctx: &mut Ctx, seq: u64, len: u64, is_retx: bool) {
+        ctx.send(PacketSpec {
+            flow: self.cfg.flow,
+            dst: self.cfg.dst,
+            dst_agent: self.cfg.dst_agent,
+            size: Bytes(len) + TCP_HEADER,
+            payload: Payload::Tcp(TcpSegment::data(seq, len as u32)),
+        });
+        if is_retx {
+            self.retransmissions += 1;
+        }
+    }
+
+    fn try_send(&mut self, ctx: &mut Ctx) {
+        if !self.running {
+            return;
+        }
+        let now = ctx.now();
+        let cwnd = self.cca.cwnd();
+        let pacing = self.cca.pacing_rate();
+        let mut pipe = self.pipe();
+        let mut quantum_left = PACE_QUANTUM;
+
+        loop {
+            // Pacing gate: a burst of up to PACE_QUANTUM segments is
+            // released per slot; the slot itself opens at pace_next.
+            if pacing.is_some() {
+                let slot_open = now >= self.pace_next;
+                let burst_spent = quantum_left == 0;
+                if (!slot_open && quantum_left == PACE_QUANTUM) || burst_spent {
+                    if !self.pace_timer_armed && self.pace_next > now {
+                        self.pace_timer_armed = true;
+                        ctx.set_timer(self.pace_next.saturating_since(now), TOK_PACE);
+                    }
+                    break;
+                }
+            }
+
+            // Priority 1: retransmit a lost segment.
+            let mut sent_len = None;
+            if self.lost_count > 0 {
+                if let Some(i) = self.segs.iter().position(|s| s.lost) {
+                    let len = self.segs[i].len;
+                    if pipe + len > cwnd {
+                        break;
+                    }
+                    let seq = self.segs[i].seq;
+                    self.segs[i].lost = false;
+                    self.segs[i].retx += 1;
+                    self.segs[i].sent_at = now;
+                    self.segs[i].delivered_at_send = self.delivered;
+                    self.segs[i].delivered_time_at_send = now;
+                    self.lost_count -= 1;
+                    self.send_segment(ctx, seq, len, true);
+                    sent_len = Some(len);
+                }
+            }
+
+            // Priority 2: new data.
+            if sent_len.is_none() {
+                if now >= self.cfg.stop_at {
+                    break;
+                }
+                let len = match self.app_budget {
+                    None => self.mss(),
+                    Some(budget) => {
+                        // App-limited: send full segments while the budget
+                        // lasts, then a final runt, then stop.
+                        if budget == 0 {
+                            break;
+                        }
+                        budget.min(self.mss())
+                    }
+                };
+                if pipe + len > cwnd {
+                    break;
+                }
+                if let Some(b) = self.app_budget.as_mut() {
+                    *b -= len;
+                }
+                let seq = self.next_seq;
+                self.next_seq += len;
+                self.segs.push(SentSeg {
+                    seq,
+                    len,
+                    sent_at: now,
+                    delivered_at_send: self.delivered,
+                    delivered_time_at_send: now,
+                    lost: false,
+                    retx: 0,
+                });
+                self.send_segment(ctx, seq, len, false);
+                sent_len = Some(len);
+            }
+
+            let len = sent_len.expect("a segment was sent on this path");
+            pipe += len;
+            if let Some(rate) = pacing {
+                let gap = rate.tx_time(Bytes(len) + TCP_HEADER);
+                self.pace_next = self.pace_next.max(now) + gap;
+                quantum_left -= 1;
+            }
+        }
+
+        let _ = now;
+        self.rearm_rto_from_oldest(ctx);
+    }
+
+    fn process_ack(&mut self, seg: TcpSegment, now: SimTime, ctx: &mut Ctx) {
+        let old_una = self.snd_una;
+        let mut newly_delivered: u64 = 0;
+        let mut rtt_sample: Option<SimDuration> = None;
+        // Rate-sample bookkeeping from the newest acked segment:
+        // (delivered_at_send, delivered_time_at_send, was_retransmitted).
+        // Samples off retransmitted segments are discarded (Karn's rule
+        // applied to rate sampling): when a long-standing hole fills, one
+        // cumulative ack can cover megabytes, and dividing that by the
+        // retransmission's short flight time would produce a wildly
+        // inflated bandwidth sample that sends BBR's cwnd to the moon.
+        let mut newest_acked: Option<(u64, SimTime, bool)> = None;
+        let mut round_start = false;
+
+        if let Some(ts) = seg.ts_echo {
+            rtt_sample = Some(now.saturating_since(ts));
+        }
+
+        // Cumulative ack: remove fully-acked segments.
+        if seg.ack > self.snd_una {
+            self.snd_una = seg.ack;
+            self.dupacks = 0;
+            self.rto_backoff = 0;
+            let mut i = 0;
+            while i < self.segs.len() {
+                let s = &self.segs[i];
+                if s.seq + s.len <= seg.ack {
+                    newly_delivered += s.len;
+                    if s.lost {
+                        self.lost_count -= 1;
+                    }
+                    if newest_acked.is_none_or(|(d, _, _)| s.delivered_at_send > d) {
+                        newest_acked =
+                            Some((s.delivered_at_send, s.delivered_time_at_send, s.retx > 0));
+                    }
+                    if s.delivered_at_send >= self.next_round_delivered {
+                        round_start = true;
+                    }
+                    self.segs.swap_remove(i);
+                } else {
+                    i += 1;
+                }
+            }
+        }
+
+        // SACK blocks: account the newly delivered segments and drop them
+        // from tracking (see the `SentSeg` note — receivers never renege).
+        // Because sacked segments are removed at once, re-advertised blocks
+        // on later acks find nothing and cost nothing.
+        self.highest_sacked = seg
+            .sack
+            .iter()
+            .flatten()
+            .map(|&(_, end)| end)
+            .fold(self.highest_sacked, u64::max);
+        let mut i = 0;
+        while i < self.segs.len() {
+            let s = &self.segs[i];
+            let covered = seg
+                .sack
+                .iter()
+                .flatten()
+                .any(|&(start, end)| s.seq >= start && s.seq + s.len <= end);
+            if covered {
+                if s.lost {
+                    self.lost_count -= 1;
+                }
+                newly_delivered += s.len;
+                if s.delivered_at_send >= self.next_round_delivered {
+                    round_start = true;
+                }
+                if newest_acked.is_none_or(|(d, _, _)| s.delivered_at_send > d) {
+                    newest_acked =
+                        Some((s.delivered_at_send, s.delivered_time_at_send, s.retx > 0));
+                }
+                self.segs.swap_remove(i);
+            } else {
+                i += 1;
+            }
+        }
+
+        self.delivered += newly_delivered;
+        if round_start {
+            self.round += 1;
+            self.next_round_delivered = self.delivered;
+        }
+
+        // Duplicate-ack counting (cumulative ack unchanged, nothing new).
+        if seg.ack == old_una && newly_delivered == 0 && !self.segs.is_empty() {
+            self.dupacks += 1;
+        }
+
+        // Loss detection: SACK distance (≈ RFC 6675 DupThresh) or 3 dupacks
+        // for the segment at snd_una. A segment that was already
+        // retransmitted is only re-marked once a smoothed RTT has passed
+        // since that retransmission (a RACK-style reordering window) —
+        // otherwise the stale SACK hole above it would re-mark it on every
+        // ack and the sender would spray duplicates of the same segment.
+        let mss = self.mss();
+        let rtt_gate = self.srtt.unwrap_or(INITIAL_RTO);
+        let highest_sacked = self.highest_sacked;
+        let mut newly_lost = false;
+        for s in self.segs.iter_mut() {
+            if s.lost {
+                continue;
+            }
+            let sack_hole = highest_sacked >= s.seq + s.len + 2 * mss;
+            let dup_trigger = self.dupacks >= 3 && s.seq == self.snd_una;
+            let gate_open = s.retx == 0 || now.saturating_since(s.sent_at) >= rtt_gate;
+            if (sack_hole || dup_trigger) && gate_open {
+                s.lost = true;
+                self.lost_count += 1;
+                newly_lost = true;
+            }
+        }
+        if newly_lost && !self.in_recovery() {
+            self.recovery_point = self.next_seq;
+            self.fast_retransmit_events += 1;
+            let pipe = self.pipe();
+            self.cca.on_congestion_event(now, pipe);
+        }
+
+        if let Some(r) = rtt_sample {
+            self.update_rtt(r);
+        }
+
+        if newly_delivered > 0 {
+            // Flight-spanning rate sample (delivery-rate-estimation draft):
+            // delivered delta since the newest acked segment was sent, over
+            // the elapsed time. Smooth, but blind to short-timescale drain
+            // bursts.
+            let flight_rate = newest_acked.and_then(|(d_at, t_at, was_retx)| {
+                if was_retx {
+                    return None;
+                }
+                let interval = now.saturating_since(t_at);
+                if interval < SimDuration::from_millis(1) {
+                    return None;
+                }
+                BitRate::from_delivery(Bytes(self.delivered - d_at), interval)
+            });
+
+            // Ack-clock rate sample: bytes delivered over the last few
+            // back-to-back acks. When this flow's packets drain the
+            // bottleneck consecutively (e.g. in a competitor's pacing
+            // gaps), this measures close to the *link* rate — the spiky
+            // samples that keep real BBRv1's windowed-max bandwidth filter
+            // (and so its 2×BDP in-flight cap) high while competing, the
+            // overestimation/standing-queue behaviour measured by Hock et
+            // al. Guarded against hole-fill cumacks, whose byte jumps are
+            // not wire-rate evidence (Karn's rule again).
+            let mss = self.mss();
+            let hole_fill =
+                newly_delivered > 2 * mss || newest_acked.is_some_and(|(_, _, r)| r);
+            let mut delivery_rate = flight_rate;
+            if hole_fill {
+                self.burst_anchor = None;
+            } else {
+                match self.burst_anchor {
+                    None => self.burst_anchor = Some((now, self.delivered)),
+                    Some((t, d)) => {
+                        let dt = now.saturating_since(t);
+                        if dt > SimDuration::from_millis(100) {
+                            self.burst_anchor = Some((now, self.delivered));
+                        } else if self.delivered - d >= 4 * mss
+                            && dt >= SimDuration::from_micros(200)
+                        {
+                            let burst =
+                                BitRate::from_delivery(Bytes(self.delivered - d), dt);
+                            delivery_rate = match (delivery_rate, burst) {
+                                (Some(f), Some(b)) => Some(f.max(b)),
+                                (None, b) => b,
+                                (f, None) => f,
+                            };
+                            self.burst_anchor = Some((now, self.delivered));
+                        }
+                    }
+                }
+            }
+            let info = AckInfo {
+                now,
+                bytes_acked: newly_delivered,
+                rtt: rtt_sample,
+                srtt: self.srtt.unwrap_or(INITIAL_RTO),
+                min_rtt: self.min_rtt,
+                delivered: self.delivered,
+                delivery_rate,
+                in_flight: self.pipe(),
+                round_start,
+                round: self.round,
+                app_limited: false,
+            };
+            self.cca.on_ack(&info);
+        }
+
+        // Refresh the RTO clock from the oldest outstanding transmission.
+        self.rearm_rto_from_oldest(ctx);
+
+        self.try_send(ctx);
+    }
+
+    fn on_rto_fire(&mut self, ctx: &mut Ctx) {
+        self.rto_timer_armed = false;
+        let now = ctx.now();
+        if self.segs.is_empty() || self.rto_deadline == SimTime::MAX {
+            return;
+        }
+        if now < self.rto_deadline {
+            // The deadline moved while the timer was in flight; re-arm.
+            self.rto_timer_armed = true;
+            ctx.set_timer(self.rto_deadline.saturating_since(now), TOK_RTO);
+            return;
+        }
+        // Genuine timeout: everything outstanding is presumed lost.
+        self.rto_events += 1;
+        self.cca.on_rto(now);
+        for s in self.segs.iter_mut() {
+            if !s.lost {
+                s.lost = true;
+                self.lost_count += 1;
+            }
+        }
+        self.dupacks = 0;
+        self.recovery_point = self.next_seq;
+        self.rto_backoff += 1;
+        let deadline = now + self.cur_rto();
+        self.arm_rto(ctx, deadline);
+        self.try_send(ctx);
+    }
+}
+
+impl Agent for TcpSender {
+    fn on_start(&mut self, ctx: &mut Ctx) {
+        let delay = self.cfg.start_at.saturating_since(ctx.now());
+        ctx.set_timer(delay, TOK_START);
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        if let Payload::Tcp(seg) = pkt.payload {
+            if seg.len == 0 {
+                self.process_ack(seg, ctx.now(), ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+        match token {
+            TOK_START => {
+                self.running = true;
+                self.pace_next = ctx.now();
+                self.try_send(ctx);
+            }
+            TOK_RTO => self.on_rto_fire(ctx),
+            TOK_PACE => {
+                self.pace_timer_armed = false;
+                self.try_send(ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// TCP receiver agent: acks with timestamp echo and SACK. By default every
+/// data segment is acked immediately; [`TcpReceiver::with_delayed_acks`]
+/// switches to Linux-style delayed acks (ack every second full segment, or
+/// after 40 ms, whichever first — out-of-order data is always acked at
+/// once so loss recovery is never delayed).
+pub struct TcpReceiver {
+    ack_flow: FlowId,
+    peer_node: NodeId,
+    peer_agent: AgentId,
+    rcv_nxt: u64,
+    /// Out-of-order ranges, keyed by start, non-overlapping.
+    ooo: BTreeMap<u64, u64>,
+    bytes_received: u64,
+    segments_received: u64,
+    delayed_acks: bool,
+    /// Segments received since the last ack was sent (delayed-ack mode).
+    unacked_segments: u32,
+    /// Timestamp to echo when the delayed-ack timer fires.
+    pending_ts: Option<SimTime>,
+    /// Most recent data seq, for SACK block ordering on a delayed ack.
+    pending_recent_seq: u64,
+    delack_timer_armed: bool,
+}
+
+/// Delayed-ack timeout (Linux: ~40 ms).
+const DELACK_TIMEOUT: SimDuration = SimDuration::from_millis(40);
+const TOK_DELACK: u64 = 10;
+
+impl TcpReceiver {
+    /// Acks are sent on `ack_flow` to `(peer_node, peer_agent)`.
+    pub fn new(ack_flow: FlowId, peer_node: NodeId, peer_agent: AgentId) -> Self {
+        TcpReceiver {
+            ack_flow,
+            peer_node,
+            peer_agent,
+            rcv_nxt: 0,
+            ooo: BTreeMap::new(),
+            bytes_received: 0,
+            segments_received: 0,
+            delayed_acks: false,
+            unacked_segments: 0,
+            pending_ts: None,
+            pending_recent_seq: 0,
+            delack_timer_armed: false,
+        }
+    }
+
+    /// Enable Linux-style delayed acks.
+    pub fn with_delayed_acks(mut self) -> Self {
+        self.delayed_acks = true;
+        self
+    }
+
+    /// In-order bytes received so far.
+    pub fn bytes_received(&self) -> u64 {
+        self.bytes_received
+    }
+
+    /// Total data segments received (including out of order).
+    pub fn segments_received(&self) -> u64 {
+        self.segments_received
+    }
+
+    /// Next expected sequence number.
+    pub fn rcv_nxt(&self) -> u64 {
+        self.rcv_nxt
+    }
+
+    fn insert_ooo(&mut self, start: u64, end: u64) {
+        // Merge [start, end) into the range set.
+        let mut start = start;
+        let mut end = end;
+        // Merge with a predecessor that overlaps or touches.
+        if let Some((&ps, &pe)) = self.ooo.range(..=start).next_back() {
+            if pe >= start {
+                start = ps;
+                end = end.max(pe);
+                self.ooo.remove(&ps);
+            }
+        }
+        // Merge with successors.
+        let succs: Vec<u64> = self
+            .ooo
+            .range(start..)
+            .take_while(|&(&s, _)| s <= end)
+            .map(|(&s, _)| s)
+            .collect();
+        for s in succs {
+            let e = self.ooo.remove(&s).expect("key just observed");
+            end = end.max(e);
+        }
+        self.ooo.insert(start, end);
+    }
+
+    fn sack_blocks(&self, recent_seq: u64) -> [Option<(u64, u64)>; 3] {
+        let mut blocks = [None; 3];
+        let mut idx = 0;
+        // RFC 2018: the block containing the most recently received segment
+        // goes first.
+        for (&s, &e) in &self.ooo {
+            if recent_seq >= s && recent_seq < e {
+                blocks[0] = Some((s, e));
+                idx = 1;
+                break;
+            }
+        }
+        for (&s, &e) in &self.ooo {
+            if idx >= 3 {
+                break;
+            }
+            if blocks[0] == Some((s, e)) {
+                continue;
+            }
+            blocks[idx] = Some((s, e));
+            idx += 1;
+        }
+        blocks
+    }
+}
+
+impl Agent for TcpReceiver {
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {
+        if token == TOK_DELACK {
+            self.delack_timer_armed = false;
+            if let Some(ts) = self.pending_ts {
+                let seq = self.pending_recent_seq;
+                self.send_ack(ctx, Some(ts), seq);
+            }
+        }
+    }
+
+    fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
+        let Payload::Tcp(seg) = pkt.payload else { return };
+        if seg.len == 0 {
+            return;
+        }
+        self.segments_received += 1;
+        let start = seg.seq;
+        let end = seg.seq + seg.len as u64;
+
+        if start <= self.rcv_nxt {
+            if end > self.rcv_nxt {
+                self.bytes_received += end - self.rcv_nxt;
+                self.rcv_nxt = end;
+                // Pull any now-contiguous out-of-order data.
+                while let Some((&s, &e)) = self.ooo.iter().next() {
+                    if s <= self.rcv_nxt {
+                        if e > self.rcv_nxt {
+                            self.bytes_received += e - self.rcv_nxt;
+                            self.rcv_nxt = e;
+                        }
+                        self.ooo.remove(&s);
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // else: pure duplicate, still ack it.
+        } else {
+            self.insert_ooo(start, end);
+        }
+
+        // Delayed-ack gate: in-order data may wait for a second segment or
+        // the 40 ms timer; anything out of order (or filling a hole) must
+        // be acked immediately so the sender's loss detection stays sharp.
+        self.unacked_segments += 1;
+        let in_order_simple = start <= self.rcv_nxt && self.ooo.is_empty();
+        if self.delayed_acks && in_order_simple && self.unacked_segments < 2 {
+            self.pending_ts = Some(pkt.sent_at);
+            self.pending_recent_seq = start;
+            if !self.delack_timer_armed {
+                self.delack_timer_armed = true;
+                ctx.set_timer(DELACK_TIMEOUT, TOK_DELACK);
+            }
+            return;
+        }
+        self.send_ack(ctx, Some(pkt.sent_at), start);
+    }
+}
+
+impl TcpReceiver {
+    fn send_ack(&mut self, ctx: &mut Ctx, ts: Option<SimTime>, recent_seq: u64) {
+        self.unacked_segments = 0;
+        self.pending_ts = None;
+        let mut ack = TcpSegment::pure_ack(self.rcv_nxt, u64::MAX / 2, ts);
+        ack.sack = self.sack_blocks(recent_seq);
+        ctx.send(PacketSpec {
+            flow: self.ack_flow,
+            dst: self.peer_node,
+            dst_agent: self.peer_agent,
+            size: ACK_SIZE,
+            payload: Payload::Tcp(ack),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gsrepro_netsim::link::LinkSpec;
+    use gsrepro_netsim::net::{NetworkBuilder, Sim};
+    use gsrepro_netsim::queue::QueueSpec;
+    use gsrepro_netsim::Shaper;
+
+    /// Build server --bottleneck--> client with an ack path back.
+    /// Returns (sim, data flow, sender agent id).
+    fn tcp_sim(
+        cca: CcaKind,
+        rate_mbps: u64,
+        queue_bytes: u64,
+        owd_ms: u64,
+        seed: u64,
+    ) -> (Sim, FlowId, AgentId) {
+        let mut b = NetworkBuilder::new(seed);
+        let server = b.add_node("server");
+        let client = b.add_node("client");
+        b.link(
+            server,
+            client,
+            LinkSpec {
+                shaper: Shaper::rate(BitRate::from_mbps(rate_mbps)),
+                delay: SimDuration::from_millis(owd_ms),
+                queue: QueueSpec::DropTail { limit: Bytes(queue_bytes) },
+                jitter: SimDuration::ZERO,
+                loss_prob: 0.0,
+                dup_prob: 0.0,
+            },
+        );
+        b.link(client, server, LinkSpec::lan(SimDuration::from_millis(owd_ms)));
+        let data = b.flow("tcp-data");
+        let acks = b.flow("tcp-ack");
+        // Agent ids are assigned in insertion order: sender = 0, receiver = 1.
+        let sender_cfg = TcpSenderConfig::new(data, client, AgentId(1), cca);
+        let sender = b.add_agent(server, Box::new(TcpSender::new(sender_cfg)));
+        b.add_agent(client, Box::new(TcpReceiver::new(acks, server, sender)));
+        (b.build(), data, sender)
+    }
+
+    #[test]
+    fn cubic_saturates_the_link() {
+        let (mut sim, data, _) = tcp_sim(CcaKind::Cubic, 25, 100_000, 8, 1);
+        sim.run_until(SimTime::from_secs(30));
+        let gp = sim.goodput_mbps(data, SimTime::from_secs(5), SimTime::from_secs(30));
+        assert!(gp > 23.0, "cubic goodput {gp} must approach 25 Mb/s");
+        assert!(gp < 25.5, "goodput {gp} cannot exceed capacity");
+    }
+
+    #[test]
+    fn reno_saturates_the_link() {
+        let (mut sim, data, _) = tcp_sim(CcaKind::Reno, 15, 60_000, 8, 2);
+        sim.run_until(SimTime::from_secs(30));
+        let gp = sim.goodput_mbps(data, SimTime::from_secs(5), SimTime::from_secs(30));
+        assert!(gp > 13.5, "reno goodput {gp} must approach 15 Mb/s");
+    }
+
+    #[test]
+    fn bbr_saturates_without_filling_queue() {
+        let (mut sim, data, sender) = tcp_sim(CcaKind::Bbr, 25, 400_000, 8, 3);
+        sim.run_until(SimTime::from_secs(30));
+        let gp = sim.goodput_mbps(data, SimTime::from_secs(5), SimTime::from_secs(30));
+        assert!(gp > 22.0, "bbr goodput {gp} must approach 25 Mb/s");
+        // BBR caps in-flight at ~2 BDP, so OWD stays far below the 128 ms
+        // this 400 kB queue would add if filled (Cubic fills it).
+        let st = sim.net.monitor().stats(data);
+        assert!(
+            st.owd.mean() < 40.0,
+            "BBR should not sustain a full queue; owd = {} ms",
+            st.owd.mean()
+        );
+        let s: &TcpSender = sim.net.agent(sender);
+        assert_eq!(s.cca().name(), "bbr");
+    }
+
+    #[test]
+    fn cubic_fills_large_queue() {
+        let (mut sim, data, _) = tcp_sim(CcaKind::Cubic, 25, 400_000, 8, 4);
+        sim.run_until(SimTime::from_secs(30));
+        let st = sim.net.monitor().stats(data);
+        // 400 kB at 25 Mb/s = 128 ms of queueing when full; Cubic rides near
+        // full, so mean OWD must be large.
+        assert!(
+            st.owd.mean() > 60.0,
+            "cubic should bloat the queue; owd = {} ms",
+            st.owd.mean()
+        );
+    }
+
+    #[test]
+    fn vegas_keeps_queue_nearly_empty() {
+        let (mut sim, data, _) = tcp_sim(CcaKind::Vegas, 25, 400_000, 8, 5);
+        sim.run_until(SimTime::from_secs(30));
+        let st = sim.net.monitor().stats(data);
+        assert!(
+            st.owd.mean() < 15.0,
+            "vegas targets a few queued packets; owd = {} ms",
+            st.owd.mean()
+        );
+        let gp = sim.goodput_mbps(data, SimTime::from_secs(5), SimTime::from_secs(30));
+        assert!(gp > 20.0, "vegas goodput {gp}");
+    }
+
+    #[test]
+    fn losses_are_recovered_exactly() {
+        // Random 1% wire loss: receiver must still see a contiguous stream,
+        // i.e. everything the app counts was really delivered in order.
+        let mut b = NetworkBuilder::new(17);
+        let server = b.add_node("server");
+        let client = b.add_node("client");
+        b.link(
+            server,
+            client,
+            LinkSpec::bottleneck(BitRate::from_mbps(10), Bytes(50_000), SimDuration::from_millis(10))
+                .with_loss(0.01),
+        );
+        b.link(client, server, LinkSpec::lan(SimDuration::from_millis(10)));
+        let data = b.flow("d");
+        let acks = b.flow("a");
+        let cfg = TcpSenderConfig::new(data, client, AgentId(1), CcaKind::Cubic);
+        let sender = b.add_agent(server, Box::new(TcpSender::new(cfg)));
+        let recv = b.add_agent(client, Box::new(TcpReceiver::new(acks, server, sender)));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(20));
+        let s: &TcpSender = sim.net.agent(sender);
+        assert!(s.retransmissions() > 0, "1% loss must cause retransmissions");
+        let r: &TcpReceiver = sim.net.agent(recv);
+        assert!(r.bytes_received() > 1_000_000);
+        // The sender's delivered counter and receiver's in-order byte count
+        // agree within one window.
+        let gap = s.delivered_bytes() as i64 - r.bytes_received() as i64;
+        assert!(gap.abs() < 1_000_000, "delivered {} vs received {}", s.delivered_bytes(), r.bytes_received());
+    }
+
+    #[test]
+    fn two_cubic_flows_share_fairly() {
+        let mut b = NetworkBuilder::new(21);
+        let server = b.add_node("server");
+        let client = b.add_node("client");
+        b.link(
+            server,
+            client,
+            LinkSpec::bottleneck(BitRate::from_mbps(20), Bytes(80_000), SimDuration::from_millis(8)),
+        );
+        b.link(client, server, LinkSpec::lan(SimDuration::from_millis(8)));
+        let mut flows = vec![];
+        for i in 0..2 {
+            let data = b.flow(format!("d{i}"));
+            let acks = b.flow(format!("a{i}"));
+            let recv_id = AgentId(i * 2 + 1);
+            let cfg = TcpSenderConfig::new(data, client, recv_id, CcaKind::Cubic);
+            let sender = b.add_agent(server, Box::new(TcpSender::new(cfg)));
+            b.add_agent(client, Box::new(TcpReceiver::new(acks, server, sender)));
+            flows.push(data);
+        }
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(60));
+        let g1 = sim.goodput_mbps(flows[0], SimTime::from_secs(20), SimTime::from_secs(60));
+        let g2 = sim.goodput_mbps(flows[1], SimTime::from_secs(20), SimTime::from_secs(60));
+        let jfi = (g1 + g2).powi(2) / (2.0 * (g1 * g1 + g2 * g2));
+        assert!(jfi > 0.9, "intra-protocol fairness: JFI {jfi} (g1={g1}, g2={g2})");
+        assert!(g1 + g2 > 18.0, "link underutilized: {g1}+{g2}");
+    }
+
+    #[test]
+    fn sender_respects_active_window() {
+        let mut b = NetworkBuilder::new(23);
+        let server = b.add_node("server");
+        let client = b.add_node("client");
+        b.link(
+            server,
+            client,
+            LinkSpec::bottleneck(BitRate::from_mbps(10), Bytes(40_000), SimDuration::from_millis(5)),
+        );
+        b.link(client, server, LinkSpec::lan(SimDuration::from_millis(5)));
+        let data = b.flow("d");
+        let acks = b.flow("a");
+        let cfg = TcpSenderConfig::new(data, client, AgentId(1), CcaKind::Cubic)
+            .active_during(SimTime::from_secs(5), SimTime::from_secs(10));
+        let sender = b.add_agent(server, Box::new(TcpSender::new(cfg)));
+        b.add_agent(client, Box::new(TcpReceiver::new(acks, server, sender)));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(20));
+        let st = sim.net.monitor().stats(data);
+        assert_eq!(st.mean_goodput_mbps(SimTime::ZERO, SimTime::from_secs(5)), 0.0);
+        let active = st.mean_goodput_mbps(SimTime::from_secs(6), SimTime::from_secs(10));
+        assert!(active > 8.0, "active-phase goodput {active}");
+        let after = st.mean_goodput_mbps(SimTime::from_secs(11), SimTime::from_secs(20));
+        assert!(after < 0.1, "post-stop goodput {after}");
+    }
+
+    #[test]
+    fn receiver_reassembles_out_of_order() {
+        let mut r = TcpReceiver::new(FlowId(0), NodeId(0), AgentId(0));
+        r.insert_ooo(1000, 2000);
+        r.insert_ooo(3000, 4000);
+        r.insert_ooo(2000, 3000); // bridges the gap
+        assert_eq!(r.ooo.len(), 1);
+        assert_eq!(r.ooo.get(&1000), Some(&4000));
+        // Overlapping insert merges too.
+        r.insert_ooo(500, 1500);
+        assert_eq!(r.ooo.len(), 1);
+        assert_eq!(r.ooo.get(&500), Some(&4000));
+    }
+
+    #[test]
+    fn sack_block_ordering_puts_recent_first() {
+        let mut r = TcpReceiver::new(FlowId(0), NodeId(0), AgentId(0));
+        r.insert_ooo(1000, 2000);
+        r.insert_ooo(5000, 6000);
+        r.insert_ooo(9000, 10_000);
+        let blocks = r.sack_blocks(5500);
+        assert_eq!(blocks[0], Some((5000, 6000)));
+        assert!(blocks[1].is_some() && blocks[2].is_some());
+    }
+
+    #[test]
+    fn app_limited_sender_respects_budget() {
+        let mut b = NetworkBuilder::new(41);
+        let server = b.add_node("server");
+        let client = b.add_node("client");
+        b.link(
+            server,
+            client,
+            LinkSpec::bottleneck(BitRate::from_mbps(50), Bytes(200_000), SimDuration::from_millis(5)),
+        );
+        b.link(client, server, LinkSpec::lan(SimDuration::from_millis(5)));
+        let data = b.flow("d");
+        let acks = b.flow("a");
+        let cfg = TcpSenderConfig::new(data, client, AgentId(1), CcaKind::Cubic);
+        let mut sender_agent = TcpSender::new(cfg);
+        sender_agent.set_app_limited();
+        sender_agent.queue_app_bytes(500_000);
+        let sender = b.add_agent(server, Box::new(sender_agent));
+        b.add_agent(client, Box::new(TcpReceiver::new(acks, server, sender)));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(10));
+        let s: &TcpSender = sim.net.agent(sender);
+        // Exactly the budget is delivered, nothing more.
+        assert_eq!(s.delivered_bytes(), 500_000);
+        assert_eq!(s.app_budget(), 0);
+        let st = sim.net.monitor().stats(data);
+        // And the sender went idle long before the end (10 s at 50 Mb/s
+        // could carry 60+ MB).
+        assert!(st.sent_bytes.as_u64() < 700_000);
+    }
+
+    #[test]
+    fn rto_recovers_from_total_blackout() {
+        // A tiny queue and a huge burst of loss: ensure RTO fires and the
+        // flow still completes data afterwards.
+        let mut b = NetworkBuilder::new(29);
+        let server = b.add_node("server");
+        let client = b.add_node("client");
+        b.link(
+            server,
+            client,
+            LinkSpec::bottleneck(BitRate::from_mbps(5), Bytes(6_000), SimDuration::from_millis(20))
+                .with_loss(0.08),
+        );
+        b.link(client, server, LinkSpec::lan(SimDuration::from_millis(20)));
+        let data = b.flow("d");
+        let acks = b.flow("a");
+        let cfg = TcpSenderConfig::new(data, client, AgentId(1), CcaKind::Reno);
+        let sender = b.add_agent(server, Box::new(TcpSender::new(cfg)));
+        b.add_agent(client, Box::new(TcpReceiver::new(acks, server, sender)));
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(60));
+        let s: &TcpSender = sim.net.agent(sender);
+        assert!(s.delivered_bytes() > 5_000_000, "delivered {}", s.delivered_bytes());
+    }
+}

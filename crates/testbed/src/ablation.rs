@@ -1,0 +1,338 @@
+//! Ablation experiments for the design decisions DESIGN.md calls out.
+//!
+//! * **D2 — controller archetypes**: swap the controller among the three
+//!   system profiles. If the paper's fairness pattern follows the control
+//!   law rather than the profile's bitrate envelope, a Stadia-envelope
+//!   stream driven by TFRC must behave like Luna, and so on.
+//! * **D3 — BBR's in-flight cap**: vary BBR's PROBE_BW `cwnd_gain`. The
+//!   paper attributes the halved RTTs at 7×-BDP queues (Table 4, BBR
+//!   columns) to the 2×BDP cap; without the cap the BBR column should
+//!   collapse toward the Cubic column.
+//! * **D1 — queue discipline**: re-run a bloated-queue condition under
+//!   CoDel and FQ-CoDel (the paper's future-work AQM question).
+
+use std::fmt;
+
+use gsrepro_gamestream::profile::ControllerKind;
+use gsrepro_gamestream::SystemKind;
+use gsrepro_netsim::net::{AgentId, NetworkBuilder};
+use gsrepro_netsim::queue::QueueSpec;
+use gsrepro_netsim::{LinkSpec, Shaper};
+use gsrepro_simcore::{BitRate, SimDuration, SimTime};
+use gsrepro_tcp::{Bbr, CcaKind, TcpReceiver, TcpSender, TcpSenderConfig};
+
+use crate::config::{Aqm, Condition, Timeline, EQUALIZED_RTT};
+use crate::metrics;
+use crate::report::TextTable;
+use crate::runner::run_many;
+
+/// One cell of the controller-swap ablation.
+pub struct SwapCell {
+    /// The system profile (bitrate envelope, frame statistics).
+    pub profile: SystemKind,
+    /// The controller archetype actually driving the encoder.
+    pub controller: ControllerKind,
+    /// Competitor.
+    pub cca: CcaKind,
+    /// Mean fairness across runs.
+    pub fairness: f64,
+}
+
+/// D2: every profile × every controller × both CCAs at 25 Mb/s, 2×-BDP.
+pub struct ControllerSwap {
+    /// All 18 cells.
+    pub cells: Vec<SwapCell>,
+}
+
+/// Run the controller-swap ablation.
+pub fn controller_swap(timeline: Timeline, iterations: u32, threads: usize) -> ControllerSwap {
+    let controllers = [
+        ControllerKind::Gcc,
+        ControllerKind::DelayConservative,
+        ControllerKind::Tfrc,
+    ];
+    let mut conditions = Vec::new();
+    for &cca in &[CcaKind::Cubic, CcaKind::Bbr] {
+        for &profile in &SystemKind::ALL {
+            for &ctrl in &controllers {
+                let mut c = Condition::new(profile, Some(cca), 25, 2.0).with_timeline(timeline);
+                c.controller_override = Some(ctrl);
+                conditions.push(c);
+            }
+        }
+    }
+    let results = run_many(&conditions, iterations, threads);
+    let cells = results
+        .iter()
+        .map(|cr| {
+            let n = cr.runs.len().max(1) as f64;
+            let fairness = cr
+                .runs
+                .iter()
+                .map(|r| metrics::fairness(r, &cr.condition))
+                .sum::<f64>()
+                / n;
+            SwapCell {
+                profile: cr.condition.system,
+                controller: cr.condition.controller_override.expect("override set"),
+                cca: cr.condition.cca.expect("competing condition"),
+                fairness,
+            }
+        })
+        .collect();
+    ControllerSwap { cells }
+}
+
+impl ControllerSwap {
+    /// Fairness of (profile, controller, cca).
+    pub fn fairness(
+        &self,
+        profile: SystemKind,
+        controller: ControllerKind,
+        cca: CcaKind,
+    ) -> Option<f64> {
+        self.cells
+            .iter()
+            .find(|c| c.profile == profile && c.controller == controller && c.cca == cca)
+            .map(|c| c.fairness)
+    }
+
+    /// The headline check: does fairness cluster by controller rather than
+    /// by profile? Returns (mean spread within controller groups, mean
+    /// spread within profile groups); the first should be smaller.
+    pub fn clustering(&self, cca: CcaKind) -> (f64, f64) {
+        let spread = |groups: Vec<Vec<f64>>| -> f64 {
+            let mut total = 0.0;
+            let mut n = 0;
+            for g in groups {
+                if g.len() < 2 {
+                    continue;
+                }
+                let mean = g.iter().sum::<f64>() / g.len() as f64;
+                total += g.iter().map(|v| (v - mean).abs()).sum::<f64>() / g.len() as f64;
+                n += 1;
+            }
+            if n == 0 {
+                0.0
+            } else {
+                total / n as f64
+            }
+        };
+        let by_controller: Vec<Vec<f64>> = [
+            ControllerKind::Gcc,
+            ControllerKind::DelayConservative,
+            ControllerKind::Tfrc,
+        ]
+        .iter()
+        .map(|&ctrl| {
+            self.cells
+                .iter()
+                .filter(|c| c.controller == ctrl && c.cca == cca)
+                .map(|c| c.fairness)
+                .collect()
+        })
+        .collect();
+        let by_profile: Vec<Vec<f64>> = SystemKind::ALL
+            .iter()
+            .map(|&p| {
+                self.cells
+                    .iter()
+                    .filter(|c| c.profile == p && c.cca == cca)
+                    .map(|c| c.fairness)
+                    .collect()
+            })
+            .collect();
+        (spread(by_controller), spread(by_profile))
+    }
+}
+
+impl fmt::Display for ControllerSwap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "D2 ablation — fairness at 25 Mb/s, 2x BDP, by profile × controller"
+        )?;
+        for &cca in &[CcaKind::Cubic, CcaKind::Bbr] {
+            writeln!(f, "\nvs {cca}:")?;
+            let mut t = TextTable::new(vec!["profile \\ controller", "gcc", "delay-cons", "tfrc"]);
+            for &p in &SystemKind::ALL {
+                let mut row = vec![p.label().to_string()];
+                for ctrl in [
+                    ControllerKind::Gcc,
+                    ControllerKind::DelayConservative,
+                    ControllerKind::Tfrc,
+                ] {
+                    let v = self.fairness(p, ctrl, cca).unwrap_or(f64::NAN);
+                    row.push(format!("{v:+.2}"));
+                }
+                t.row(row);
+            }
+            write!(f, "{}", t.render())?;
+            let (by_ctrl, by_prof) = self.clustering(cca);
+            writeln!(
+                f,
+                "spread within controller columns {by_ctrl:.3} vs within profile rows {by_prof:.3} \
+                 (columns should be tighter: behaviour follows the control law)"
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// D3: BBR `cwnd_gain` vs a Cubic competitor at a bloated queue.
+pub struct CwndGainCell {
+    /// PROBE_BW cwnd gain.
+    pub gain: f64,
+    /// BBR goodput share of capacity.
+    pub bbr_share: f64,
+    /// Mean RTT (ms) during coexistence.
+    pub rtt_ms: f64,
+}
+
+/// Run the D3 ablation: two TCP flows (Cubic vs BBR-with-gain) on the
+/// testbed bottleneck at `queue_mult` × BDP.
+pub fn bbr_cwnd_gain(gains: &[f64], queue_mult: f64, secs: u64, seed: u64) -> Vec<CwndGainCell> {
+    let capacity = BitRate::from_mbps(25);
+    let queue = capacity.bdp(EQUALIZED_RTT).mul_f64(queue_mult);
+    gains
+        .iter()
+        .map(|&gain| {
+            let mut b = NetworkBuilder::new(seed);
+            let s = b.add_node("servers");
+            let c = b.add_node("client");
+            b.link(
+                s,
+                c,
+                LinkSpec {
+                    shaper: Shaper::rate(capacity),
+                    delay: SimDuration::from_micros(8_250),
+                    queue: QueueSpec::DropTail { limit: queue },
+                    jitter: SimDuration::ZERO,
+                    loss_prob: 0.0,
+                    dup_prob: 0.0,
+                },
+            );
+            b.link(c, s, LinkSpec::lan(SimDuration::from_micros(8_250)));
+            let cubic_f = b.flow("cubic");
+            let cubic_a = b.flow("cubic-ack");
+            let bbr_f = b.flow("bbr");
+            let bbr_a = b.flow("bbr-ack");
+            let cubic_cfg = TcpSenderConfig::new(cubic_f, c, AgentId(1), CcaKind::Cubic);
+            let cubic_tx = b.add_agent(s, Box::new(TcpSender::new(cubic_cfg)));
+            b.add_agent(c, Box::new(TcpReceiver::new(cubic_a, s, cubic_tx)));
+            let bbr_cfg = TcpSenderConfig::new(bbr_f, c, AgentId(3), CcaKind::Bbr);
+            let mss = bbr_cfg.mss.as_u64();
+            let bbr_tx = b.add_agent(
+                s,
+                Box::new(TcpSender::with_controller(
+                    bbr_cfg,
+                    Box::new(Bbr::with_cwnd_gain(mss, gain)),
+                )),
+            );
+            b.add_agent(c, Box::new(TcpReceiver::new(bbr_a, s, bbr_tx)));
+            let mut sim = b.build();
+            sim.run_until(SimTime::from_secs(secs));
+            let from = SimTime::from_secs(secs / 3);
+            let to = SimTime::from_secs(secs);
+            let bbr_gp = sim.goodput_mbps(bbr_f, from, to);
+            // RTT = downstream OWD (queueing happens there) + clean
+            // 8.25 ms return path.
+            let rtt = sim.net.monitor().stats(cubic_f).owd.mean() + 8.25;
+            CwndGainCell {
+                gain,
+                bbr_share: bbr_gp / capacity.as_mbps(),
+                rtt_ms: rtt,
+            }
+        })
+        .collect()
+}
+
+/// D1: the paper's drop-tail vs CoDel vs FQ-CoDel at a bloated queue.
+pub struct AqmCell {
+    /// Queue discipline.
+    pub aqm: Aqm,
+    /// System.
+    pub system: SystemKind,
+    /// Mean fairness.
+    pub fairness: f64,
+    /// Mean RTT during competition (ms).
+    pub rtt_ms: f64,
+}
+
+/// Run the AQM ablation for all systems vs Cubic at 7×-BDP.
+pub fn aqm_sweep(timeline: Timeline, iterations: u32, threads: usize) -> Vec<AqmCell> {
+    let mut conditions = Vec::new();
+    for &aqm in &[Aqm::DropTail, Aqm::CoDel, Aqm::FqCoDel] {
+        for &sys in &SystemKind::ALL {
+            conditions.push(
+                Condition::new(sys, Some(CcaKind::Cubic), 25, 7.0)
+                    .with_aqm(aqm)
+                    .with_timeline(timeline),
+            );
+        }
+    }
+    let results = run_many(&conditions, iterations, threads);
+    results
+        .iter()
+        .map(|cr| {
+            let n = cr.runs.len().max(1) as f64;
+            let fairness = cr
+                .runs
+                .iter()
+                .map(|r| metrics::fairness(r, &cr.condition))
+                .sum::<f64>()
+                / n;
+            let tl = &cr.condition.timeline;
+            let rtt = cr.rtt_pooled(tl.iperf_start, tl.iperf_stop).mean();
+            AqmCell {
+                aqm: cr.condition.aqm,
+                system: cr.condition.system,
+                fairness,
+                rtt_ms: rtt,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cwnd_gain_controls_standing_queue() {
+        // Higher cwnd gain → more in flight → higher shares/queueing at a
+        // bloated buffer. The standard 2.0 must sit between a sub-BDP gain
+        // and an aggressive 4.0.
+        let cells = bbr_cwnd_gain(&[1.0, 2.0, 4.0], 7.0, 40, 5);
+        assert_eq!(cells.len(), 3);
+        assert!(
+            cells[0].bbr_share < cells[2].bbr_share + 0.05,
+            "share should not decrease with gain: {} vs {}",
+            cells[0].bbr_share,
+            cells[2].bbr_share
+        );
+        for c in &cells {
+            assert!(c.rtt_ms > 16.0, "RTT {} must include queueing", c.rtt_ms);
+            assert!((0.0..=1.0).contains(&c.bbr_share));
+        }
+    }
+
+    #[test]
+    fn controller_swap_smoke() {
+        let swap = controller_swap(Timeline::scaled(0.06), 1, crate::runner::default_threads());
+        assert_eq!(swap.cells.len(), 18);
+        // Every (profile, controller, cca) cell exists.
+        for &p in &SystemKind::ALL {
+            for ctrl in [
+                ControllerKind::Gcc,
+                ControllerKind::DelayConservative,
+                ControllerKind::Tfrc,
+            ] {
+                assert!(swap.fairness(p, ctrl, CcaKind::Cubic).is_some());
+                assert!(swap.fairness(p, ctrl, CcaKind::Bbr).is_some());
+            }
+        }
+        let rendered = format!("{swap}");
+        assert!(rendered.contains("gcc"));
+    }
+}

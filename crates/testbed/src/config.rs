@@ -1,0 +1,323 @@
+//! Experimental conditions and the run timeline (the paper's Table 2).
+
+use gsrepro_gamestream::profile::ControllerKind;
+use gsrepro_gamestream::SystemKind;
+use gsrepro_simcore::rng::{derive_seed, stream_id};
+use gsrepro_simcore::{BitRate, Bytes, SimDuration, SimTime};
+use gsrepro_tcp::CcaKind;
+
+/// The equalized round-trip time of the paper's testbed: every path was
+/// padded with `netem` delay to ≈16.5 ms.
+pub const EQUALIZED_RTT: SimDuration = SimDuration::from_micros(16_500);
+
+/// The paper's capacity constraints, Mb/s ("good", "normal", "bad").
+pub const CAPACITIES_MBPS: [u64; 3] = [35, 25, 15];
+
+/// The paper's queue sizes in multiples of the BDP.
+pub const QUEUE_MULTS: [f64; 3] = [0.5, 2.0, 7.0];
+
+/// The competing congestion-control algorithms.
+pub const CCAS: [CcaKind; 2] = [CcaKind::Cubic, CcaKind::Bbr];
+
+/// The 9-minute run: iperf occupies the middle third, and the paper's
+/// measurement windows are fixed offsets around the transitions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Timeline {
+    /// When the competing TCP flow starts (paper: 185 s).
+    pub iperf_start: SimTime,
+    /// When the competing TCP flow stops (paper: 370 s).
+    pub iperf_stop: SimTime,
+    /// End of the trace (paper: 540 s).
+    pub end: SimTime,
+    /// Window for the game system's *original* bitrate (paper: 125–185 s).
+    pub original_window: (SimTime, SimTime),
+    /// Window for the *adjusted* bitrate once the game system has settled
+    /// against the competitor (paper: 310–370 s).
+    pub adjusted_window: (SimTime, SimTime),
+    /// Window for fairness computation, excluding the initial response
+    /// transient (paper: 220–370 s).
+    pub fairness_window: (SimTime, SimTime),
+}
+
+impl Timeline {
+    /// The paper's exact timeline.
+    pub fn paper() -> Self {
+        Timeline::scaled(1.0)
+    }
+
+    /// The paper's timeline with every instant multiplied by `k`
+    /// (0 < k ≤ 1). Used to keep unit/integration tests fast; the full
+    /// reproduction uses `k = 1`.
+    pub fn scaled(k: f64) -> Self {
+        assert!(k > 0.0 && k <= 1.0, "scale must be in (0, 1]");
+        let s = |secs: f64| SimTime::ZERO + SimDuration::from_secs_f64(secs * k);
+        Timeline {
+            iperf_start: s(185.0),
+            iperf_stop: s(370.0),
+            end: s(540.0),
+            original_window: (s(125.0), s(185.0)),
+            adjusted_window: (s(310.0), s(370.0)),
+            fairness_window: (s(220.0), s(370.0)),
+        }
+    }
+
+    /// Window after the competitor departs, for recovery measurement.
+    pub fn recovery_window(&self) -> (SimTime, SimTime) {
+        (self.iperf_stop, self.end)
+    }
+
+    /// Maximum measurable response time (competitor active period).
+    pub fn max_response(&self) -> SimDuration {
+        self.iperf_stop.since(self.iperf_start)
+    }
+
+    /// Maximum measurable recovery time.
+    pub fn max_recovery(&self) -> SimDuration {
+        self.end.since(self.iperf_stop)
+    }
+}
+
+/// Queue discipline at the bottleneck. The paper's router ran drop-tail;
+/// the AQM variants answer its future-work question.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum Aqm {
+    /// Byte-limited tail drop (the paper's configuration).
+    #[default]
+    DropTail,
+    /// CoDel (RFC 8289) with default target/interval.
+    CoDel,
+    /// FQ-CoDel (RFC 8290) with default parameters.
+    FqCoDel,
+}
+
+impl Aqm {
+    /// Label for reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Aqm::DropTail => "droptail",
+            Aqm::CoDel => "codel",
+            Aqm::FqCoDel => "fqcodel",
+        }
+    }
+}
+
+/// One experimental condition: a cell in the paper's grid.
+#[derive(Clone, Debug)]
+pub struct Condition {
+    /// Which game system streams.
+    pub system: SystemKind,
+    /// Controller archetype override (normally `None` = the system's own;
+    /// ablation benches set this).
+    pub controller_override: Option<ControllerKind>,
+    /// Competing TCP congestion control; `None` = no competing flow
+    /// (Table 1, Table 3).
+    pub cca: Option<CcaKind>,
+    /// Bottleneck capacity.
+    pub capacity: BitRate,
+    /// Bottleneck queue size in BDP multiples.
+    pub queue_mult: f64,
+    /// Queue discipline at the bottleneck.
+    pub aqm: Aqm,
+    /// Uniform per-packet jitter on the WAN (server-side) links —
+    /// re-injected "Internet weather" for sensitivity analyses. Zero by
+    /// default: the paper equalizes paths and our base topology is clean.
+    pub wan_jitter: SimDuration,
+    /// Run timeline.
+    pub timeline: Timeline,
+}
+
+impl Condition {
+    /// A condition on the paper's timeline.
+    pub fn new(system: SystemKind, cca: Option<CcaKind>, capacity_mbps: u64, queue_mult: f64) -> Self {
+        Condition {
+            system,
+            controller_override: None,
+            cca,
+            capacity: BitRate::from_mbps(capacity_mbps),
+            queue_mult,
+            aqm: Aqm::DropTail,
+            wan_jitter: SimDuration::ZERO,
+            timeline: Timeline::paper(),
+        }
+    }
+
+    /// Add WAN jitter (sensitivity analyses).
+    pub fn with_wan_jitter(mut self, jitter: SimDuration) -> Self {
+        self.wan_jitter = jitter;
+        self
+    }
+
+    /// Replace the queue discipline (future-work AQM experiments).
+    pub fn with_aqm(mut self, aqm: Aqm) -> Self {
+        self.aqm = aqm;
+        self
+    }
+
+    /// Replace the timeline (e.g. a scaled one for tests).
+    pub fn with_timeline(mut self, t: Timeline) -> Self {
+        self.timeline = t;
+        self
+    }
+
+    /// Bottleneck queue limit in bytes: `queue_mult × BDP(capacity, RTT)`.
+    pub fn queue_bytes(&self) -> Bytes {
+        self.capacity.bdp(EQUALIZED_RTT).mul_f64(self.queue_mult)
+    }
+
+    /// Stable label, e.g. `stadia-cubic-b25-q2.0` (AQM suffix when not
+    /// drop-tail).
+    pub fn label(&self) -> String {
+        let cca = self.cca.map(|c| c.label()).unwrap_or("solo");
+        let mut label = format!(
+            "{}-{}-b{}-q{}",
+            self.system.label(),
+            cca,
+            self.capacity.as_mbps() as u64,
+            self.queue_mult
+        );
+        if self.aqm != Aqm::DropTail {
+            label.push('-');
+            label.push_str(self.aqm.label());
+        }
+        if !self.wan_jitter.is_zero() {
+            label.push_str(&format!("-j{}us", self.wan_jitter.as_nanos() / 1_000));
+        }
+        label
+    }
+
+    /// Deterministic seed for iteration `iter` of this condition.
+    pub fn seed(&self, iter: u32) -> u64 {
+        derive_seed(stream_id(&self.label()), iter as u64)
+    }
+
+    /// Fair share of the bottleneck for two flows, in Mb/s.
+    pub fn fair_share_mbps(&self) -> f64 {
+        self.capacity.as_mbps() / 2.0
+    }
+}
+
+/// Grid builders for the paper's experiment sets.
+pub struct Grid;
+
+impl Grid {
+    /// The full competing-flow grid: 3 systems × 2 CCAs × 3 capacities ×
+    /// 3 queues = 54 conditions (Figures 2-4, Tables 4-5).
+    pub fn full(timeline: Timeline) -> Vec<Condition> {
+        let mut v = Vec::new();
+        // The paper stripes across systems innermost to keep comparisons
+        // temporally close; iteration order here mirrors §3.4.
+        for &cca in &CCAS {
+            for &cap in &CAPACITIES_MBPS {
+                for &q in &QUEUE_MULTS {
+                    for &sys in &SystemKind::ALL {
+                        v.push(Condition::new(sys, Some(cca), cap, q).with_timeline(timeline));
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// The solo grid (no competing flow): 3 systems × 3 capacities × 3
+    /// queues (Table 3 and the solo loss tables).
+    pub fn solo(timeline: Timeline) -> Vec<Condition> {
+        let mut v = Vec::new();
+        for &cap in &CAPACITIES_MBPS {
+            for &q in &QUEUE_MULTS {
+                for &sys in &SystemKind::ALL {
+                    v.push(Condition::new(sys, None, cap, q).with_timeline(timeline));
+                }
+            }
+        }
+        v
+    }
+
+    /// Figure 2's slice: capacity 25 Mb/s, all queues, both CCAs.
+    pub fn figure2(timeline: Timeline) -> Vec<Condition> {
+        let mut v = Vec::new();
+        for &cca in &CCAS {
+            for &q in &QUEUE_MULTS {
+                for &sys in &SystemKind::ALL {
+                    v.push(Condition::new(sys, Some(cca), 25, q).with_timeline(timeline));
+                }
+            }
+        }
+        v
+    }
+
+    /// Unconstrained conditions for Table 1: 1 Gb/s bottleneck, no
+    /// competitor.
+    pub fn table1(timeline: Timeline) -> Vec<Condition> {
+        SystemKind::ALL
+            .iter()
+            .map(|&sys| {
+                Condition {
+                    system: sys,
+                    controller_override: None,
+                    cca: None,
+                    capacity: BitRate::from_gbps(1),
+                    queue_mult: 2.0,
+                    aqm: Aqm::DropTail,
+                    wan_jitter: SimDuration::ZERO,
+                    timeline,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_timeline_values() {
+        let t = Timeline::paper();
+        assert_eq!(t.iperf_start, SimTime::from_secs(185));
+        assert_eq!(t.iperf_stop, SimTime::from_secs(370));
+        assert_eq!(t.end, SimTime::from_secs(540));
+        assert_eq!(t.max_response(), SimDuration::from_secs(185));
+        assert_eq!(t.max_recovery(), SimDuration::from_secs(170));
+    }
+
+    #[test]
+    fn scaled_timeline_preserves_proportions() {
+        let t = Timeline::scaled(0.1);
+        assert_eq!(t.iperf_start, SimTime::ZERO + SimDuration::from_secs_f64(18.5));
+        assert_eq!(t.end, SimTime::from_secs(54));
+    }
+
+    #[test]
+    fn queue_bytes_match_bdp_multiples() {
+        let c = Condition::new(SystemKind::Stadia, Some(CcaKind::Cubic), 25, 2.0);
+        // BDP(25 Mb/s, 16.5 ms) = 51 562 B → 2x = 103 124 B.
+        assert_eq!(c.queue_bytes().as_u64(), 103_124);
+        let c = Condition::new(SystemKind::Luna, Some(CcaKind::Bbr), 15, 0.5);
+        assert_eq!(c.queue_bytes().as_u64(), (15_000_000f64 * 0.0165 / 8.0 * 0.5).round() as u64);
+    }
+
+    #[test]
+    fn labels_are_stable_and_unique() {
+        let grid = Grid::full(Timeline::paper());
+        assert_eq!(grid.len(), 54);
+        let labels: std::collections::HashSet<String> =
+            grid.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 54);
+    }
+
+    #[test]
+    fn seeds_differ_across_iterations_and_conditions() {
+        let a = Condition::new(SystemKind::Stadia, Some(CcaKind::Cubic), 25, 2.0);
+        let b = Condition::new(SystemKind::Luna, Some(CcaKind::Cubic), 25, 2.0);
+        assert_ne!(a.seed(0), a.seed(1));
+        assert_ne!(a.seed(0), b.seed(0));
+        assert_eq!(a.seed(3), a.seed(3));
+    }
+
+    #[test]
+    fn solo_grid_size() {
+        assert_eq!(Grid::solo(Timeline::paper()).len(), 27);
+        assert_eq!(Grid::figure2(Timeline::paper()).len(), 18);
+        assert_eq!(Grid::table1(Timeline::paper()).len(), 3);
+    }
+}

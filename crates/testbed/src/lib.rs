@@ -1,0 +1,38 @@
+//! # gsrepro-testbed
+//!
+//! The experiment harness that reproduces every table and figure of
+//! Xu & Claypool, *"Measurement of Cloud-based Game Streaming System
+//! Response to Competing TCP Cubic or TCP BBR Flows"* (IMC '22), on the
+//! simulated testbed.
+//!
+//! * [`config`] — experimental conditions (Table 2): capacity ∈ {15, 25,
+//!   35} Mb/s, queue ∈ {0.5×, 2×, 7×} BDP, competitor ∈ {Cubic, BBR},
+//!   system ∈ {Stadia, GeForce, Luna}, and the 9-minute timeline with the
+//!   competing flow in the middle third;
+//! * [`topology`] — builds the testbed network for one condition (game
+//!   server, iperf server, router with the shaped bottleneck, clients,
+//!   RTT equalized at 16.5 ms as in the paper);
+//! * [`runner`] — executes conditions for many seeded iterations, in
+//!   parallel across OS threads, collecting per-run series;
+//! * [`metrics`] — response time, recovery time, adaptiveness *A*,
+//!   fairness (normalized bitrate difference), plus the harm metric from
+//!   the paper's future-work section;
+//! * [`experiments`] — one entry point per table/figure (Table 1, Figure
+//!   2, Figure 3, Figure 4, Tables 3-5, the tech-report loss tables);
+//! * [`ablation`] — the DESIGN.md ablations: controller-archetype swap,
+//!   BBR in-flight-cap sweep, AQM sweep;
+//! * [`report`] — ASCII tables/heatmaps and CSV emission.
+
+pub mod ablation;
+pub mod config;
+pub mod experiments;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod scorecard;
+pub mod topology;
+
+pub use config::{Aqm, Condition, Grid, Timeline};
+pub use gsrepro_gamestream::SystemKind;
+pub use gsrepro_tcp::CcaKind;
+pub use runner::{run_condition, run_many, ConditionResult, RunResult};

@@ -1,0 +1,346 @@
+//! Executes experimental conditions across seeded iterations, in parallel.
+//!
+//! The paper runs every condition 15 times, striping across systems to
+//! keep comparisons temporally close. Here runs are independent simulations
+//! (no shared Internet weather to stripe against), so the runner simply
+//! executes (condition × iteration) jobs across OS threads and aggregates.
+//! Iteration `i` of a condition always uses the same derived seed, so any
+//! run can be reproduced in isolation.
+
+use gsrepro_gamestream::client::StreamClient;
+use gsrepro_gamestream::server::StreamServer;
+use gsrepro_netsim::apps::PingAgent;
+use gsrepro_simcore::stats::Samples;
+use gsrepro_simcore::{SimDuration, SimTime};
+use gsrepro_tcp::TcpSender;
+
+use crate::config::Condition;
+use crate::topology;
+
+/// Everything measured in one run of one condition.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Condition label this run belongs to.
+    pub label: String,
+    /// Iteration index (selects the seed).
+    pub iter: u32,
+    /// Monitor bin width for the bitrate series.
+    pub bin_width: SimDuration,
+    /// Game goodput per bin, Mb/s.
+    pub game_bins_mbps: Vec<f64>,
+    /// Competing TCP goodput per bin, Mb/s (empty for solo runs).
+    pub iperf_bins_mbps: Vec<f64>,
+    /// Ping RTT samples: (reply time s, RTT ms).
+    pub rtt: Vec<(f64, f64)>,
+    /// Displayed frames per 1 s bin.
+    pub fps_bins: Vec<f64>,
+    /// Game media packets sent per bin.
+    pub game_sent_bins: Vec<f64>,
+    /// Game media packets dropped per bin.
+    pub game_dropped_bins: Vec<f64>,
+    /// Total game media loss rate over the run.
+    pub game_loss_rate: f64,
+    /// TCP retransmissions (competing runs).
+    pub tcp_retransmissions: u64,
+    /// TCP bytes delivered (competing runs).
+    pub tcp_delivered_bytes: u64,
+    /// Final encoder rate trace mean, Mb/s (diagnostics).
+    pub encoder_rate_mean: f64,
+}
+
+impl RunResult {
+    fn window_bins(&self, bins: &[f64], from: SimTime, to: SimTime) -> Samples {
+        let w = self.bin_width.as_secs_f64();
+        let mut s = Samples::new();
+        for (i, &v) in bins.iter().enumerate() {
+            let mid = (i as f64 + 0.5) * w;
+            if mid >= from.as_secs_f64() && mid < to.as_secs_f64() {
+                s.add(v);
+            }
+        }
+        s
+    }
+
+    /// Game goodput samples (Mb/s per bin) within `[from, to)`.
+    pub fn game_window(&self, from: SimTime, to: SimTime) -> Samples {
+        self.window_bins(&self.game_bins_mbps, from, to)
+    }
+
+    /// Competing-TCP goodput samples within `[from, to)`.
+    pub fn iperf_window(&self, from: SimTime, to: SimTime) -> Samples {
+        self.window_bins(&self.iperf_bins_mbps, from, to)
+    }
+
+    /// RTT samples within `[from, to)` (ms).
+    pub fn rtt_window(&self, from: SimTime, to: SimTime) -> Samples {
+        let mut s = Samples::new();
+        for &(t, v) in &self.rtt {
+            if t >= from.as_secs_f64() && t < to.as_secs_f64() {
+                s.add(v);
+            }
+        }
+        s
+    }
+
+    /// Mean displayed frame rate within `[from, to)`.
+    pub fn fps_window(&self, from: SimTime, to: SimTime) -> Samples {
+        let w = 1.0; // fps bins are 1 s
+        let mut s = Samples::new();
+        for (i, &v) in self.fps_bins.iter().enumerate() {
+            let mid = (i as f64 + 0.5) * w;
+            if mid >= from.as_secs_f64() && mid < to.as_secs_f64() {
+                s.add(v);
+            }
+        }
+        s
+    }
+
+    /// Game media loss rate within `[from, to)`.
+    pub fn game_loss_window(&self, from: SimTime, to: SimTime) -> f64 {
+        let w = self.bin_width.as_secs_f64();
+        let (mut sent, mut dropped) = (0.0, 0.0);
+        for i in 0..self.game_sent_bins.len().max(self.game_dropped_bins.len()) {
+            let mid = (i as f64 + 0.5) * w;
+            if mid >= from.as_secs_f64() && mid < to.as_secs_f64() {
+                sent += self.game_sent_bins.get(i).copied().unwrap_or(0.0);
+                dropped += self.game_dropped_bins.get(i).copied().unwrap_or(0.0);
+            }
+        }
+        if sent <= 0.0 {
+            0.0
+        } else {
+            (dropped / sent).clamp(0.0, 1.0)
+        }
+    }
+}
+
+/// All runs of one condition.
+#[derive(Clone, Debug)]
+pub struct ConditionResult {
+    /// The condition.
+    pub condition: Condition,
+    /// One result per iteration.
+    pub runs: Vec<RunResult>,
+}
+
+impl ConditionResult {
+    /// Per-run means of game goodput over a window (one sample per run).
+    pub fn game_means(&self, from: SimTime, to: SimTime) -> Vec<f64> {
+        self.runs.iter().map(|r| r.game_window(from, to).mean()).collect()
+    }
+
+    /// Per-run means of competing-TCP goodput over a window.
+    pub fn iperf_means(&self, from: SimTime, to: SimTime) -> Vec<f64> {
+        self.runs.iter().map(|r| r.iperf_window(from, to).mean()).collect()
+    }
+
+    /// Pooled RTT samples over a window across all runs.
+    pub fn rtt_pooled(&self, from: SimTime, to: SimTime) -> Samples {
+        let mut s = Samples::new();
+        for r in &self.runs {
+            for v in r.rtt_window(from, to).values() {
+                s.add(*v);
+            }
+        }
+        s
+    }
+
+    /// Pooled frame-rate samples over a window across all runs.
+    pub fn fps_pooled(&self, from: SimTime, to: SimTime) -> Samples {
+        let mut s = Samples::new();
+        for r in &self.runs {
+            for v in r.fps_window(from, to).values() {
+                s.add(*v);
+            }
+        }
+        s
+    }
+
+    /// Mean game loss rate over a window across runs.
+    pub fn loss_mean(&self, from: SimTime, to: SimTime) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs.iter().map(|r| r.game_loss_window(from, to)).sum::<f64>() / self.runs.len() as f64
+    }
+
+    /// Cross-run mean ± 95% CI of the game bitrate for each time bin
+    /// (Figure 2's plotted series).
+    pub fn game_series_ci(&self) -> Vec<(f64, f64, f64)> {
+        let n_bins = self.runs.iter().map(|r| r.game_bins_mbps.len()).max().unwrap_or(0);
+        let w = self
+            .runs
+            .first()
+            .map(|r| r.bin_width.as_secs_f64())
+            .unwrap_or(0.5);
+        (0..n_bins)
+            .map(|i| {
+                let vals: Vec<f64> = self
+                    .runs
+                    .iter()
+                    .map(|r| r.game_bins_mbps.get(i).copied().unwrap_or(0.0))
+                    .collect();
+                let (mean, ci) = gsrepro_simcore::stats::mean_ci95(&vals);
+                ((i as f64 + 0.5) * w, mean, ci)
+            })
+            .collect()
+    }
+}
+
+/// Run a single iteration of a condition to completion.
+pub fn run_condition(cond: &Condition, iter: u32) -> RunResult {
+    let mut tb = topology::build(cond, iter);
+    // Run slightly past the end so the final bins fill.
+    tb.sim.run_until(cond.timeline.end + SimDuration::from_secs(1));
+
+    let monitor = tb.sim.net.monitor();
+    let bin_width = monitor.stats(tb.game_flow).delivered_bins.width();
+    let to_mbps = 8.0 / bin_width.as_secs_f64() / 1e6;
+
+    let game_stats = monitor.stats(tb.game_flow);
+    let game_bins_mbps: Vec<f64> =
+        game_stats.delivered_bins.bins().iter().map(|b| b * to_mbps).collect();
+    let game_sent_bins = game_stats.sent_bins.bins().to_vec();
+    let game_dropped_bins = game_stats.dropped_bins.bins().to_vec();
+    let game_loss_rate = game_stats.loss_rate();
+
+    let iperf_bins_mbps: Vec<f64> = tb
+        .iperf_flow
+        .map(|f| monitor.stats(f).delivered_bins.bins().iter().map(|b| b * to_mbps).collect())
+        .unwrap_or_default();
+
+    let ping: &PingAgent = tb.sim.net.agent(tb.ping);
+    let rtt: Vec<(f64, f64)> = ping.rtt_with_times();
+
+    let client: &StreamClient = tb.sim.net.agent(tb.client);
+    let fps_bins = client.fps_bins().bins().to_vec();
+
+    let server: &StreamServer = tb.sim.net.agent(tb.server);
+    let encoder_rate_mean = server.rate_trace().mean();
+
+    let (tcp_retransmissions, tcp_delivered_bytes) = match tb.tcp_sender {
+        Some(id) => {
+            let s: &TcpSender = tb.sim.net.agent(id);
+            (s.retransmissions(), s.delivered_bytes())
+        }
+        None => (0, 0),
+    };
+
+    RunResult {
+        label: cond.label(),
+        iter,
+        bin_width,
+        game_bins_mbps,
+        iperf_bins_mbps,
+        rtt,
+        fps_bins,
+        game_sent_bins,
+        game_dropped_bins,
+        game_loss_rate,
+        tcp_retransmissions,
+        tcp_delivered_bytes,
+        encoder_rate_mean,
+    }
+}
+
+/// Run `iterations` seeded runs of every condition, using up to `threads`
+/// OS threads. Results preserve the input condition order.
+pub fn run_many(conditions: &[Condition], iterations: u32, threads: usize) -> Vec<ConditionResult> {
+    let jobs: Vec<(usize, u32)> = (0..conditions.len())
+        .flat_map(|c| (0..iterations).map(move |i| (c, i)))
+        .collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let results: Vec<std::sync::Mutex<Vec<Option<RunResult>>>> = conditions
+        .iter()
+        .map(|_| std::sync::Mutex::new(vec![None; iterations as usize]))
+        .collect();
+
+    let workers = threads.max(1).min(jobs.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let Some(&(c, i)) = jobs.get(j) else { break };
+                let run = run_condition(&conditions[c], i);
+                results[c].lock().expect("runner mutex poisoned")[i as usize] = Some(run);
+            });
+        }
+    });
+
+    conditions
+        .iter()
+        .zip(results)
+        .map(|(cond, cell)| ConditionResult {
+            condition: cond.clone(),
+            runs: cell
+                .into_inner()
+                .expect("runner mutex poisoned")
+                .into_iter()
+                .map(|r| r.expect("missing run result"))
+                .collect(),
+        })
+        .collect()
+}
+
+/// Default thread count: leave one core for the OS.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get().saturating_sub(1).max(1))
+        .unwrap_or(4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Condition, Timeline};
+    use gsrepro_gamestream::SystemKind;
+    use gsrepro_tcp::CcaKind;
+
+    fn quick_cond() -> Condition {
+        Condition::new(SystemKind::Luna, Some(CcaKind::Cubic), 15, 2.0)
+            .with_timeline(Timeline::scaled(0.06)) // ~32 s runs
+    }
+
+    #[test]
+    fn run_is_deterministic() {
+        let cond = quick_cond();
+        let a = run_condition(&cond, 0);
+        let b = run_condition(&cond, 0);
+        assert_eq!(a.game_bins_mbps, b.game_bins_mbps);
+        assert_eq!(a.iperf_bins_mbps, b.iperf_bins_mbps);
+        assert_eq!(a.rtt, b.rtt);
+    }
+
+    #[test]
+    fn iterations_differ() {
+        let cond = quick_cond();
+        let a = run_condition(&cond, 0);
+        let b = run_condition(&cond, 1);
+        assert_ne!(a.game_bins_mbps, b.game_bins_mbps);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let cond = quick_cond();
+        let serial = run_condition(&cond, 0);
+        let many = run_many(&[cond], 2, 4);
+        assert_eq!(many.len(), 1);
+        assert_eq!(many[0].runs.len(), 2);
+        assert_eq!(many[0].runs[0].game_bins_mbps, serial.game_bins_mbps);
+    }
+
+    #[test]
+    fn window_helpers() {
+        let cond = quick_cond();
+        let r = run_condition(&cond, 0);
+        let t = cond.timeline;
+        // The game streams before the competitor arrives.
+        let orig = r.game_window(t.original_window.0, t.original_window.1);
+        assert!(orig.mean() > 5.0, "pre-competitor bitrate {}", orig.mean());
+        // Loss accounting is sane.
+        let loss = r.game_loss_window(t.fairness_window.0, t.fairness_window.1);
+        assert!((0.0..=1.0).contains(&loss));
+        // RTT samples exist in the window.
+        assert!(!r.rtt_window(t.original_window.0, t.original_window.1).is_empty());
+    }
+}

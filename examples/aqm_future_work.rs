@@ -1,0 +1,67 @@
+//! The paper's future-work question: what if the bottleneck ran Active
+//! Queue Management instead of drop-tail? This example repeats the
+//! bloated-queue (7x BDP) condition — where drop-tail hurts most — under
+//! drop-tail, CoDel, and FQ-CoDel, and compares RTT and fairness.
+//!
+//! ```sh
+//! cargo run --release --example aqm_future_work
+//! ```
+
+use gsrepro_testbed::config::{Aqm, Condition, Timeline};
+use gsrepro_testbed::report::{mean_sd, TextTable};
+use gsrepro_testbed::{metrics, run_many, CcaKind, SystemKind};
+
+fn main() {
+    let timeline = Timeline::scaled(0.35);
+    let aqms = [Aqm::DropTail, Aqm::CoDel, Aqm::FqCoDel];
+
+    let mut conditions = Vec::new();
+    for &aqm in &aqms {
+        for &sys in &SystemKind::ALL {
+            conditions.push(
+                Condition::new(sys, Some(CcaKind::Cubic), 25, 7.0)
+                    .with_aqm(aqm)
+                    .with_timeline(timeline),
+            );
+        }
+    }
+
+    eprintln!("running {} conditions × 2 iterations...", conditions.len());
+    let results = run_many(&conditions, 2, gsrepro_testbed::runner::default_threads());
+
+    println!("\nGame system vs TCP Cubic, 25 Mb/s, 7x-BDP (bloated) queue");
+    let mut t = TextTable::new(vec![
+        "qdisc",
+        "system",
+        "RTT during competition (ms)",
+        "fairness (game-tcp)/cap",
+        "frame rate (f/s)",
+    ]);
+    for &aqm in &aqms {
+        for &sys in &SystemKind::ALL {
+            let cr = results
+                .iter()
+                .find(|r| r.condition.aqm == aqm && r.condition.system == sys)
+                .expect("condition present");
+            let tl = &cr.condition.timeline;
+            let rtt = cr.rtt_pooled(tl.iperf_start, tl.iperf_stop);
+            let fair: f64 = cr
+                .runs
+                .iter()
+                .map(|r| metrics::fairness(r, &cr.condition))
+                .sum::<f64>()
+                / cr.runs.len() as f64;
+            let fps = cr.fps_pooled(tl.iperf_start, tl.iperf_stop);
+            t.row(vec![
+                aqm.label().to_string(),
+                sys.label().to_string(),
+                mean_sd(rtt.mean(), rtt.stddev()),
+                format!("{fair:+.2}"),
+                format!("{:.1}", fps.mean()),
+            ]);
+        }
+    }
+    println!("{}", t.render());
+    println!("expectation: CoDel/FQ-CoDel cut the bloated-queue RTT from ~110 ms toward");
+    println!("~20-30 ms, and FQ-CoDel's per-flow scheduling pushes fairness toward 0.");
+}

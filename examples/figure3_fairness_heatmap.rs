@@ -1,0 +1,63 @@
+//! A slice of Figure 3 at one capacity: the normalized bitrate difference
+//! `(game − tcp) / capacity` for every system × CCA × queue size, rendered
+//! as an ASCII heat table.
+//!
+//! ```sh
+//! cargo run --release --example figure3_fairness_heatmap [capacity_mbps]
+//! ```
+
+use gsrepro_testbed::config::{Condition, Timeline, CCAS, QUEUE_MULTS};
+use gsrepro_testbed::report::{heat_glyph, TextTable};
+use gsrepro_testbed::{metrics, run_many, SystemKind};
+
+fn main() {
+    let capacity: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+
+    let timeline = Timeline::scaled(0.35);
+    let mut conditions = Vec::new();
+    for &cca in &CCAS {
+        for &q in &QUEUE_MULTS {
+            for &sys in &SystemKind::ALL {
+                conditions
+                    .push(Condition::new(sys, Some(cca), capacity, q).with_timeline(timeline));
+            }
+        }
+    }
+
+    eprintln!("running {} conditions × 2 iterations...", conditions.len());
+    let results = run_many(&conditions, 2, gsrepro_testbed::runner::default_threads());
+
+    println!("\nFigure 3 slice at {capacity} Mb/s — (game − tcp)/capacity");
+    println!("warm/+ = game takes more than fair; cool/− = TCP takes more\n");
+    for &cca in &CCAS {
+        println!("== competing with {cca} ==");
+        let mut t = TextTable::new(vec!["system \\ queue", "0.5x", "2x", "7x"]);
+        for &sys in &SystemKind::ALL {
+            let mut row = vec![sys.label().to_string()];
+            for &q in &QUEUE_MULTS {
+                let cr = results
+                    .iter()
+                    .find(|r| {
+                        r.condition.system == sys
+                            && r.condition.cca == Some(cca)
+                            && (r.condition.queue_mult - q).abs() < 1e-9
+                    })
+                    .expect("condition present");
+                let ratios: Vec<f64> = cr
+                    .runs
+                    .iter()
+                    .map(|r| metrics::fairness(r, &cr.condition))
+                    .collect();
+                let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+                row.push(format!("{mean:+.2} {}", heat_glyph(mean)));
+            }
+            t.row(row);
+        }
+        println!("{}", t.render());
+    }
+    println!("paper expectations: vs Cubic — Stadia warm, Luna ≈neutral, GeForce cool;");
+    println!("                    vs BBR   — Stadia ≈neutral, Luna cool, GeForce coolest.");
+}

@@ -1,0 +1,79 @@
+//! A miniature of Figure 4: response time, recovery time, adaptiveness,
+//! and fairness for all three systems at one condition, against both TCP
+//! Cubic and TCP BBR.
+//!
+//! ```sh
+//! cargo run --release --example figure4_adaptiveness
+//! ```
+
+use gsrepro_testbed::config::{Condition, Timeline, CCAS};
+use gsrepro_testbed::report::TextTable;
+use gsrepro_testbed::{metrics, run_many, SystemKind};
+
+fn main() {
+    let timeline = Timeline::scaled(0.4);
+    let mut conditions = Vec::new();
+    for &cca in &CCAS {
+        for &sys in &SystemKind::ALL {
+            conditions.push(Condition::new(sys, Some(cca), 25, 2.0).with_timeline(timeline));
+        }
+    }
+
+    eprintln!("running {} conditions × 2 iterations...", conditions.len());
+    let results = run_many(&conditions, 2, gsrepro_testbed::runner::default_threads());
+
+    for &cca in &CCAS {
+        println!("\n== 25 Mb/s, 2x BDP queue, vs {cca} ==");
+        // Gather raw response/recovery, then normalize per panel.
+        let mut rows: Vec<(SystemKind, f64, f64, f64)> = Vec::new();
+        for &sys in &SystemKind::ALL {
+            let cr = results
+                .iter()
+                .find(|r| r.condition.system == sys && r.condition.cca == Some(cca))
+                .expect("condition present");
+            let n = cr.runs.len() as f64;
+            let c: f64 = cr
+                .runs
+                .iter()
+                .map(|r| metrics::response_time(r, &cr.condition.timeline).secs)
+                .sum::<f64>()
+                / n;
+            let e: f64 = cr
+                .runs
+                .iter()
+                .map(|r| metrics::recovery_time(r, &cr.condition.timeline).secs)
+                .sum::<f64>()
+                / n;
+            let fair: f64 = cr
+                .runs
+                .iter()
+                .map(|r| metrics::fairness(r, &cr.condition))
+                .sum::<f64>()
+                / n;
+            rows.push((sys, c, e, fair));
+        }
+        let c_max = rows.iter().map(|r| r.1).fold(0.0, f64::max);
+        let e_max = rows.iter().map(|r| r.2).fold(0.0, f64::max);
+
+        let mut t = TextTable::new(vec![
+            "system",
+            "response C (s)",
+            "recovery E (s)",
+            "adaptiveness A",
+            "fairness",
+        ]);
+        for (sys, c, e, fair) in rows {
+            let a = metrics::adaptiveness(c, c_max, e, e_max);
+            t.row(vec![
+                sys.label().to_string(),
+                format!("{c:.1}"),
+                format!("{e:.1}"),
+                format!("{a:.2}"),
+                format!("{fair:+.2}"),
+            ]);
+        }
+        println!("{}", t.render());
+    }
+    println!("paper expectations: response is faster than recovery; Stadia most adaptive;");
+    println!("GeForce always left of fair (negative); Luna fair vs Cubic, unfair vs BBR.");
+}

@@ -1,0 +1,132 @@
+//! The paper's other future-work scenario: a game stream competing with a
+//! *mixture* of traffic rather than a single bulk download — here, one TCP
+//! Cubic flow plus one TCP BBR flow plus an on/off CBR stream standing in
+//! for ABR video. This example composes the topology directly from the
+//! library crates, showing the public API beneath the testbed harness.
+//!
+//! ```sh
+//! cargo run --release --example mixed_traffic
+//! ```
+
+use gsrepro_gamestream::client::{StreamClient, StreamClientConfig};
+use gsrepro_gamestream::server::StreamServer;
+use gsrepro_gamestream::SystemKind;
+use gsrepro_netsim::apps::{CbrSource, SinkAgent};
+use gsrepro_netsim::net::{AgentId, NetworkBuilder};
+use gsrepro_netsim::queue::QueueSpec;
+use gsrepro_netsim::{LinkSpec, Shaper};
+use gsrepro_simcore::rng::stream_id;
+use gsrepro_simcore::{BitRate, SimDuration, SimTime};
+use gsrepro_tcp::{CcaKind, TcpReceiver, TcpSender, TcpSenderConfig};
+
+fn main() {
+    let capacity = BitRate::from_mbps(35);
+    let rtt = SimDuration::from_micros(16_500);
+    let queue = capacity.bdp(rtt).mul_f64(2.0);
+
+    let mut b = NetworkBuilder::new(2024);
+    let servers = b.add_node("servers");
+    let router = b.add_node("router");
+    let client = b.add_node("client");
+    b.duplex(servers, router, LinkSpec::lan(SimDuration::from_millis(4)));
+    b.link(
+        router,
+        client,
+        LinkSpec {
+            shaper: Shaper::rate(capacity),
+            delay: SimDuration::from_micros(4_250),
+            queue: QueueSpec::DropTail { limit: queue },
+            jitter: SimDuration::ZERO,
+            loss_prob: 0.0,
+            dup_prob: 0.0,
+        },
+    );
+    b.link(client, router, LinkSpec::lan(SimDuration::from_micros(4_250)));
+
+    let game = b.flow("luna-media");
+    let feedback = b.flow("feedback");
+    let cubic_f = b.flow("cubic");
+    let cubic_ack = b.flow("cubic-ack");
+    let bbr_f = b.flow("bbr");
+    let bbr_ack = b.flow("bbr-ack");
+    let video = b.flow("abr-video");
+
+    // Agent 0/1: game client/server (Luna profile).
+    let profile = SystemKind::Luna.profile();
+    let gclient = b.add_agent(
+        client,
+        Box::new(StreamClient::new(StreamClientConfig::new(feedback, servers, AgentId(1)))),
+    );
+    b.add_agent(
+        servers,
+        Box::new(StreamServer::new(
+            game,
+            client,
+            gclient,
+            profile.build_source(2024, stream_id("frames")),
+            profile.build_controller(),
+        )),
+    );
+
+    // Two TCP flows arriving at different times.
+    let cubic_recv = AgentId(3);
+    let s1 = b.add_agent(
+        servers,
+        Box::new(TcpSender::new(
+            TcpSenderConfig::new(cubic_f, client, cubic_recv, CcaKind::Cubic)
+                .active_during(SimTime::from_secs(30), SimTime::from_secs(150)),
+        )),
+    );
+    b.add_agent(client, Box::new(TcpReceiver::new(cubic_ack, servers, s1)));
+    let bbr_recv = AgentId(5);
+    let s2 = b.add_agent(
+        servers,
+        Box::new(TcpSender::new(
+            TcpSenderConfig::new(bbr_f, client, bbr_recv, CcaKind::Bbr)
+                .active_during(SimTime::from_secs(60), SimTime::from_secs(120)),
+        )),
+    );
+    b.add_agent(client, Box::new(TcpReceiver::new(bbr_ack, servers, s2)));
+
+    // ABR-video-ish cross traffic: 6 Mb/s on/off bursts from 90 s.
+    let vsink = b.add_agent(client, Box::new(SinkAgent::new()));
+    b.add_agent(
+        servers,
+        Box::new(
+            CbrSource::new(video, client, vsink, BitRate::from_mbps(6), gsrepro_simcore::Bytes(1200))
+                .active_during(SimTime::from_secs(90), SimTime::from_secs(180)),
+        ),
+    );
+
+    let mut sim = b.build();
+    let end = SimTime::from_secs(180);
+    sim.run_until(end);
+
+    println!("Luna vs mixed traffic on a 35 Mb/s bottleneck (2x BDP queue)\n");
+    println!("phase                          game   cubic  bbr    video  (Mb/s)");
+    let phases = [
+        ("0-30 s   game alone        ", 0, 30),
+        ("30-60 s  + cubic           ", 30, 60),
+        ("60-90 s  + cubic + bbr     ", 60, 90),
+        ("90-120 s + all three       ", 90, 120),
+        ("120-150 s cubic + video    ", 120, 150),
+        ("150-180 s video only       ", 150, 180),
+    ];
+    for (label, a, z) in phases {
+        let w = |f| {
+            sim.net
+                .monitor()
+                .stats(f)
+                .mean_goodput_mbps(SimTime::from_secs(a), SimTime::from_secs(z))
+        };
+        println!(
+            "{label}  {:5.1}  {:5.1}  {:5.1}  {:5.1}",
+            w(game),
+            w(cubic_f),
+            w(bbr_f),
+            w(video)
+        );
+    }
+    let st = sim.net.monitor().stats(game);
+    println!("\ngame media loss over the run: {:.2}%", st.loss_rate() * 100.0);
+}

@@ -1,0 +1,81 @@
+//! Miniature Tables 3-5: ping RTT (solo and competing) and displayed frame
+//! rate for all systems at one capacity, all queue sizes.
+//!
+//! ```sh
+//! cargo run --release --example qoe_tables [capacity_mbps]
+//! ```
+
+use gsrepro_testbed::config::{Condition, Timeline, CCAS, QUEUE_MULTS};
+use gsrepro_testbed::report::{mean_sd, TextTable};
+use gsrepro_testbed::{run_many, SystemKind};
+
+fn main() {
+    let capacity: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25);
+    let timeline = Timeline::scaled(0.35);
+
+    let mut conditions = Vec::new();
+    for &q in &QUEUE_MULTS {
+        for &sys in &SystemKind::ALL {
+            conditions.push(Condition::new(sys, None, capacity, q).with_timeline(timeline));
+            for &cca in &CCAS {
+                conditions
+                    .push(Condition::new(sys, Some(cca), capacity, q).with_timeline(timeline));
+            }
+        }
+    }
+
+    eprintln!("running {} conditions × 2 iterations...", conditions.len());
+    let results = run_many(&conditions, 2, gsrepro_testbed::runner::default_threads());
+
+    println!("\nRTT (ms) at {capacity} Mb/s, measured while the competitor runs (or would run)");
+    let mut t = TextTable::new(vec!["queue", "system", "solo", "vs cubic", "vs bbr"]);
+    for &q in &QUEUE_MULTS {
+        for &sys in &SystemKind::ALL {
+            let mut cells = vec![format!("{q}x"), sys.label().to_string()];
+            for cca in [None, Some(gsrepro_testbed::CcaKind::Cubic), Some(gsrepro_testbed::CcaKind::Bbr)] {
+                let cr = results
+                    .iter()
+                    .find(|r| {
+                        r.condition.system == sys
+                            && r.condition.cca == cca
+                            && (r.condition.queue_mult - q).abs() < 1e-9
+                    })
+                    .expect("condition present");
+                let tl = &cr.condition.timeline;
+                let s = cr.rtt_pooled(tl.iperf_start, tl.iperf_stop);
+                cells.push(mean_sd(s.mean(), s.stddev()));
+            }
+            t.row(cells);
+        }
+    }
+    println!("{}", t.render());
+
+    println!("frame rate (f/s) during the competitor window");
+    let mut t = TextTable::new(vec!["queue", "system", "vs cubic", "vs bbr"]);
+    for &q in &QUEUE_MULTS {
+        for &sys in &SystemKind::ALL {
+            let mut cells = vec![format!("{q}x"), sys.label().to_string()];
+            for cca in [gsrepro_testbed::CcaKind::Cubic, gsrepro_testbed::CcaKind::Bbr] {
+                let cr = results
+                    .iter()
+                    .find(|r| {
+                        r.condition.system == sys
+                            && r.condition.cca == Some(cca)
+                            && (r.condition.queue_mult - q).abs() < 1e-9
+                    })
+                    .expect("condition present");
+                let tl = &cr.condition.timeline;
+                let s = cr.fps_pooled(tl.iperf_start, tl.iperf_stop);
+                cells.push(mean_sd(s.mean(), s.stddev()));
+            }
+            t.row(cells);
+        }
+    }
+    println!("{}", t.render());
+    println!("paper expectations: solo RTT ≈ 16-20 ms; vs Cubic RTT pinned at the queue");
+    println!("limit (≈110 ms at 7x); vs BBR at 7x about half of Cubic's. Frame rates stay");
+    println!("50+ vs Cubic but degrade vs BBR at small queues (Stadia/Luna most).");
+}

@@ -1,0 +1,100 @@
+//! Packet-level tracing — the simulator's `tcpdump`. Runs a few seconds of
+//! a Stadia-vs-Cubic contest with tracing enabled and prints the last
+//! packet events around the bottleneck, plus a per-flow breakdown.
+//!
+//! ```sh
+//! cargo run --release --example trace_dump
+//! ```
+
+use gsrepro_netsim::net::{AgentId, NetworkBuilder};
+use gsrepro_netsim::queue::QueueSpec;
+use gsrepro_netsim::{LinkSpec, Shaper, TraceKind};
+use gsrepro_simcore::rng::stream_id;
+use gsrepro_simcore::{BitRate, SimDuration, SimTime};
+use gsrepro_gamestream::client::{StreamClient, StreamClientConfig};
+use gsrepro_gamestream::server::StreamServer;
+use gsrepro_gamestream::SystemKind;
+use gsrepro_tcp::{CcaKind, TcpReceiver, TcpSender, TcpSenderConfig};
+
+fn main() {
+    let capacity = BitRate::from_mbps(25);
+    let queue = capacity.bdp(SimDuration::from_micros(16_500)).mul_f64(0.5);
+
+    let mut b = NetworkBuilder::new(7).trace_capacity(50_000);
+    let servers = b.add_node("servers");
+    let client = b.add_node("client");
+    b.link(
+        servers,
+        client,
+        LinkSpec {
+            shaper: Shaper::rate(capacity),
+            delay: SimDuration::from_micros(8_250),
+            queue: QueueSpec::DropTail { limit: queue },
+            jitter: SimDuration::ZERO,
+            loss_prob: 0.0,
+            dup_prob: 0.0,
+        },
+    );
+    b.link(client, servers, LinkSpec::lan(SimDuration::from_micros(8_250)));
+
+    let media = b.flow("stadia-media");
+    let feedback = b.flow("feedback");
+    let tcp_data = b.flow("cubic");
+    let tcp_ack = b.flow("cubic-ack");
+
+    let profile = SystemKind::Stadia.profile();
+    let gclient = b.add_agent(
+        client,
+        Box::new(StreamClient::new(StreamClientConfig::new(feedback, servers, AgentId(1)))),
+    );
+    b.add_agent(
+        servers,
+        Box::new(StreamServer::new(
+            media,
+            client,
+            gclient,
+            profile.build_source(7, stream_id("frames")),
+            profile.build_controller(),
+        )),
+    );
+    let recv_id = AgentId(3);
+    let sender = b.add_agent(
+        servers,
+        Box::new(TcpSender::new(
+            TcpSenderConfig::new(tcp_data, client, recv_id, CcaKind::Cubic)
+                .active_during(SimTime::from_secs(2), SimTime::from_secs(10)),
+        )),
+    );
+    b.add_agent(client, Box::new(TcpReceiver::new(tcp_ack, servers, sender)));
+
+    let mut sim = b.build();
+    sim.run_until(SimTime::from_secs(10));
+
+    let trace = sim.net.trace().expect("tracing enabled");
+    println!(
+        "captured {} events (retaining last {})",
+        trace.total_recorded(),
+        trace.len()
+    );
+
+    println!("\nper-flow event counts:");
+    for (flow, label) in [(media, "stadia-media"), (tcp_data, "cubic"), (feedback, "feedback")] {
+        let evs = trace.for_flow(flow);
+        let drops = evs
+            .iter()
+            .filter(|e| matches!(e.kind, TraceKind::QueueDrop | TraceKind::LinkDrop))
+            .count();
+        println!("  {label:<14} {:>6} events, {:>4} drops in window", evs.len(), drops);
+    }
+
+    println!("\nlast 20 packet events:");
+    let total = trace.len();
+    for e in trace.events().skip(total.saturating_sub(20)) {
+        println!("  {e}");
+    }
+
+    println!("\nfirst CSV lines:");
+    for line in trace.to_csv().lines().take(5) {
+        println!("  {line}");
+    }
+}

@@ -1,0 +1,1 @@
+pub use gsrepro_testbed as testbed;
