@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Repo CI gate: formatting, lints, build, tests, and a smoke-scale
+# end-to-end reproduction. Run from the repo root; exits non-zero on the
+# first failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (all targets, warnings are errors)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release"
+cargo build --release
+
+echo "== cargo test"
+cargo test -q
+
+echo "== smoke reproduction"
+cargo run --release -p gsrepro-bench --bin full_reproduction -- --smoke
+
+echo "CI OK"

@@ -5,8 +5,8 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use gsrepro_netsim::apps::{CbrSource, SinkAgent};
 use gsrepro_netsim::net::{AgentId, NetworkBuilder};
-use gsrepro_netsim::queue::{DropTailQueue, Queue, QueueSpec};
-use gsrepro_netsim::wire::{FlowId, Packet, Payload};
+use gsrepro_netsim::queue::{DropTailQueue, Queue, QueueSpec, QueuedPkt};
+use gsrepro_netsim::wire::{FlowId, PktRef};
 use gsrepro_netsim::LinkSpec;
 use gsrepro_simcore::{BitRate, Bytes, SimDuration, SimTime};
 use gsrepro_tcp::{CcaKind, TcpReceiver, TcpSender, TcpSenderConfig};
@@ -20,11 +20,71 @@ fn bench_event_engine(c: &mut Criterion) {
             nb.duplex(
                 s,
                 d,
-                LinkSpec::bottleneck(BitRate::from_mbps(25), Bytes(100_000), SimDuration::from_millis(8)),
+                LinkSpec::bottleneck(
+                    BitRate::from_mbps(25),
+                    Bytes(100_000),
+                    SimDuration::from_millis(8),
+                ),
             );
             let f = nb.flow("x");
             let sink = nb.add_agent(d, Box::new(SinkAgent::new()));
-            nb.add_agent(s, Box::new(CbrSource::new(f, d, sink, BitRate::from_mbps(20), Bytes(1200))));
+            nb.add_agent(
+                s,
+                Box::new(CbrSource::new(
+                    f,
+                    d,
+                    sink,
+                    BitRate::from_mbps(20),
+                    Bytes(1200),
+                )),
+            );
+            let mut sim = nb.build();
+            sim.run_until(SimTime::from_secs(10));
+            sim.events_processed()
+        })
+    });
+}
+
+/// Multi-hop forwarding: a 3-node path (server → router → client) carrying
+/// mixed media-sized CBR and a competing TCP Cubic flow through a shaped
+/// bottleneck. Every media packet crosses two links and the TCP flow adds
+/// ack traffic on the reverse path, so per-hop packet-handling cost
+/// dominates — exactly what the packet pool and slab scheduler target.
+fn bench_multihop_forwarding(c: &mut Criterion) {
+    c.bench_function("multihop_3node_mixed_10s", |b| {
+        b.iter(|| {
+            let mut nb = NetworkBuilder::new(11);
+            let s = nb.add_node("server");
+            let r = nb.add_node("router");
+            let d = nb.add_node("client");
+            nb.duplex(s, r, LinkSpec::lan(SimDuration::from_millis(2)));
+            nb.link(
+                r,
+                d,
+                LinkSpec::bottleneck(
+                    BitRate::from_mbps(25),
+                    Bytes(100_000),
+                    SimDuration::from_millis(8),
+                ),
+            );
+            nb.link(d, r, LinkSpec::lan(SimDuration::from_millis(8)));
+            let media = nb.flow("media");
+            let data = nb.flow("tcp");
+            let acks = nb.flow("acks");
+            let sink = nb.add_agent(d, Box::new(SinkAgent::new()));
+            nb.add_agent(
+                s,
+                Box::new(CbrSource::new(
+                    media,
+                    d,
+                    sink,
+                    BitRate::from_mbps(10),
+                    Bytes(1200),
+                )),
+            );
+            let cfg = TcpSenderConfig::new(data, d, AgentId(3), CcaKind::Cubic);
+            let sender = nb.add_agent(s, Box::new(TcpSender::new(cfg)));
+            nb.add_agent(d, Box::new(TcpReceiver::new(acks, s, sender)));
             let mut sim = nb.build();
             sim.run_until(SimTime::from_secs(10));
             sim.events_processed()
@@ -33,16 +93,11 @@ fn bench_event_engine(c: &mut Criterion) {
 }
 
 fn bench_queue_disciplines(c: &mut Criterion) {
-    let mk_pkt = |i: u64| Packet {
-        id: i,
+    let mk_pkt = |i: u64| QueuedPkt {
+        pkt: PktRef(i as u32),
         flow: FlowId((i % 4) as u32),
-        src: gsrepro_netsim::NodeId(0),
-        dst: gsrepro_netsim::NodeId(1),
-        dst_agent: AgentId(0),
         size: Bytes(1200),
-        sent_at: SimTime::ZERO,
         enqueued_at: SimTime::ZERO,
-        payload: Payload::Raw,
     };
     let mut group = c.benchmark_group("queues");
     group.bench_function("drop_tail_enq_deq", |b| {
@@ -91,7 +146,11 @@ fn bench_tcp_flow(c: &mut Criterion) {
                 nb.link(
                     s,
                     d,
-                    LinkSpec::bottleneck(BitRate::from_mbps(25), Bytes(100_000), SimDuration::from_millis(8)),
+                    LinkSpec::bottleneck(
+                        BitRate::from_mbps(25),
+                        Bytes(100_000),
+                        SimDuration::from_millis(8),
+                    ),
                 );
                 nb.link(d, s, LinkSpec::lan(SimDuration::from_millis(8)));
                 let data = nb.flow("d");
@@ -108,5 +167,11 @@ fn bench_tcp_flow(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_event_engine, bench_queue_disciplines, bench_tcp_flow);
+criterion_group!(
+    benches,
+    bench_event_engine,
+    bench_multihop_forwarding,
+    bench_queue_disciplines,
+    bench_tcp_flow
+);
 criterion_main!(benches);

@@ -6,10 +6,10 @@
 //! figures themselves come from the `--bin` targets.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use gsrepro_tcp::CcaKind;
 use gsrepro_testbed::config::{Condition, Timeline};
 use gsrepro_testbed::runner::run_condition;
 use gsrepro_testbed::SystemKind;
-use gsrepro_tcp::CcaKind;
 
 fn short_cond(sys: SystemKind, cca: Option<CcaKind>) -> Condition {
     Condition::new(sys, cca, 25, 2.0).with_timeline(Timeline::scaled(0.1))

@@ -15,7 +15,11 @@ fn main() {
     if csv.is_some() {
         let mut out = String::from("capacity,queue,system,cca,tput_harm,delay_harm,fps_harm\n");
         for (cap, q, sys, cca, ht, hd, hf) in &harm.rows {
-            out.push_str(&format!("{cap},{q},{},{},{ht:.4},{hd:.4},{hf:.4}\n", sys.label(), cca.label()));
+            out.push_str(&format!(
+                "{cap},{q},{},{},{ht:.4},{hd:.4},{hf:.4}\n",
+                sys.label(),
+                cca.label()
+            ));
         }
         gsrepro_bench::maybe_write_csv(&csv, &out);
     }

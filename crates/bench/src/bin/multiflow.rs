@@ -3,14 +3,14 @@
 //! 25 Mb/s / 2×-BDP, reports the game's share vs its N-flow fair share
 //! capacity/(N+1).
 
+use gsrepro_gamestream::client::{StreamClient, StreamClientConfig};
+use gsrepro_gamestream::server::StreamServer;
+use gsrepro_gamestream::SystemKind;
 use gsrepro_netsim::net::{AgentId, NetworkBuilder};
 use gsrepro_netsim::queue::QueueSpec;
 use gsrepro_netsim::{LinkSpec, Shaper};
 use gsrepro_simcore::rng::stream_id;
 use gsrepro_simcore::{BitRate, SimDuration, SimTime};
-use gsrepro_gamestream::client::{StreamClient, StreamClientConfig};
-use gsrepro_gamestream::server::StreamServer;
-use gsrepro_gamestream::SystemKind;
 use gsrepro_tcp::{CcaKind, TcpReceiver, TcpSender, TcpSenderConfig};
 use gsrepro_testbed::report::TextTable;
 
@@ -34,14 +34,22 @@ fn run(system: SystemKind, n_flows: u32, secs: u64, seed: u64) -> (f64, f64) {
             dup_prob: 0.0,
         },
     );
-    b.link(client, servers, LinkSpec::lan(SimDuration::from_micros(8_250)));
+    b.link(
+        client,
+        servers,
+        LinkSpec::lan(SimDuration::from_micros(8_250)),
+    );
 
     let media = b.flow("media");
     let feedback = b.flow("feedback");
     let profile = system.profile();
     let gclient = b.add_agent(
         client,
-        Box::new(StreamClient::new(StreamClientConfig::new(feedback, servers, AgentId(1)))),
+        Box::new(StreamClient::new(StreamClientConfig::new(
+            feedback,
+            servers,
+            AgentId(1),
+        ))),
     );
     b.add_agent(
         servers,
@@ -73,7 +81,10 @@ fn run(system: SystemKind, n_flows: u32, secs: u64, seed: u64) -> (f64, f64) {
     let from = SimTime::from_secs(60);
     let to = SimTime::from_secs(secs);
     let game = sim.goodput_mbps(media, from, to);
-    let tcp_total: f64 = tcp_flows.iter().map(|&f| sim.goodput_mbps(f, from, to)).sum();
+    let tcp_total: f64 = tcp_flows
+        .iter()
+        .map(|&f| sim.goodput_mbps(f, from, to))
+        .sum();
     (game, tcp_total)
 }
 
@@ -82,7 +93,12 @@ fn main() {
     let secs = (opts.timeline.end.as_secs_f64() / 2.0).max(120.0) as u64;
     println!("game share vs number of competing Cubic flows (25 Mb/s, 2x BDP)\n");
     let mut t = TextTable::new(vec![
-        "system", "N", "game Mb/s", "TCP total", "fair share", "game/fair",
+        "system",
+        "N",
+        "game Mb/s",
+        "TCP total",
+        "fair share",
+        "game/fair",
     ]);
     for sys in SystemKind::ALL {
         for n in 1..=4u32 {

@@ -1,0 +1,64 @@
+//! End-to-end hot-path benchmark: simulated seconds per wall second and
+//! engine events per second for a bottlenecked Cubic-vs-stream condition —
+//! the workload class that dominates a paper-scale grid (540 s × 810 runs).
+//!
+//! Emits `BENCH_hotpath.json`:
+//!
+//! ```json
+//! {
+//!   "condition": "luna_cubic_b25_q2.0",
+//!   "iterations": 5,
+//!   "events_per_sec": 1.23e6,
+//!   "sim_secs_per_wall_sec": 210.5
+//! }
+//! ```
+//!
+//! Usage: `cargo run --release -p gsrepro-bench --bin perf [--smoke]
+//! [--iters N] [--csv PATH]` — `--csv` overrides the JSON output path.
+
+use gsrepro_bench::{maybe_write_csv, parse_args};
+use gsrepro_gamestream::SystemKind;
+use gsrepro_simcore::SimDuration;
+use gsrepro_tcp::CcaKind;
+use gsrepro_testbed::config::Condition;
+use gsrepro_testbed::runner::run_condition;
+
+fn main() {
+    let (opts, csv) = parse_args();
+
+    // The paper's central competing-flow scenario: a 25 Mb/s bottleneck
+    // with a 2×BDP queue, game stream vs one TCP Cubic flow.
+    let cond = Condition::new(SystemKind::Luna, Some(CcaKind::Cubic), 25, 2.0)
+        .with_timeline(opts.timeline);
+    let label = cond.label();
+    let sim_secs_per_run = (cond.timeline.end + SimDuration::from_secs(1)).as_secs_f64();
+
+    let mut events = 0u64;
+    let mut wall = 0.0f64;
+    for iter in 0..opts.iterations {
+        let run = run_condition(&cond, iter);
+        events += run.events_processed;
+        wall += run.wall_secs;
+        eprintln!(
+            "iter {iter}: {} events in {:.3} s ({:.2}M events/s)",
+            run.events_processed,
+            run.wall_secs,
+            run.events_processed as f64 / run.wall_secs / 1e6,
+        );
+    }
+
+    let events_per_sec = events as f64 / wall;
+    let sim_secs_per_wall_sec = sim_secs_per_run * opts.iterations as f64 / wall;
+    let json = format!(
+        "{{\n  \"condition\": \"{label}\",\n  \"iterations\": {},\n  \
+         \"events_per_sec\": {events_per_sec:.0},\n  \
+         \"sim_secs_per_wall_sec\": {sim_secs_per_wall_sec:.1}\n}}\n",
+        opts.iterations,
+    );
+    print!("{json}");
+
+    let path = csv
+        .clone()
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    maybe_write_csv(&Some(path), &json);
+}

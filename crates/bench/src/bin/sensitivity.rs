@@ -29,7 +29,11 @@ fn main() {
             );
         }
     }
-    eprintln!("running {} conditions × {} iterations...", conditions.len(), opts.iterations);
+    eprintln!(
+        "running {} conditions × {} iterations...",
+        conditions.len(),
+        opts.iterations
+    );
     let results = run_many(&conditions, opts.iterations, opts.threads);
 
     println!("fairness vs WAN jitter (25 Mb/s slice of Figure 3)\n");

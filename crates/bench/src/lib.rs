@@ -41,7 +41,9 @@ pub fn parse_args() -> (ExperimentOpts, Option<String>) {
             "--full" => explicit_iters = Some(15),
             "--smoke" => opts = ExperimentOpts::smoke(),
             "--iters" => {
-                let v = args.next().unwrap_or_else(|| usage_error("--iters needs a value"));
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--iters needs a value"));
                 opts.iterations = v
                     .parse()
                     .unwrap_or_else(|_| usage_error("--iters must be a positive integer"));
@@ -51,13 +53,17 @@ pub fn parse_args() -> (ExperimentOpts, Option<String>) {
                 explicit_iters = Some(opts.iterations);
             }
             "--threads" => {
-                let v = args.next().unwrap_or_else(|| usage_error("--threads needs a value"));
+                let v = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--threads needs a value"));
                 opts.threads = v
                     .parse()
                     .unwrap_or_else(|_| usage_error("--threads must be a positive integer"));
             }
             "--csv" => {
-                let path = args.next().unwrap_or_else(|| usage_error("--csv needs a path"));
+                let path = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--csv needs a path"));
                 // Validate the path up front: failing *after* a long grid
                 // run would throw the results away.
                 if let Err(e) = std::fs::write(&path, "") {

@@ -251,7 +251,9 @@ impl Agent for StreamClient {
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
-        let Payload::Media(chunk) = pkt.payload else { return };
+        let Payload::Media(chunk) = pkt.payload else {
+            return;
+        };
         let now = ctx.now();
 
         self.total_packets += 1;
@@ -271,7 +273,8 @@ impl Agent for StreamClient {
         if owd < self.owd_min {
             self.owd_min = owd;
         }
-        self.window_owd.push((now.as_secs_f64(), owd.as_millis_f64()));
+        self.window_owd
+            .push((now.as_secs_f64(), owd.as_millis_f64()));
         self.last_media_ts = Some(pkt.sent_at);
 
         // Frame assembly with FEC-aware decodability.

@@ -161,7 +161,10 @@ mod tests {
             r = c.on_feedback(&fb(0.0, 0), SimTime::from_millis(10_000 + i * 100));
         }
         let gained = r.as_mbps() - low.as_mbps();
-        assert!(gained > 10.0, "should ramp ≈ 14 Mb/s in 9.4 s, got {gained}");
+        assert!(
+            gained > 10.0,
+            "should ramp ≈ 14 Mb/s in 9.4 s, got {gained}"
+        );
         assert!(gained < 15.0, "ramp must be additive-slow, got {gained}");
     }
 

@@ -137,8 +137,8 @@ impl RateController for GccController {
     fn on_feedback(&mut self, fb: &FeedbackSnapshot, now: SimTime) -> BitRate {
         // Adaptive-threshold overuse (solo/self-congestion sensitivity) or
         // the absolute bloat guard (deep standing queues).
-        let adaptive_overuse = fb.trend_ms_per_s > self.gamma
-            && fb.queue_delay() > self.cfg.trend_queue_floor;
+        let adaptive_overuse =
+            fb.trend_ms_per_s > self.gamma && fb.queue_delay() > self.cfg.trend_queue_floor;
         let bloat_overuse = fb.queue_delay() > self.cfg.bloat_queue_delay
             && fb.trend_ms_per_s > self.cfg.bloat_trend;
         let overusing = adaptive_overuse || bloat_overuse;
@@ -165,7 +165,11 @@ impl RateController for GccController {
         if overusing {
             // Delay overuse: multiplicative decrease anchored to what
             // actually got through (never an increase).
-            let base = if fb.recv_rate > BitRate::ZERO { fb.recv_rate } else { self.rate };
+            let base = if fb.recv_rate > BitRate::ZERO {
+                fb.recv_rate
+            } else {
+                self.rate
+            };
             let target = base.mul_f64(self.cfg.backoff).min(self.rate);
             self.rate = clamp_rate(target, self.cfg.min_rate, self.cfg.max_rate);
             self.last_capacity = Some(base);
@@ -288,7 +292,10 @@ mod tests {
         let settled = c.current();
         // γ has inflated past the competitor's trend: no more decreases.
         let after = c.on_feedback(&fb(20.0, 0.0, 25, 30.0), SimTime::from_millis(3_100));
-        assert!(after >= settled, "γ-adapted controller must stop decreasing");
+        assert!(
+            after >= settled,
+            "γ-adapted controller must stop decreasing"
+        );
         // While a *bloated* queue still registers through the guard (the
         // delivered rate has sagged, so the anchored decrease bites).
         let r = c.on_feedback(&fb(12.0, 0.0, 80, 30.0), SimTime::from_millis(3_200));
@@ -395,7 +402,10 @@ mod tests {
         assert!(inflated > 10.0, "gamma should inflate, got {inflated}");
         // A long calm period decays it back toward the initial threshold.
         for i in 0..3_000 {
-            c.on_feedback(&fb(20.0, 0.0, 1, 0.0), SimTime::from_millis(3_000 + i * 100));
+            c.on_feedback(
+                &fb(20.0, 0.0, 1, 0.0),
+                SimTime::from_millis(3_000 + i * 100),
+            );
         }
         assert!(
             c.gamma < inflated / 3.0,

@@ -136,7 +136,11 @@ impl FrameSource {
         let j = j.clamp(0.5, 1.8);
 
         let size = (base * scene * j).round().max(200.0) as u64;
-        Frame { id, size: Bytes(size), key }
+        Frame {
+            id,
+            size: Bytes(size),
+            key,
+        }
     }
 }
 
@@ -161,8 +165,12 @@ mod tests {
     fn different_streams_differ() {
         let mut a = FrameSource::new(FrameSourceConfig::default(), 1, 2);
         let mut b = FrameSource::new(FrameSourceConfig::default(), 1, 3);
-        let fa: Vec<_> = (0..100).map(|_| a.next_frame(BitRate::from_mbps(20)).size).collect();
-        let fb: Vec<_> = (0..100).map(|_| b.next_frame(BitRate::from_mbps(20)).size).collect();
+        let fa: Vec<_> = (0..100)
+            .map(|_| a.next_frame(BitRate::from_mbps(20)).size)
+            .collect();
+        let fb: Vec<_> = (0..100)
+            .map(|_| b.next_frame(BitRate::from_mbps(20)).size)
+            .collect();
         assert_ne!(fa, fb);
     }
 

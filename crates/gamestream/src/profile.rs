@@ -27,7 +27,9 @@ impl FpsPolicy {
 
     /// Reduced tier below `rate`.
     pub fn reduced_below(rate: BitRate, fps: u32) -> Self {
-        FpsPolicy { threshold: Some((rate, fps)) }
+        FpsPolicy {
+            threshold: Some((rate, fps)),
+        }
     }
 
     /// The frame rate to encode at for the given target rate.

@@ -74,7 +74,14 @@ impl StreamServer {
         source: FrameSource,
         controller: Box<dyn RateController>,
     ) -> Self {
-        Self::with_fps_policy(flow, client_node, client_agent, source, controller, FpsPolicy::FULL)
+        Self::with_fps_policy(
+            flow,
+            client_node,
+            client_agent,
+            source,
+            controller,
+            FpsPolicy::FULL,
+        )
     }
 
     /// New server with an explicit encoder frame-rate policy.
@@ -208,7 +215,9 @@ impl Agent for StreamServer {
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
-        let Payload::Feedback(fb) = pkt.payload else { return };
+        let Payload::Feedback(fb) = pkt.payload else {
+            return;
+        };
         // Ignore duplicated/reordered reports (cannot happen on the FIFO
         // testbed, but the check documents the assumption).
         if let Some(last) = self.last_feedback_seq {

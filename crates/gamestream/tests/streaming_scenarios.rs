@@ -58,7 +58,11 @@ fn build_stream(
     }
     let client = b.add_agent(
         c,
-        Box::new(StreamClient::new(StreamClientConfig::new(feedback, s, AgentId(1)))),
+        Box::new(StreamClient::new(StreamClientConfig::new(
+            feedback,
+            s,
+            AgentId(1),
+        ))),
     );
     let server = b.add_agent(
         s,
@@ -70,7 +74,12 @@ fn build_stream(
             profile.build_controller(),
         )),
     );
-    Built { sim: b.build(), media, client, server }
+    Built {
+        sim: b.build(),
+        media,
+        client,
+        server,
+    }
 }
 
 #[test]
@@ -111,10 +120,17 @@ fn server_rate_trace_reflects_adaptation() {
     tb.sim.run_until(SimTime::from_secs(20));
     let server: &StreamServer = tb.sim.net.agent(tb.server);
     assert!(server.frames_sent() > 1_000);
-    let rate = server.current_rate().as_mbps();
-    assert!(rate < 15.5, "encoder must adapt under the 15 Mb/s cap: {rate}");
+    // The instantaneous rate may sit mid-probe above the cap at any given
+    // snapshot; judge adaptation on the smoothed tail of the trace.
+    let trace = server.rate_trace();
+    assert!(trace.len() > 100, "feedback loop must be active");
+    let tail = &trace.values()[trace.len().saturating_sub(50)..];
+    let rate = tail.iter().sum::<f64>() / tail.len() as f64;
+    assert!(
+        rate < 15.5,
+        "encoder must adapt under the 15 Mb/s cap: {rate}"
+    );
     assert!(rate > 5.0, "encoder should not collapse: {rate}");
-    assert!(server.rate_trace().len() > 100, "feedback loop must be active");
 }
 
 #[test]
@@ -174,7 +190,11 @@ fn fec_recovers_frames_under_random_loss() {
         let profile = SystemKind::Luna.profile();
         let client = b.add_agent(
             c,
-            Box::new(StreamClient::new(StreamClientConfig::new(feedback, s, AgentId(1)))),
+            Box::new(StreamClient::new(StreamClientConfig::new(
+                feedback,
+                s,
+                AgentId(1),
+            ))),
         );
         let server = StreamServer::new(
             media,
@@ -194,13 +214,24 @@ fn fec_recovers_frames_under_random_loss() {
         cl.mean_fps(SimTime::from_secs(5), SimTime::from_secs(20))
     };
     let plain = fps_with(None);
-    let fec = fps_with(Some(gsrepro_gamestream::server::FecConfig { data_per_parity: 10 }));
+    let fec = fps_with(Some(gsrepro_gamestream::server::FecConfig {
+        data_per_parity: 10,
+    }));
     // (The unprotected stream also adapts its bitrate down under loss,
     // which partially masks the frame damage — hence "visibly below 60"
     // rather than a collapse.)
-    assert!(plain < 55.0, "3% loss should visibly hurt un-protected fps: {plain}");
-    assert!(fec > plain + 5.0, "FEC must recover frames: {fec} vs {plain}");
-    assert!(fec > 55.0, "FEC-protected stream should stay near 60: {fec}");
+    assert!(
+        plain < 55.0,
+        "3% loss should visibly hurt un-protected fps: {plain}"
+    );
+    assert!(
+        fec > plain + 5.0,
+        "FEC must recover frames: {fec} vs {plain}"
+    );
+    assert!(
+        fec > 55.0,
+        "FEC-protected stream should stay near 60: {fec}"
+    );
 }
 
 proptest! {

@@ -61,7 +61,13 @@ pub struct CbrSource {
 
 impl CbrSource {
     /// A source that runs for the whole simulation.
-    pub fn new(flow: FlowId, dst: NodeId, dst_agent: AgentId, rate: BitRate, pkt_size: Bytes) -> Self {
+    pub fn new(
+        flow: FlowId,
+        dst: NodeId,
+        dst_agent: AgentId,
+        rate: BitRate,
+        pkt_size: Bytes,
+    ) -> Self {
         CbrSource {
             flow,
             dst,
@@ -316,7 +322,11 @@ mod tests {
         assert!(p.sent() >= 29);
         assert_eq!(p.probe_loss(), 0.0);
         // RTT = 2 x 8.25 ms = 16.5 ms, the paper's equalized path.
-        assert!((p.rtt_samples().mean() - 16.5).abs() < 0.01, "rtt {}", p.rtt_samples().mean());
+        assert!(
+            (p.rtt_samples().mean() - 16.5).abs() < 0.01,
+            "rtt {}",
+            p.rtt_samples().mean()
+        );
         assert!(p.rtt_samples().stddev() < 0.01);
     }
 
@@ -339,7 +349,10 @@ mod tests {
         sim.run_until(SimTime::from_secs(10));
         let st = sim.net.monitor().stats(f);
         // Bins before 2 s and after 4 s must be empty.
-        assert_eq!(st.mean_goodput_mbps(SimTime::ZERO, SimTime::from_secs(2)), 0.0);
+        assert_eq!(
+            st.mean_goodput_mbps(SimTime::ZERO, SimTime::from_secs(2)),
+            0.0
+        );
         let active = st.mean_goodput_mbps(SimTime::from_secs(2), SimTime::from_secs(4));
         assert!((active - 1.0).abs() < 0.1, "active goodput {active}");
         let after = st.mean_goodput_mbps(SimTime::from_secs(5), SimTime::from_secs(10));
@@ -354,7 +367,16 @@ mod tests {
         b.duplex(s, c, LinkSpec::lan(SimDuration::from_millis(1)));
         let f = b.flow("x");
         let sink = b.add_agent(c, Box::new(SinkAgent::new()));
-        b.add_agent(s, Box::new(CbrSource::new(f, c, sink, BitRate::from_kbps(80), Bytes(100))));
+        b.add_agent(
+            s,
+            Box::new(CbrSource::new(
+                f,
+                c,
+                sink,
+                BitRate::from_kbps(80),
+                Bytes(100),
+            )),
+        );
         let mut sim = b.build();
         // 80 kb/s with 100-B packets = 100 packets/s.
         sim.run_until(SimTime::from_secs(1));

@@ -15,8 +15,7 @@
 use gsrepro_simcore::{BitRate, Bytes, SimDuration, SimTime};
 
 use crate::net::NodeId;
-use crate::queue::{Queue, QueueSpec};
-use crate::wire::Packet;
+use crate::queue::{Queue, QueueSpec, QueuedPkt};
 
 /// Identifies a link within a [`crate::net::Network`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -44,7 +43,10 @@ impl Shaper {
     /// Convenience: a token bucket with a single-MTU burst, i.e. plain
     /// serialization at `rate`.
     pub fn rate(rate: BitRate) -> Self {
-        Shaper::TokenBucket { rate, burst: Bytes(2_000) }
+        Shaper::TokenBucket {
+            rate,
+            burst: Bytes(2_000),
+        }
     }
 
     /// The configured rate, if shaped.
@@ -81,7 +83,9 @@ impl LinkSpec {
         LinkSpec {
             shaper: Shaper::Unshaped,
             delay,
-            queue: QueueSpec::DropTail { limit: Bytes(u64::MAX / 2) },
+            queue: QueueSpec::DropTail {
+                limit: Bytes(u64::MAX / 2),
+            },
             jitter: SimDuration::ZERO,
             loss_prob: 0.0,
             dup_prob: 0.0,
@@ -116,7 +120,10 @@ impl LinkSpec {
 
     /// Add independent random duplication.
     pub fn with_duplication(mut self, p: f64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "duplication probability out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "duplication probability out of range"
+        );
         self.dup_prob = p;
         self
     }
@@ -160,7 +167,7 @@ fn bitns(b: Bytes) -> u128 {
 pub(crate) enum Service {
     /// A packet departs now; it arrives at the far node after the link's
     /// propagation delay (plus jitter, applied by the network).
-    Deliver(Packet),
+    Deliver(QueuedPkt),
     /// The head packet must wait for tokens until the given time.
     Wait(SimTime),
     /// The queue is empty.
@@ -250,11 +257,10 @@ impl Link {
         self.delivered_bytes
     }
 
-    /// Offer a packet to the link's queue. `Err` is a queue drop (see the
-    /// [`Queue::enqueue`] note on why the packet is returned by value).
-    #[allow(clippy::result_large_err)]
-    pub(crate) fn offer(&mut self, pkt: Packet, now: SimTime) -> Result<(), Packet> {
-        self.queue.enqueue(pkt, now)
+    /// Offer a pooled packet to the link's queue. `Err` is a queue drop;
+    /// the caller still owns the entry's pool slot and must release it.
+    pub(crate) fn offer(&mut self, item: QueuedPkt, now: SimTime) -> Result<(), QueuedPkt> {
+        self.queue.enqueue(item, now)
     }
 
     fn refill(&mut self, now: SimTime) {
@@ -267,7 +273,7 @@ impl Link {
 
     /// Try to release the next packet. AQM drops encountered along the way
     /// are appended to `dropped`.
-    pub(crate) fn service(&mut self, now: SimTime, dropped: &mut Vec<Packet>) -> Service {
+    pub(crate) fn service(&mut self, now: SimTime, dropped: &mut Vec<QueuedPkt>) -> Service {
         let Some(rate) = self.rate else {
             // Unshaped: everything queued departs immediately.
             return match self.queue.dequeue(now, dropped) {
@@ -309,20 +315,14 @@ impl Link {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::net::AgentId;
-    use crate::wire::{FlowId, Payload};
+    use crate::wire::{FlowId, PktRef};
 
-    fn pkt(size: u64) -> Packet {
-        Packet {
-            id: 0,
+    fn pkt(size: u64) -> QueuedPkt {
+        QueuedPkt {
+            pkt: PktRef(0),
             flow: FlowId(1),
-            src: NodeId(0),
-            dst: NodeId(1),
-            dst_agent: AgentId(0),
             size: Bytes(size),
-            sent_at: SimTime::ZERO,
             enqueued_at: SimTime::ZERO,
-            payload: Payload::Raw,
         }
     }
 
@@ -333,7 +333,9 @@ mod tests {
                 burst: Bytes(burst),
             },
             delay: SimDuration::from_millis(1),
-            queue: QueueSpec::DropTail { limit: Bytes(limit) },
+            queue: QueueSpec::DropTail {
+                limit: Bytes(limit),
+            },
             jitter: SimDuration::ZERO,
             loss_prob: 0.0,
             dup_prob: 0.0,
@@ -343,14 +345,18 @@ mod tests {
 
     #[test]
     fn unshaped_link_releases_immediately() {
-        let mut l = LinkSpec::lan(SimDuration::from_millis(2)).build(LinkId(0), NodeId(0), NodeId(1));
+        let mut l =
+            LinkSpec::lan(SimDuration::from_millis(2)).build(LinkId(0), NodeId(0), NodeId(1));
         l.offer(pkt(1500), SimTime::ZERO).unwrap();
         let mut dropped = vec![];
         match l.service(SimTime::ZERO, &mut dropped) {
             Service::Deliver(p) => assert_eq!(p.size, Bytes(1500)),
             other => panic!("expected Deliver, got {other:?}"),
         }
-        assert!(matches!(l.service(SimTime::ZERO, &mut dropped), Service::Idle));
+        assert!(matches!(
+            l.service(SimTime::ZERO, &mut dropped),
+            Service::Idle
+        ));
     }
 
     #[test]
@@ -443,13 +449,19 @@ mod tests {
         let mut dropped = vec![];
         // Drain the initial bucket.
         l.offer(pkt(2000), SimTime::ZERO).unwrap();
-        assert!(matches!(l.service(SimTime::ZERO, &mut dropped), Service::Deliver(_)));
+        assert!(matches!(
+            l.service(SimTime::ZERO, &mut dropped),
+            Service::Deliver(_)
+        ));
         // Wait a long time: bucket refills but caps at burst, so only one
         // 2000-B packet can leave instantly.
         let later = SimTime::from_secs(100);
         l.offer(pkt(2000), later).unwrap();
         l.offer(pkt(2000), later).unwrap();
-        assert!(matches!(l.service(later, &mut dropped), Service::Deliver(_)));
+        assert!(matches!(
+            l.service(later, &mut dropped),
+            Service::Deliver(_)
+        ));
         match l.service(later, &mut dropped) {
             Service::Wait(t) => {
                 // 2000 B = 16 kbit at 10 Mb/s = 1.6 ms.
@@ -468,7 +480,9 @@ mod tests {
                 burst: Bytes(10),
             },
             delay: SimDuration::ZERO,
-            queue: QueueSpec::DropTail { limit: Bytes(10_000) },
+            queue: QueueSpec::DropTail {
+                limit: Bytes(10_000),
+            },
             jitter: SimDuration::ZERO,
             loss_prob: 0.0,
             dup_prob: 0.0,
@@ -483,7 +497,10 @@ mod tests {
         let mut l = shaped_link(15, 2_000, 100_000);
         let mut dropped = vec![];
         l.offer(pkt(2000), SimTime::ZERO).unwrap();
-        assert!(matches!(l.service(SimTime::ZERO, &mut dropped), Service::Deliver(_)));
+        assert!(matches!(
+            l.service(SimTime::ZERO, &mut dropped),
+            Service::Deliver(_)
+        ));
         l.offer(pkt(1500), SimTime::ZERO).unwrap();
         match l.service(SimTime::ZERO, &mut dropped) {
             Service::Wait(t) => {

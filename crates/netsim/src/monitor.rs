@@ -124,7 +124,10 @@ pub struct Monitor {
 impl Monitor {
     /// New monitor with the given bitrate bin width (the paper uses 0.5 s).
     pub fn new(bin: SimDuration) -> Self {
-        Monitor { flows: Vec::new(), bin }
+        Monitor {
+            flows: Vec::new(),
+            bin,
+        }
     }
 
     /// Register a flow and get its id.
@@ -164,7 +167,13 @@ impl Monitor {
         s.sent_bins.add(now, 1.0);
     }
 
-    pub(crate) fn on_delivered(&mut self, flow: FlowId, size: Bytes, owd: SimDuration, now: SimTime) {
+    pub(crate) fn on_delivered(
+        &mut self,
+        flow: FlowId,
+        size: Bytes,
+        owd: SimDuration,
+        now: SimTime,
+    ) {
         let s = &mut self.flows[flow.0 as usize];
         s.delivered_pkts += 1;
         s.delivered_bytes += size;
@@ -196,7 +205,12 @@ mod tests {
 
         m.on_sent(f, Bytes(1000), SimTime::ZERO);
         m.on_sent(f, Bytes(1000), SimTime::ZERO);
-        m.on_delivered(f, Bytes(1000), SimDuration::from_millis(10), SimTime::from_millis(100));
+        m.on_delivered(
+            f,
+            Bytes(1000),
+            SimDuration::from_millis(10),
+            SimTime::from_millis(100),
+        );
         m.on_dropped(f, DropKind::Queue, SimTime::ZERO);
 
         let s = m.stats(f);

@@ -32,14 +32,15 @@
 use std::any::Any;
 
 use gsrepro_simcore::rng::rng_for;
-use gsrepro_simcore::{Engine, Scheduler, SimDuration, SimRng, SimTime, World};
 use gsrepro_simcore::{BitRate, Bytes};
+use gsrepro_simcore::{Engine, Scheduler, SimDuration, SimRng, SimTime, World};
 use rand::Rng;
 
 use crate::link::{Link, LinkId, LinkSpec, Service};
 use crate::monitor::{DropKind, Monitor};
+use crate::queue::QueuedPkt;
 use crate::trace::{proto_tag, Trace, TraceEvent, TraceKind};
-use crate::wire::{FlowId, Packet, Payload};
+use crate::wire::{FlowId, Packet, PacketPool, Payload, PktRef};
 
 /// Identifies a node (host or router).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -83,7 +84,11 @@ pub struct PacketSpec {
 
 enum Command {
     Send(PacketSpec),
-    Timer { agent: AgentId, delay: SimDuration, token: u64 },
+    Timer {
+        agent: AgentId,
+        delay: SimDuration,
+        token: u64,
+    },
 }
 
 /// Handed to agents during callbacks; collects outgoing actions.
@@ -119,7 +124,11 @@ impl Ctx<'_> {
     /// Arrange for [`Agent::on_timer`] to fire after `delay` with `token`.
     /// Timers cannot be cancelled; agents ignore stale tokens instead.
     pub fn set_timer(&mut self, delay: SimDuration, token: u64) {
-        self.cmds.push(Command::Timer { agent: self.agent, delay, token });
+        self.cmds.push(Command::Timer {
+            agent: self.agent,
+            delay,
+            token,
+        });
     }
 
     /// Deterministic per-network RNG (for app-level jitter).
@@ -145,8 +154,10 @@ pub enum NetEvent {
     AgentTimer { agent: AgentId, token: u64 },
     /// A shaped link's token bucket may now have enough for its head packet.
     LinkWakeup(LinkId),
-    /// A packet finished propagating and arrives at `node`.
-    Arrive { node: NodeId, pkt: Packet },
+    /// A packet finished propagating and arrives at `node`. The packet
+    /// body stays in the network's [`PacketPool`]; the event carries only
+    /// the 4-byte handle, keeping scheduler entries small.
+    Arrive { node: NodeId, pkt: PktRef },
 }
 
 struct Node {
@@ -164,9 +175,14 @@ pub struct Network {
     monitor: Monitor,
     trace: Option<Trace>,
     rng: SimRng,
+    /// Storage for every packet currently in flight (queued, on the wire,
+    /// or scheduled to arrive). Queues, links, and events move [`PktRef`]
+    /// handles; the full packet is written once on send and read once at
+    /// delivery or drop.
+    pool: PacketPool,
     next_pkt_id: u64,
     cmd_buf: Vec<Command>,
-    drop_buf: Vec<Packet>,
+    drop_buf: Vec<QueuedPkt>,
 }
 
 impl Network {
@@ -252,12 +268,27 @@ impl Network {
         for cmd in cmds.drain(..) {
             match cmd {
                 Command::Send(spec) => self.send_from(src_node, spec, sched),
-                Command::Timer { agent, delay, token } => {
+                Command::Timer {
+                    agent,
+                    delay,
+                    token,
+                } => {
                     sched.schedule_in(delay, NetEvent::AgentTimer { agent, token });
                 }
             }
         }
         self.cmd_buf = cmds;
+    }
+
+    /// Release a dropped entry's pool slot and account for the drop.
+    fn drop_pooled(&mut self, item: QueuedPkt, kind: DropKind, at: SimTime) {
+        self.monitor.on_dropped(item.flow, kind, at);
+        let pkt = self.pool.take(item.pkt);
+        let trace_kind = match kind {
+            DropKind::Queue => TraceKind::QueueDrop,
+            DropKind::Link => TraceKind::LinkDrop,
+        };
+        self.record_trace(at, trace_kind, &pkt);
     }
 
     fn send_from(&mut self, src: NodeId, spec: PacketSpec, sched: &mut Scheduler<NetEvent>) {
@@ -269,35 +300,44 @@ impl Network {
             dst_agent: spec.dst_agent,
             size: spec.size,
             sent_at: sched.now(),
-            enqueued_at: sched.now(),
             payload: spec.payload,
         };
         self.next_pkt_id += 1;
         self.monitor.on_sent(pkt.flow, pkt.size, sched.now());
         self.record_trace(sched.now(), TraceKind::Send, &pkt);
-        if spec.dst == src {
-            // Loopback: deliver through the normal arrival path.
-            sched.schedule_in(SimDuration::ZERO, NetEvent::Arrive { node: src, pkt });
+        let dst = pkt.dst;
+        let pkt = self.pool.insert(pkt);
+        if dst == src {
+            // Loopback: deliver through the normal arrival path. Same
+            // instant → the scheduler's fast lane, no heap traffic.
+            sched.schedule_now(NetEvent::Arrive { node: src, pkt });
         } else {
             self.forward(src, pkt, sched);
         }
     }
 
-    fn forward(&mut self, at: NodeId, pkt: Packet, sched: &mut Scheduler<NetEvent>) {
-        let Some(link_id) = self.nodes[at.0 as usize].routes[pkt.dst.0 as usize] else {
+    fn forward(&mut self, at: NodeId, pkt: PktRef, sched: &mut Scheduler<NetEvent>) {
+        let (dst, size, flow) = {
+            let p = self.pool.get(pkt);
+            (p.dst, p.size, p.flow)
+        };
+        let Some(link_id) = self.nodes[at.0 as usize].routes[dst.0 as usize] else {
             panic!(
                 "no route from {} to {}",
-                self.nodes[at.0 as usize].name, self.nodes[pkt.dst.0 as usize].name
+                self.nodes[at.0 as usize].name, self.nodes[dst.0 as usize].name
             );
         };
+        let now = sched.now();
+        let item = QueuedPkt {
+            pkt,
+            size,
+            flow,
+            enqueued_at: now,
+        };
         let link = &mut self.links[link_id.0 as usize];
-        match link.offer(pkt, sched.now()) {
+        match link.offer(item, now) {
             Ok(()) => self.pump_link(link_id, sched),
-            Err(dropped) => {
-                let now = sched.now();
-                self.monitor.on_dropped(dropped.flow, DropKind::Queue, now);
-                self.record_trace(now, TraceKind::QueueDrop, &dropped);
-            }
+            Err(dropped) => self.drop_pooled(dropped, DropKind::Queue, now),
         }
     }
 
@@ -306,15 +346,14 @@ impl Network {
         loop {
             let link = &mut self.links[id.0 as usize];
             match link.service(sched.now(), &mut dropped) {
-                Service::Deliver(pkt) => {
+                Service::Deliver(item) => {
                     let to = link.to();
                     let base = link.delay();
                     let jitter = link.jitter;
                     let loss = link.loss_prob;
                     let dup = link.dup_prob;
                     if loss > 0.0 && self.rng.gen::<f64>() < loss {
-                        self.monitor.on_dropped(pkt.flow, DropKind::Link, sched.now());
-                        self.record_trace(sched.now(), TraceKind::LinkDrop, &pkt);
+                        self.drop_pooled(item, DropKind::Link, sched.now());
                         continue;
                     }
                     let extra = if jitter.is_zero() {
@@ -335,12 +374,22 @@ impl Network {
                         // netem-style duplication: the copy follows the
                         // original immediately. Duplicates are not counted
                         // as "sent" so loss accounting stays truthful.
+                        let copy = self.pool.clone_of(item.pkt);
                         sched.schedule_at(
                             arrive_at,
-                            NetEvent::Arrive { node: to, pkt: pkt.clone() },
+                            NetEvent::Arrive {
+                                node: to,
+                                pkt: copy,
+                            },
                         );
                     }
-                    sched.schedule_at(arrive_at, NetEvent::Arrive { node: to, pkt });
+                    sched.schedule_at(
+                        arrive_at,
+                        NetEvent::Arrive {
+                            node: to,
+                            pkt: item.pkt,
+                        },
+                    );
                 }
                 Service::Wait(at) => {
                     if !link.wakeup_scheduled {
@@ -354,8 +403,7 @@ impl Network {
         }
         let now = sched.now();
         for d in dropped.drain(..) {
-            self.monitor.on_dropped(d.flow, DropKind::Queue, now);
-            self.record_trace(now, TraceKind::QueueDrop, &d);
+            self.drop_pooled(d, DropKind::Queue, now);
         }
         self.drop_buf = dropped;
     }
@@ -381,9 +429,11 @@ impl World for Network {
                 self.pump_link(link, sched);
             }
             NetEvent::Arrive { node, pkt } => {
-                if pkt.dst == node {
+                if self.pool.get(pkt).dst == node {
+                    let pkt = self.pool.take(pkt);
                     let owd = pkt.age(sched.now());
-                    self.monitor.on_delivered(pkt.flow, pkt.size, owd, sched.now());
+                    self.monitor
+                        .on_delivered(pkt.flow, pkt.size, owd, sched.now());
                     self.record_trace(sched.now(), TraceKind::Deliver, &pkt);
                     let agent = pkt.dst_agent;
                     self.call_agent(agent, sched, |a, ctx| a.on_packet(pkt, ctx));
@@ -504,7 +554,10 @@ impl NetworkBuilder {
                     }
                 }
             }
-            nodes.push(Node { name: name.clone(), routes: first_hop });
+            nodes.push(Node {
+                name: name.clone(),
+                routes: first_hop,
+            });
         }
 
         let mut monitor = Monitor::new(self.bin);
@@ -531,6 +584,7 @@ impl NetworkBuilder {
                 None
             },
             rng: rng_for(self.seed, 0),
+            pool: PacketPool::new(),
             next_pkt_id: 0,
             cmd_buf: Vec::new(),
             drop_buf: Vec::new(),
@@ -611,7 +665,9 @@ mod tests {
             LinkSpec {
                 shaper: Shaper::rate(BitRate::from_mbps(rate_mbps)),
                 delay: SimDuration::from_millis(5),
-                queue: QueueSpec::DropTail { limit: Bytes(50_000) },
+                queue: QueueSpec::DropTail {
+                    limit: Bytes(50_000),
+                },
                 jitter: SimDuration::ZERO,
                 loss_prob: 0.0,
                 dup_prob: 0.0,
@@ -622,7 +678,13 @@ mod tests {
         let sink = b.add_agent(c, Box::new(SinkAgent::new()));
         b.add_agent(
             s,
-            Box::new(CbrSource::new(f, c, sink, BitRate::from_mbps(cbr_mbps), Bytes(1200))),
+            Box::new(CbrSource::new(
+                f,
+                c,
+                sink,
+                BitRate::from_mbps(cbr_mbps),
+                Bytes(1200),
+            )),
         );
         (b.build(), f)
     }
@@ -675,7 +737,16 @@ mod tests {
         b.duplex(r, c, LinkSpec::lan(SimDuration::from_millis(3)));
         let f = b.flow("x");
         let sink = b.add_agent(c, Box::new(SinkAgent::new()));
-        b.add_agent(s, Box::new(CbrSource::new(f, c, sink, BitRate::from_mbps(1), Bytes(1000))));
+        b.add_agent(
+            s,
+            Box::new(CbrSource::new(
+                f,
+                c,
+                sink,
+                BitRate::from_mbps(1),
+                Bytes(1000),
+            )),
+        );
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(2));
         let st = sim.net.monitor().stats(f);
@@ -691,11 +762,24 @@ mod tests {
         let mut b = NetworkBuilder::new(11);
         let s = b.add_node("s");
         let c = b.add_node("c");
-        b.link(s, c, LinkSpec::lan(SimDuration::from_millis(1)).with_loss(0.3));
+        b.link(
+            s,
+            c,
+            LinkSpec::lan(SimDuration::from_millis(1)).with_loss(0.3),
+        );
         b.link(c, s, LinkSpec::lan(SimDuration::from_millis(1)));
         let f = b.flow("x");
         let sink = b.add_agent(c, Box::new(SinkAgent::new()));
-        b.add_agent(s, Box::new(CbrSource::new(f, c, sink, BitRate::from_mbps(2), Bytes(1000))));
+        b.add_agent(
+            s,
+            Box::new(CbrSource::new(
+                f,
+                c,
+                sink,
+                BitRate::from_mbps(2),
+                Bytes(1000),
+            )),
+        );
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(20));
         let st = sim.net.monitor().stats(f);
@@ -716,7 +800,16 @@ mod tests {
         b.link(c, s, LinkSpec::lan(SimDuration::from_millis(5)));
         let f = b.flow("x");
         let sink = b.add_agent(c, Box::new(SinkAgent::new()));
-        b.add_agent(s, Box::new(CbrSource::new(f, c, sink, BitRate::from_mbps(2), Bytes(1000))));
+        b.add_agent(
+            s,
+            Box::new(CbrSource::new(
+                f,
+                c,
+                sink,
+                BitRate::from_mbps(2),
+                Bytes(1000),
+            )),
+        );
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(10));
         let st = sim.net.monitor().stats(f);
@@ -733,17 +826,38 @@ mod tests {
         let bottleneck = b.link(
             s,
             c,
-            LinkSpec::bottleneck(BitRate::from_mbps(20), Bytes(100_000), SimDuration::from_millis(2)),
+            LinkSpec::bottleneck(
+                BitRate::from_mbps(20),
+                Bytes(100_000),
+                SimDuration::from_millis(2),
+            ),
         );
         b.link(c, s, LinkSpec::lan(SimDuration::from_millis(2)));
         let f = b.flow("x");
         let sink = b.add_agent(c, Box::new(SinkAgent::new()));
         // Offer 15 Mb/s throughout.
-        b.add_agent(s, Box::new(CbrSource::new(f, c, sink, BitRate::from_mbps(15), Bytes(1200))));
+        b.add_agent(
+            s,
+            Box::new(CbrSource::new(
+                f,
+                c,
+                sink,
+                BitRate::from_mbps(15),
+                Bytes(1200),
+            )),
+        );
         let mut sim = b.build();
         // Cut the link to 5 Mb/s for the middle third.
-        sim.schedule_link_rate(bottleneck, Some(BitRate::from_mbps(5)), SimTime::from_secs(10));
-        sim.schedule_link_rate(bottleneck, Some(BitRate::from_mbps(20)), SimTime::from_secs(20));
+        sim.schedule_link_rate(
+            bottleneck,
+            Some(BitRate::from_mbps(5)),
+            SimTime::from_secs(10),
+        );
+        sim.schedule_link_rate(
+            bottleneck,
+            Some(BitRate::from_mbps(20)),
+            SimTime::from_secs(20),
+        );
         sim.run_until(SimTime::from_secs(30));
         let st = sim.net.monitor().stats(f);
         let before = st.mean_goodput_mbps(SimTime::from_secs(2), SimTime::from_secs(10));
@@ -760,11 +874,24 @@ mod tests {
         let mut b = NetworkBuilder::new(17);
         let s = b.add_node("s");
         let c = b.add_node("c");
-        b.link(s, c, LinkSpec::lan(SimDuration::from_millis(1)).with_duplication(0.25));
+        b.link(
+            s,
+            c,
+            LinkSpec::lan(SimDuration::from_millis(1)).with_duplication(0.25),
+        );
         b.link(c, s, LinkSpec::lan(SimDuration::from_millis(1)));
         let f = b.flow("x");
         let sink = b.add_agent(c, Box::new(SinkAgent::new()));
-        b.add_agent(s, Box::new(CbrSource::new(f, c, sink, BitRate::from_mbps(2), Bytes(1000))));
+        b.add_agent(
+            s,
+            Box::new(CbrSource::new(
+                f,
+                c,
+                sink,
+                BitRate::from_mbps(2),
+                Bytes(1000),
+            )),
+        );
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(20));
         let st = sim.net.monitor().stats(f);
@@ -782,7 +909,16 @@ mod tests {
         b.duplex(s, c, LinkSpec::lan(SimDuration::from_millis(1)));
         let f = b.flow("x");
         let sink = b.add_agent(c, Box::new(SinkAgent::new()));
-        b.add_agent(s, Box::new(CbrSource::new(f, c, sink, BitRate::from_kbps(800), Bytes(1000))));
+        b.add_agent(
+            s,
+            Box::new(CbrSource::new(
+                f,
+                c,
+                sink,
+                BitRate::from_kbps(800),
+                Bytes(1000),
+            )),
+        );
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(1));
         let trace = sim.net.trace().expect("tracing enabled");
@@ -819,7 +955,16 @@ mod tests {
         b.link(c, s, LinkSpec::lan(SimDuration::from_millis(1)));
         let f = b.flow("x");
         let sink = b.add_agent(c, Box::new(SinkAgent::new()));
-        b.add_agent(s, Box::new(CbrSource::new(f, c, sink, BitRate::from_mbps(1), Bytes(500))));
+        b.add_agent(
+            s,
+            Box::new(CbrSource::new(
+                f,
+                c,
+                sink,
+                BitRate::from_mbps(1),
+                Bytes(500),
+            )),
+        );
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(1));
     }

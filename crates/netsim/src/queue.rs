@@ -6,32 +6,50 @@
 //! would behave under Active Queue Management; [`CoDelQueue`] (RFC 8289) and
 //! [`FqCoDelQueue`] (RFC 8290) answer that in the `aqm_future_work` example
 //! and the ablation benches.
+//!
+//! Queues never see full [`crate::wire::Packet`]s: packet storage lives in
+//! the network's [`crate::wire::PacketPool`] and disciplines shuffle
+//! [`QueuedPkt`] entries — the pool handle plus the three header fields a
+//! discipline actually consults (size, flow, enqueue time). That keeps every
+//! enqueue/dequeue a 24-byte move on the simulator's hottest path.
 
 use gsrepro_simcore::{Bytes, SimDuration, SimTime};
 use std::collections::VecDeque;
 
-use crate::wire::Packet;
+use crate::wire::{FlowId, PktRef};
+
+/// What a queue holds per packet: the pool handle and the header fields
+/// disciplines inspect. `Copy`, 24 bytes — moving one is three registers.
+#[derive(Clone, Copy, Debug)]
+pub struct QueuedPkt {
+    /// Handle to the full packet in the network's pool.
+    pub pkt: PktRef,
+    /// Wire size (for byte limits and token accounting).
+    pub size: Bytes,
+    /// Flow (for FQ hashing and drop accounting).
+    pub flow: FlowId,
+    /// Time this entry entered the queue it currently occupies; set by the
+    /// discipline on enqueue, read by CoDel as the sojourn clock.
+    pub enqueued_at: SimTime,
+}
 
 /// A buffering/drop policy for a link.
 ///
 /// Queues never shape traffic — rate limiting is the link's token bucket —
-/// they only decide what to hold and what to drop. Packets dropped at
-/// enqueue are returned in `Err`; packets dropped at *dequeue* time (CoDel
-/// does this) are pushed into `dropped`.
+/// they only decide what to hold and what to drop. Entries dropped at
+/// enqueue are returned in `Err`; entries dropped at *dequeue* time (CoDel
+/// does this) are pushed into `dropped`. The caller owns drop accounting
+/// and must release each dropped entry's pool slot.
 pub trait Queue {
-    /// Offer a packet. `Err(p)` means the packet was dropped (tail drop or
-    /// overflow). Returning the packet by value is deliberate — the caller
-    /// owns drop accounting, and boxing every enqueue to appease
-    /// `result_large_err` would cost an allocation per packet on the
-    /// hottest path in the simulator.
-    #[allow(clippy::result_large_err)]
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> Result<(), Packet>;
+    /// Offer an entry. `Err(item)` means it was dropped (tail drop or
+    /// overflow). The discipline stamps `enqueued_at = now` on acceptance.
+    fn enqueue(&mut self, item: QueuedPkt, now: SimTime) -> Result<(), QueuedPkt>;
 
-    /// Take the next packet to transmit. AQM disciplines may drop packets
+    /// Take the next entry to transmit. AQM disciplines may drop entries
     /// here; they are appended to `dropped`.
-    fn dequeue(&mut self, now: SimTime, dropped: &mut Vec<Packet>) -> Option<Packet>;
+    fn dequeue(&mut self, now: SimTime, dropped: &mut Vec<QueuedPkt>) -> Option<QueuedPkt>;
 
-    /// Wire size of the packet `dequeue` would return, without removing it.
+    /// Wire size of the entry `dequeue` would return, without removing it.
     /// AQM head drops may make this an over-estimate; the link only uses it
     /// to size token-bucket waits, and re-checks after the actual dequeue.
     fn peek_size(&self) -> Option<Bytes>;
@@ -106,12 +124,17 @@ impl QueueSpec {
         match *self {
             QueueSpec::DropTail { limit } => Box::new(DropTailQueue::bytes(limit)),
             QueueSpec::DropTailPkts { limit } => Box::new(DropTailQueue::packets(limit)),
-            QueueSpec::CoDel { limit, target, interval } => {
-                Box::new(CoDelQueue::new(limit, target, interval))
-            }
-            QueueSpec::FqCoDel { limit, target, interval, quantum } => {
-                Box::new(FqCoDelQueue::new(limit, target, interval, quantum))
-            }
+            QueueSpec::CoDel {
+                limit,
+                target,
+                interval,
+            } => Box::new(CoDelQueue::new(limit, target, interval)),
+            QueueSpec::FqCoDel {
+                limit,
+                target,
+                interval,
+                quantum,
+            } => Box::new(FqCoDelQueue::new(limit, target, interval, quantum)),
         }
     }
 }
@@ -122,7 +145,7 @@ impl QueueSpec {
 
 /// FIFO tail-drop queue, limited by bytes (like `tbf limit`) or by packets.
 pub struct DropTailQueue {
-    q: VecDeque<Packet>,
+    q: VecDeque<QueuedPkt>,
     bytes: Bytes,
     byte_limit: Option<Bytes>,
     pkt_limit: Option<usize>,
@@ -153,27 +176,27 @@ impl DropTailQueue {
 }
 
 impl Queue for DropTailQueue {
-    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> Result<(), Packet> {
+    fn enqueue(&mut self, mut item: QueuedPkt, now: SimTime) -> Result<(), QueuedPkt> {
         if let Some(lim) = self.byte_limit {
-            if self.bytes + pkt.size > lim {
-                return Err(pkt);
+            if self.bytes + item.size > lim {
+                return Err(item);
             }
         }
         if let Some(lim) = self.pkt_limit {
             if self.q.len() >= lim {
-                return Err(pkt);
+                return Err(item);
             }
         }
-        pkt.enqueued_at = now;
-        self.bytes += pkt.size;
-        self.q.push_back(pkt);
+        item.enqueued_at = now;
+        self.bytes += item.size;
+        self.q.push_back(item);
         Ok(())
     }
 
-    fn dequeue(&mut self, _now: SimTime, _dropped: &mut Vec<Packet>) -> Option<Packet> {
-        let pkt = self.q.pop_front()?;
-        self.bytes -= pkt.size;
-        Some(pkt)
+    fn dequeue(&mut self, _now: SimTime, _dropped: &mut Vec<QueuedPkt>) -> Option<QueuedPkt> {
+        let item = self.q.pop_front()?;
+        self.bytes -= item.size;
+        Some(item)
     }
 
     fn peek_size(&self) -> Option<Bytes> {
@@ -203,7 +226,7 @@ impl Queue for DropTailQueue {
 /// for `interval`, CoDel enters the dropping state and drops head packets at
 /// intervals shrinking with the square root of the drop count.
 pub struct CoDelQueue {
-    q: VecDeque<Packet>,
+    q: VecDeque<QueuedPkt>,
     bytes: Bytes,
     limit: Bytes,
     target: SimDuration,
@@ -241,35 +264,35 @@ impl CoDelQueue {
     }
 
     /// Pop the head and decide whether it should be dropped (sojourn above
-    /// target). Returns `(packet, ok_to_deliver)`.
-    fn do_dequeue(&mut self, now: SimTime) -> Option<(Packet, bool)> {
-        let pkt = self.q.pop_front()?;
-        self.bytes -= pkt.size;
-        let sojourn = now.saturating_since(pkt.enqueued_at);
+    /// target). Returns `(entry, ok_to_deliver)`.
+    fn do_dequeue(&mut self, now: SimTime) -> Option<(QueuedPkt, bool)> {
+        let item = self.q.pop_front()?;
+        self.bytes -= item.size;
+        let sojourn = now.saturating_since(item.enqueued_at);
         if sojourn < self.target || self.bytes < Bytes(1514) {
             // Went below target (or queue nearly empty): reset the clock.
             self.first_above_time = None;
-            Some((pkt, true))
+            Some((item, true))
         } else {
             let fat = *self.first_above_time.get_or_insert(now + self.interval);
-            Some((pkt, now < fat))
+            Some((item, now < fat))
         }
     }
 }
 
 impl Queue for CoDelQueue {
-    fn enqueue(&mut self, mut pkt: Packet, now: SimTime) -> Result<(), Packet> {
-        if self.bytes + pkt.size > self.limit {
-            return Err(pkt);
+    fn enqueue(&mut self, mut item: QueuedPkt, now: SimTime) -> Result<(), QueuedPkt> {
+        if self.bytes + item.size > self.limit {
+            return Err(item);
         }
-        pkt.enqueued_at = now;
-        self.bytes += pkt.size;
-        self.q.push_back(pkt);
+        item.enqueued_at = now;
+        self.bytes += item.size;
+        self.q.push_back(item);
         Ok(())
     }
 
-    fn dequeue(&mut self, now: SimTime, dropped: &mut Vec<Packet>) -> Option<Packet> {
-        let (mut pkt, mut ok) = self.do_dequeue(now)?;
+    fn dequeue(&mut self, now: SimTime, dropped: &mut Vec<QueuedPkt>) -> Option<QueuedPkt> {
+        let (mut item, mut ok) = self.do_dequeue(now)?;
 
         if self.dropping {
             if ok {
@@ -277,10 +300,10 @@ impl Queue for CoDelQueue {
             } else {
                 while self.dropping && now >= self.drop_next {
                     self.count += 1;
-                    dropped.push(pkt);
+                    dropped.push(item);
                     match self.do_dequeue(now) {
                         Some((p, k)) => {
-                            pkt = p;
+                            item = p;
                             ok = k;
                             if ok {
                                 self.dropping = false;
@@ -297,7 +320,7 @@ impl Queue for CoDelQueue {
             }
         } else if !ok {
             // Enter dropping state: drop this packet and deliver the next.
-            dropped.push(pkt);
+            dropped.push(item);
             self.dropping = true;
             // RFC: if we recently dropped, resume from a higher count.
             let delta = self.count.saturating_sub(self.last_count);
@@ -309,9 +332,9 @@ impl Queue for CoDelQueue {
             self.drop_next = self.control_law(now);
             self.last_count = self.count;
             let (p, _) = self.do_dequeue(now)?;
-            pkt = p;
+            item = p;
         }
-        Some(pkt)
+        Some(item)
     }
 
     fn peek_size(&self) -> Option<Bytes> {
@@ -379,7 +402,7 @@ impl FqCoDelQueue {
         }
     }
 
-    fn bucket(flow: crate::wire::FlowId) -> usize {
+    fn bucket(flow: FlowId) -> usize {
         // Multiplicative hash; flows in the testbed are few, collisions are
         // acceptable (RFC 8290 uses a similar stochastic hash).
         (flow.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) as usize % FQ_BUCKETS
@@ -387,13 +410,13 @@ impl FqCoDelQueue {
 }
 
 impl Queue for FqCoDelQueue {
-    fn enqueue(&mut self, pkt: Packet, now: SimTime) -> Result<(), Packet> {
-        if self.bytes + pkt.size > self.limit {
-            return Err(pkt);
+    fn enqueue(&mut self, item: QueuedPkt, now: SimTime) -> Result<(), QueuedPkt> {
+        if self.bytes + item.size > self.limit {
+            return Err(item);
         }
-        let b = Self::bucket(pkt.flow);
-        let size = pkt.size;
-        self.flows[b].codel.enqueue(pkt, now)?;
+        let b = Self::bucket(item.flow);
+        let size = item.size;
+        self.flows[b].codel.enqueue(item, now)?;
         self.bytes += size;
         self.pkts += 1;
         if !self.in_new[b] && !self.in_old[b] {
@@ -404,7 +427,7 @@ impl Queue for FqCoDelQueue {
         Ok(())
     }
 
-    fn dequeue(&mut self, now: SimTime, dropped: &mut Vec<Packet>) -> Option<Packet> {
+    fn dequeue(&mut self, now: SimTime, dropped: &mut Vec<QueuedPkt>) -> Option<QueuedPkt> {
         loop {
             // Pick the next flow: new list first, then old list.
             let (b, from_new) = if let Some(&b) = self.new_flows.front() {
@@ -432,16 +455,16 @@ impl Queue for FqCoDelQueue {
 
             let before = dropped.len();
             match self.flows[b].codel.dequeue(now, dropped) {
-                Some(pkt) => {
+                Some(item) => {
                     // Account for CoDel's internal drops.
                     for d in &dropped[before..] {
                         self.bytes -= d.size;
                         self.pkts -= 1;
                     }
-                    self.bytes -= pkt.size;
+                    self.bytes -= item.size;
                     self.pkts -= 1;
-                    self.flows[b].deficit -= pkt.size.as_u64() as i64;
-                    return Some(pkt);
+                    self.flows[b].deficit -= item.size.as_u64() as i64;
+                    return Some(item);
                 }
                 None => {
                     for d in &dropped[before..] {
@@ -490,20 +513,19 @@ impl Queue for FqCoDelQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::net::{AgentId, NodeId};
-    use crate::wire::{FlowId, Payload};
 
-    fn pkt(flow: u32, size: u64) -> Packet {
-        Packet {
-            id: 0,
+    fn pkt(flow: u32, size: u64) -> QueuedPkt {
+        qpkt(0, flow, size)
+    }
+
+    /// `id` goes into the pool handle, which queues carry opaquely —
+    /// handy as an identity check in FIFO tests.
+    fn qpkt(id: u32, flow: u32, size: u64) -> QueuedPkt {
+        QueuedPkt {
+            pkt: PktRef(id),
             flow: FlowId(flow),
-            src: NodeId(0),
-            dst: NodeId(1),
-            dst_agent: AgentId(0),
             size: Bytes(size),
-            sent_at: SimTime::ZERO,
             enqueued_at: SimTime::ZERO,
-            payload: Payload::Raw,
         }
     }
 
@@ -528,14 +550,15 @@ mod tests {
     #[test]
     fn drop_tail_is_fifo() {
         let mut q = DropTailQueue::bytes(Bytes(10_000));
-        for i in 0..5u64 {
-            let mut p = pkt(1, 100);
-            p.id = i;
-            q.enqueue(p, SimTime::ZERO).unwrap();
+        for i in 0..5u32 {
+            q.enqueue(qpkt(i, 1, 100), SimTime::ZERO).unwrap();
         }
         let mut dropped = vec![];
-        for i in 0..5u64 {
-            assert_eq!(q.dequeue(SimTime::ZERO, &mut dropped).unwrap().id, i);
+        for i in 0..5u32 {
+            assert_eq!(
+                q.dequeue(SimTime::ZERO, &mut dropped).unwrap().pkt,
+                PktRef(i)
+            );
         }
         assert!(q.dequeue(SimTime::ZERO, &mut dropped).is_none());
     }
@@ -547,6 +570,17 @@ mod tests {
         assert!(q.enqueue(pkt(1, 1), SimTime::ZERO).is_ok());
         assert!(q.enqueue(pkt(1, 1), SimTime::ZERO).is_err());
         assert_eq!(q.capacity_bytes(), None);
+    }
+
+    #[test]
+    fn enqueue_stamps_sojourn_clock() {
+        let mut q = DropTailQueue::bytes(Bytes(10_000));
+        let mut item = pkt(1, 100);
+        item.enqueued_at = SimTime::from_secs(99); // stale value must be overwritten
+        q.enqueue(item, SimTime::from_millis(3)).unwrap();
+        let mut dropped = vec![];
+        let out = q.dequeue(SimTime::from_millis(3), &mut dropped).unwrap();
+        assert_eq!(out.enqueued_at, SimTime::from_millis(3));
     }
 
     #[test]

@@ -68,9 +68,16 @@ pub fn proto_tag(payload: &Payload) -> String {
                 format!("tcp seq={} len={}", seg.seq, seg.len)
             }
         }
-        Payload::Media(m) => format!("media f={} c={}/{}", m.frame_id, m.chunk_index, m.chunk_count),
+        Payload::Media(m) => format!(
+            "media f={} c={}/{}",
+            m.frame_id, m.chunk_index, m.chunk_count
+        ),
         Payload::Feedback(fb) => format!("fb seq={} loss={:.3}", fb.seq, fb.loss),
-        Payload::Ping(p) => format!("ping seq={}{}", p.seq, if p.is_reply { " reply" } else { "" }),
+        Payload::Ping(p) => format!(
+            "ping seq={}{}",
+            p.seq,
+            if p.is_reply { " reply" } else { "" }
+        ),
         Payload::Raw => "raw".to_string(),
     }
 }

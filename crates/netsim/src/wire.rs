@@ -48,11 +48,87 @@ pub struct Packet {
     pub size: Bytes,
     /// Time the sending agent handed the packet to the network.
     pub sent_at: SimTime,
-    /// Time the packet entered the queue it currently occupies; used by
-    /// CoDel for sojourn time. Maintained by links.
-    pub enqueued_at: SimTime,
     /// Protocol content.
     pub payload: Payload,
+}
+
+/// A handle to a packet parked in a [`PacketPool`].
+///
+/// Packets are ~150 bytes (the payload union dominates); moving them
+/// through every queue, link, and scheduler hop would memcpy that full
+/// width per hop. Instead the pool owns the storage and the hot path moves
+/// 4-byte refs plus the few header fields queues actually inspect (see
+/// [`crate::queue::QueuedPkt`]). A ref is live from [`PacketPool::insert`]
+/// until [`PacketPool::take`]; the network takes a packet out exactly once
+/// — at final delivery or at the drop-accounting site.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PktRef(pub u32);
+
+/// Slab of in-flight packets; see [`PktRef`].
+#[derive(Default)]
+pub struct PacketPool {
+    slots: Vec<Option<Packet>>,
+    free: Vec<u32>,
+}
+
+impl PacketPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Park a packet, returning its handle. Slots are recycled, so a
+    /// steady-state simulation stops allocating once the pool covers the
+    /// peak number of packets simultaneously in flight.
+    pub fn insert(&mut self, pkt: Packet) -> PktRef {
+        match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Some(pkt);
+                PktRef(slot)
+            }
+            None => {
+                let slot = self.slots.len() as u32;
+                self.slots.push(Some(pkt));
+                PktRef(slot)
+            }
+        }
+    }
+
+    /// Borrow a parked packet.
+    ///
+    /// # Panics
+    /// Panics if `r` was already taken — a use-after-free of the slot.
+    pub fn get(&self, r: PktRef) -> &Packet {
+        self.slots[r.0 as usize].as_ref().expect("stale PktRef")
+    }
+
+    /// Remove a packet, freeing its slot. Each ref must be taken exactly
+    /// once.
+    ///
+    /// # Panics
+    /// Panics if `r` was already taken.
+    pub fn take(&mut self, r: PktRef) -> Packet {
+        let pkt = self.slots[r.0 as usize].take().expect("stale PktRef");
+        self.free.push(r.0);
+        pkt
+    }
+
+    /// Duplicate a parked packet into a fresh slot (netem-style
+    /// duplication is the one place the simulator truly copies a packet).
+    pub fn clone_of(&mut self, r: PktRef) -> PktRef {
+        let copy = self.get(r).clone();
+        self.insert(copy)
+    }
+
+    /// Number of packets currently parked.
+    pub fn len(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// True when no packets are in flight.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
 }
 
 /// Protocol content of a packet.
@@ -216,11 +292,63 @@ mod tests {
             dst_agent: AgentId(0),
             size: Bytes(100),
             sent_at: SimTime::from_millis(10),
-            enqueued_at: SimTime::ZERO,
             payload: Payload::Raw,
         };
-        assert_eq!(p.age(SimTime::from_millis(25)), SimDuration::from_millis(15));
+        assert_eq!(
+            p.age(SimTime::from_millis(25)),
+            SimDuration::from_millis(15)
+        );
         // Age saturates instead of underflowing.
         assert_eq!(p.age(SimTime::ZERO), SimDuration::ZERO);
+    }
+
+    fn raw_pkt(id: u64) -> Packet {
+        Packet {
+            id,
+            flow: FlowId(0),
+            src: NodeId(0),
+            dst: NodeId(1),
+            dst_agent: AgentId(0),
+            size: Bytes(100),
+            sent_at: SimTime::ZERO,
+            payload: Payload::Raw,
+        }
+    }
+
+    #[test]
+    fn pool_recycles_slots() {
+        let mut pool = PacketPool::new();
+        let a = pool.insert(raw_pkt(1));
+        let b = pool.insert(raw_pkt(2));
+        assert_eq!(pool.len(), 2);
+        assert_eq!(pool.get(a).id, 1);
+        assert_eq!(pool.take(a).id, 1);
+        // The freed slot is reused before the pool grows.
+        let c = pool.insert(raw_pkt(3));
+        assert_eq!(c.0, a.0);
+        assert_eq!(pool.get(b).id, 2);
+        assert_eq!(pool.get(c).id, 3);
+        pool.take(b);
+        pool.take(c);
+        assert!(pool.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stale PktRef")]
+    fn pool_take_twice_panics() {
+        let mut pool = PacketPool::new();
+        let r = pool.insert(raw_pkt(1));
+        pool.take(r);
+        pool.take(r);
+    }
+
+    #[test]
+    fn pool_clone_of_copies_content() {
+        let mut pool = PacketPool::new();
+        let r = pool.insert(raw_pkt(9));
+        let c = pool.clone_of(r);
+        assert_ne!(r, c);
+        assert_eq!(pool.get(c).id, 9);
+        assert_eq!(pool.len(), 2);
     }
 }

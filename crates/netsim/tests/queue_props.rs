@@ -2,23 +2,19 @@
 //! shaper: FIFO order, byte accounting, capacity respect, and AQM
 //! invariants across randomized workloads.
 
-use gsrepro_netsim::net::{AgentId, NodeId};
-use gsrepro_netsim::queue::{DropTailQueue, Queue, QueueSpec};
-use gsrepro_netsim::wire::{FlowId, Packet, Payload};
+use gsrepro_netsim::queue::{DropTailQueue, Queue, QueueSpec, QueuedPkt};
+use gsrepro_netsim::wire::{FlowId, PktRef};
 use gsrepro_simcore::{Bytes, SimTime};
 use proptest::prelude::*;
 
-fn pkt(id: u64, flow: u32, size: u64) -> Packet {
-    Packet {
-        id,
+/// Queues carry pool handles, not packets; the `id` doubles as the handle
+/// so FIFO order can be asserted on what comes out.
+fn pkt(id: u64, flow: u32, size: u64) -> QueuedPkt {
+    QueuedPkt {
+        pkt: PktRef(id as u32),
         flow: FlowId(flow),
-        src: NodeId(0),
-        dst: NodeId(1),
-        dst_agent: AgentId(0),
         size: Bytes(size),
-        sent_at: SimTime::ZERO,
         enqueued_at: SimTime::ZERO,
-        payload: Payload::Raw,
     }
 }
 
@@ -47,7 +43,7 @@ fn churn(
             scratch.clear();
             if let Some(p) = q.dequeue(now, &mut scratch) {
                 delivered += 1;
-                out_ids.push(p.id);
+                out_ids.push(p.pkt.0 as u64);
             }
             aqm_dropped += scratch.len() as u64;
         }

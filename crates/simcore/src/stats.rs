@@ -121,7 +121,10 @@ impl TimeBinned {
     /// Panics if `width` is zero.
     pub fn new(width: SimDuration) -> Self {
         assert!(!width.is_zero(), "bin width must be positive");
-        TimeBinned { width, bins: Vec::new() }
+        TimeBinned {
+            width,
+            bins: Vec::new(),
+        }
     }
 
     /// Bin width.
@@ -265,7 +268,12 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, buckets: usize) -> Self {
         assert!(hi > lo, "histogram range must be positive");
         assert!(buckets > 0, "histogram needs at least one bucket");
-        Histogram { lo, hi, buckets: vec![0; buckets], count: 0 }
+        Histogram {
+            lo,
+            hi,
+            buckets: vec![0; buckets],
+            count: 0,
+        }
     }
 
     /// Record one sample (clamped into the edge buckets).

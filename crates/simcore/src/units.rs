@@ -195,7 +195,11 @@ impl BitRate {
     pub fn mul_f64(self, k: f64) -> BitRate {
         debug_assert!(k >= 0.0);
         let v = self.0 as f64 * k;
-        BitRate(if v >= u64::MAX as f64 { u64::MAX } else { v as u64 })
+        BitRate(if v >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            v as u64
+        })
     }
 
     /// Rate achieved by delivering `bytes` over `dur`; `None` if `dur` is

@@ -203,7 +203,9 @@ impl Bbr {
         if gain == 0.75 && in_flight <= self.bdp_bytes() {
             advance = true;
         }
-        if gain == 1.25 && elapsed > self.rt_prop && in_flight < (self.bdp_bytes() as f64 * 1.25) as u64
+        if gain == 1.25
+            && elapsed > self.rt_prop
+            && in_flight < (self.bdp_bytes() as f64 * 1.25) as u64
         {
             // Wait for inflight to reach the probe target unless time's up.
             advance = elapsed > self.rt_prop * 2;
@@ -264,11 +266,7 @@ impl CongestionControl for Bbr {
     fn on_ack(&mut self, ack: &AckInfo) {
         // rt_prop windowed-min filter (monotonic deque, O(1) amortized).
         if let Some(rtt) = ack.rtt {
-            while self
-                .rt_samples
-                .back()
-                .is_some_and(|&(_, r)| r >= rtt)
-            {
+            while self.rt_samples.back().is_some_and(|&(_, r)| r >= rtt) {
                 self.rt_samples.pop_back();
             }
             self.rt_samples.push_back((ack.now, rtt));
@@ -421,7 +419,15 @@ mod tests {
             delivered += MSS;
             // Report an in-flight just below the 25 kB BDP so DRAIN can
             // complete once the pipe-full check fires.
-            b.on_ack(&ack_at(now, 20, rate, 24_000, round, round_start, delivered));
+            b.on_ack(&ack_at(
+                now,
+                20,
+                rate,
+                24_000,
+                round,
+                round_start,
+                delivered,
+            ));
         }
         (now, round)
     }
@@ -481,7 +487,15 @@ mod tests {
                 now += SimDuration::from_millis(20);
             }
             delivered += MSS;
-            b.on_ack(&ack_at(now, 20, rate, 50_000, round, round_start, delivered));
+            b.on_ack(&ack_at(
+                now,
+                20,
+                rate,
+                50_000,
+                round,
+                round_start,
+                delivered,
+            ));
             let p = b.pacing_rate().unwrap().as_bps() as f64 / rate.as_bps() as f64;
             gains.insert((p * 100.0).round() as i64);
         }
@@ -508,7 +522,15 @@ mod tests {
                 now += SimDuration::from_millis(21);
             }
             delivered += MSS;
-            b.on_ack(&ack_at(now, 21, rate, 4 * MSS, round, round_start, delivered));
+            b.on_ack(&ack_at(
+                now,
+                21,
+                rate,
+                4 * MSS,
+                round,
+                round_start,
+                delivered,
+            ));
             if b.mode_name() == "probe_rtt" {
                 saw_probe_rtt = true;
                 min_cwnd_seen = min_cwnd_seen.min(b.cwnd());
@@ -575,7 +597,11 @@ mod tests {
             delivered += MSS;
             b.on_ack(&ack_at(now, 45, rate, 2 * MSS, round, true, delivered));
         }
-        assert!(b.cwnd() > 2 * 24_000, "cwnd {} should track the inflated BDP", b.cwnd());
+        assert!(
+            b.cwnd() > 2 * 24_000,
+            "cwnd {} should track the inflated BDP",
+            b.cwnd()
+        );
     }
 
     #[test]
@@ -598,7 +624,7 @@ mod tests {
     fn bw_filter_forgets_old_samples() {
         let mut b = Bbr::new(MSS);
         warm_up(&mut b); // 10 Mb/s history
-        // Path slows to 2 Mb/s: after > 10 rounds the estimate must drop.
+                         // Path slows to 2 Mb/s: after > 10 rounds the estimate must drop.
         let rate = BitRate::from_mbps(2);
         let mut now = SimTime::from_secs(60);
         let mut delivered = 2_000_000;

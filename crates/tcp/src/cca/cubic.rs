@@ -90,7 +90,9 @@ impl Cubic {
         }
 
         // Target one RTT ahead, as Linux does (t + srtt).
-        let t = (now + ack.srtt).since(self.epoch_start.expect("set above")).as_secs_f64();
+        let t = (now + ack.srtt)
+            .since(self.epoch_start.expect("set above"))
+            .as_secs_f64();
         let target = self.w_last_max + C * (t - self.k).powi(3);
 
         // Segments to ack per 1-segment increase.
@@ -102,7 +104,8 @@ impl Cubic {
 
         // TCP-friendly region (average AIMD rate with β = 0.7):
         // W_tcp grows by 3(1−β)/(1+β) segments per RTT.
-        self.w_tcp += 3.0 * (1.0 - BETA) / (1.0 + BETA) * (ack.bytes_acked as f64 / self.cwnd as f64);
+        self.w_tcp +=
+            3.0 * (1.0 - BETA) / (1.0 + BETA) * (ack.bytes_acked as f64 / self.cwnd as f64);
         let cnt = if self.w_tcp > w {
             cnt.min(w / (self.w_tcp - w))
         } else {
@@ -209,7 +212,17 @@ mod tests {
         drive_acks(&mut c, MSS, 90, APR, RTT, RATE, SimTime::ZERO, 0, 0);
         let w_loss = c.cwnd() as f64 / MSS as f64;
         c.on_congestion_event(SimTime::from_secs(2), c.cwnd());
-        drive_acks(&mut c, MSS, 1, APR, RTT, RATE, SimTime::from_secs(2), 100, 1_000_000);
+        drive_acks(
+            &mut c,
+            MSS,
+            1,
+            APR,
+            RTT,
+            RATE,
+            SimTime::from_secs(2),
+            100,
+            1_000_000,
+        );
         // K = cbrt((W_max − W)/C), W = β·W_max.
         let expect_k = ((w_loss - BETA * w_loss) / C).cbrt();
         assert!(
@@ -271,8 +284,17 @@ mod tests {
         drive_acks(&mut c, MSS, 400, APR, RTT, RATE, SimTime::ZERO, 0, 0);
         c.on_congestion_event(SimTime::from_secs(5), c.cwnd());
         // Open the epoch and learn K.
-        let (mut t, mut r) =
-            drive_acks(&mut c, MSS, 1, APR, RTT, RATE, SimTime::from_secs(5), 100, 1_000_000);
+        let (mut t, mut r) = drive_acks(
+            &mut c,
+            MSS,
+            1,
+            APR,
+            RTT,
+            RATE,
+            SimTime::from_secs(5),
+            100,
+            1_000_000,
+        );
         let k = c.k_secs();
         // Run up to roughly K.
         let acks_to_k = ((k / 0.02) as u64) * APR;

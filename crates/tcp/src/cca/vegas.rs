@@ -207,7 +207,7 @@ mod tests {
         let mut v = Vegas::new(MSS);
         assert!(v.in_slow_start());
         v.on_ack(&ack(20, 20, 1, true)); // establishes base_rtt = 20
-        // Grow during the round at base RTT.
+                                         // Grow during the round at base RTT.
         for _ in 0..20 {
             v.on_ack(&ack(25, 20, 1, false));
         }

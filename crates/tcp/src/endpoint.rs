@@ -277,11 +277,7 @@ impl TcpSender {
     }
 
     fn pipe(&self) -> u64 {
-        self.segs
-            .iter()
-            .filter(|s| !s.lost)
-            .map(|s| s.len)
-            .sum()
+        self.segs.iter().filter(|s| !s.lost).map(|s| s.len).sum()
     }
 
     fn in_recovery(&self) -> bool {
@@ -299,7 +295,11 @@ impl TcpSender {
             }
             Some(srtt) => {
                 // RFC 6298: beta = 1/4, alpha = 1/8.
-                let delta = if srtt > sample { srtt - sample } else { sample - srtt };
+                let delta = if srtt > sample {
+                    srtt - sample
+                } else {
+                    sample - srtt
+                };
                 self.rttvar = (self.rttvar * 3 + delta) / 4;
                 self.srtt = Some((srtt * 7 + sample) / 8);
             }
@@ -592,8 +592,7 @@ impl TcpSender {
             // al. Guarded against hole-fill cumacks, whose byte jumps are
             // not wire-rate evidence (Karn's rule again).
             let mss = self.mss();
-            let hole_fill =
-                newly_delivered > 2 * mss || newest_acked.is_some_and(|(_, _, r)| r);
+            let hole_fill = newly_delivered > 2 * mss || newest_acked.is_some_and(|(_, _, r)| r);
             let mut delivery_rate = flight_rate;
             if hole_fill {
                 self.burst_anchor = None;
@@ -607,8 +606,7 @@ impl TcpSender {
                         } else if self.delivered - d >= 4 * mss
                             && dt >= SimDuration::from_micros(200)
                         {
-                            let burst =
-                                BitRate::from_delivery(Bytes(self.delivered - d), dt);
+                            let burst = BitRate::from_delivery(Bytes(self.delivered - d), dt);
                             delivery_rate = match (delivery_rate, burst) {
                                 (Some(f), Some(b)) => Some(f.max(b)),
                                 (None, b) => b,
@@ -834,7 +832,9 @@ impl Agent for TcpReceiver {
     }
 
     fn on_packet(&mut self, pkt: Packet, ctx: &mut Ctx) {
-        let Payload::Tcp(seg) = pkt.payload else { return };
+        let Payload::Tcp(seg) = pkt.payload else {
+            return;
+        };
         if seg.len == 0 {
             return;
         }
@@ -924,13 +924,19 @@ mod tests {
             LinkSpec {
                 shaper: Shaper::rate(BitRate::from_mbps(rate_mbps)),
                 delay: SimDuration::from_millis(owd_ms),
-                queue: QueueSpec::DropTail { limit: Bytes(queue_bytes) },
+                queue: QueueSpec::DropTail {
+                    limit: Bytes(queue_bytes),
+                },
                 jitter: SimDuration::ZERO,
                 loss_prob: 0.0,
                 dup_prob: 0.0,
             },
         );
-        b.link(client, server, LinkSpec::lan(SimDuration::from_millis(owd_ms)));
+        b.link(
+            client,
+            server,
+            LinkSpec::lan(SimDuration::from_millis(owd_ms)),
+        );
         let data = b.flow("tcp-data");
         let acks = b.flow("tcp-ack");
         // Agent ids are assigned in insertion order: sender = 0, receiver = 1.
@@ -1013,8 +1019,12 @@ mod tests {
         b.link(
             server,
             client,
-            LinkSpec::bottleneck(BitRate::from_mbps(10), Bytes(50_000), SimDuration::from_millis(10))
-                .with_loss(0.01),
+            LinkSpec::bottleneck(
+                BitRate::from_mbps(10),
+                Bytes(50_000),
+                SimDuration::from_millis(10),
+            )
+            .with_loss(0.01),
         );
         b.link(client, server, LinkSpec::lan(SimDuration::from_millis(10)));
         let data = b.flow("d");
@@ -1025,13 +1035,21 @@ mod tests {
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(20));
         let s: &TcpSender = sim.net.agent(sender);
-        assert!(s.retransmissions() > 0, "1% loss must cause retransmissions");
+        assert!(
+            s.retransmissions() > 0,
+            "1% loss must cause retransmissions"
+        );
         let r: &TcpReceiver = sim.net.agent(recv);
         assert!(r.bytes_received() > 1_000_000);
         // The sender's delivered counter and receiver's in-order byte count
         // agree within one window.
         let gap = s.delivered_bytes() as i64 - r.bytes_received() as i64;
-        assert!(gap.abs() < 1_000_000, "delivered {} vs received {}", s.delivered_bytes(), r.bytes_received());
+        assert!(
+            gap.abs() < 1_000_000,
+            "delivered {} vs received {}",
+            s.delivered_bytes(),
+            r.bytes_received()
+        );
     }
 
     #[test]
@@ -1042,7 +1060,11 @@ mod tests {
         b.link(
             server,
             client,
-            LinkSpec::bottleneck(BitRate::from_mbps(20), Bytes(80_000), SimDuration::from_millis(8)),
+            LinkSpec::bottleneck(
+                BitRate::from_mbps(20),
+                Bytes(80_000),
+                SimDuration::from_millis(8),
+            ),
         );
         b.link(client, server, LinkSpec::lan(SimDuration::from_millis(8)));
         let mut flows = vec![];
@@ -1060,7 +1082,10 @@ mod tests {
         let g1 = sim.goodput_mbps(flows[0], SimTime::from_secs(20), SimTime::from_secs(60));
         let g2 = sim.goodput_mbps(flows[1], SimTime::from_secs(20), SimTime::from_secs(60));
         let jfi = (g1 + g2).powi(2) / (2.0 * (g1 * g1 + g2 * g2));
-        assert!(jfi > 0.9, "intra-protocol fairness: JFI {jfi} (g1={g1}, g2={g2})");
+        assert!(
+            jfi > 0.9,
+            "intra-protocol fairness: JFI {jfi} (g1={g1}, g2={g2})"
+        );
         assert!(g1 + g2 > 18.0, "link underutilized: {g1}+{g2}");
     }
 
@@ -1072,7 +1097,11 @@ mod tests {
         b.link(
             server,
             client,
-            LinkSpec::bottleneck(BitRate::from_mbps(10), Bytes(40_000), SimDuration::from_millis(5)),
+            LinkSpec::bottleneck(
+                BitRate::from_mbps(10),
+                Bytes(40_000),
+                SimDuration::from_millis(5),
+            ),
         );
         b.link(client, server, LinkSpec::lan(SimDuration::from_millis(5)));
         let data = b.flow("d");
@@ -1084,7 +1113,10 @@ mod tests {
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(20));
         let st = sim.net.monitor().stats(data);
-        assert_eq!(st.mean_goodput_mbps(SimTime::ZERO, SimTime::from_secs(5)), 0.0);
+        assert_eq!(
+            st.mean_goodput_mbps(SimTime::ZERO, SimTime::from_secs(5)),
+            0.0
+        );
         let active = st.mean_goodput_mbps(SimTime::from_secs(6), SimTime::from_secs(10));
         assert!(active > 8.0, "active-phase goodput {active}");
         let after = st.mean_goodput_mbps(SimTime::from_secs(11), SimTime::from_secs(20));
@@ -1124,7 +1156,11 @@ mod tests {
         b.link(
             server,
             client,
-            LinkSpec::bottleneck(BitRate::from_mbps(50), Bytes(200_000), SimDuration::from_millis(5)),
+            LinkSpec::bottleneck(
+                BitRate::from_mbps(50),
+                Bytes(200_000),
+                SimDuration::from_millis(5),
+            ),
         );
         b.link(client, server, LinkSpec::lan(SimDuration::from_millis(5)));
         let data = b.flow("d");
@@ -1157,8 +1193,12 @@ mod tests {
         b.link(
             server,
             client,
-            LinkSpec::bottleneck(BitRate::from_mbps(5), Bytes(6_000), SimDuration::from_millis(20))
-                .with_loss(0.08),
+            LinkSpec::bottleneck(
+                BitRate::from_mbps(5),
+                Bytes(6_000),
+                SimDuration::from_millis(20),
+            )
+            .with_loss(0.08),
         );
         b.link(client, server, LinkSpec::lan(SimDuration::from_millis(20)));
         let data = b.flow("d");
@@ -1169,6 +1209,10 @@ mod tests {
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(60));
         let s: &TcpSender = sim.net.agent(sender);
-        assert!(s.delivered_bytes() > 5_000_000, "delivered {}", s.delivered_bytes());
+        assert!(
+            s.delivered_bytes() > 5_000_000,
+            "delivered {}",
+            s.delivered_bytes()
+        );
     }
 }

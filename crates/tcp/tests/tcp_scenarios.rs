@@ -35,7 +35,9 @@ fn build(
         LinkSpec {
             shaper: Shaper::rate(BitRate::from_mbps(rate_mbps)),
             delay: SimDuration::from_millis(owd_ms),
-            queue: QueueSpec::DropTail { limit: Bytes(queue_bytes) },
+            queue: QueueSpec::DropTail {
+                limit: Bytes(queue_bytes),
+            },
             jitter: SimDuration::ZERO,
             loss_prob: loss,
             dup_prob: 0.0,
@@ -47,7 +49,12 @@ fn build(
     let cfg = TcpSenderConfig::new(data, c, AgentId(1), cca);
     let sender = b.add_agent(s, Box::new(TcpSender::new(cfg)));
     let recv = b.add_agent(c, Box::new(TcpReceiver::new(acks, s, sender)));
-    Built { sim: b.build(), data, sender, recv }
+    Built {
+        sim: b.build(),
+        data,
+        sender,
+        recv,
+    }
 }
 
 proptest! {
@@ -120,7 +127,9 @@ fn all_ccas_survive_a_capacity_drop() {
         for rate in [20, 4] {
             let mut tb = build(cca, rate, 40_000, 10, 0.0, 7);
             tb.sim.run_until(SimTime::from_secs(15));
-            let gp = tb.sim.goodput_mbps(tb.data, SimTime::from_secs(5), SimTime::from_secs(15));
+            let gp = tb
+                .sim
+                .goodput_mbps(tb.data, SimTime::from_secs(5), SimTime::from_secs(15));
             assert!(
                 gp > rate as f64 * 0.6,
                 "{cca:?} at {rate} Mb/s achieved only {gp}"
@@ -140,7 +149,11 @@ fn bbr_cwnd_gain_knob_scales_queueing() {
         b.link(
             s,
             c,
-            LinkSpec::bottleneck(BitRate::from_mbps(20), Bytes(400_000), SimDuration::from_millis(10)),
+            LinkSpec::bottleneck(
+                BitRate::from_mbps(20),
+                Bytes(400_000),
+                SimDuration::from_millis(10),
+            ),
         );
         b.link(c, s, LinkSpec::lan(SimDuration::from_millis(10)));
         let data = b.flow("d");
@@ -149,7 +162,10 @@ fn bbr_cwnd_gain_knob_scales_queueing() {
         let mss = cfg.mss.as_u64();
         let sender = b.add_agent(
             s,
-            Box::new(TcpSender::with_controller(cfg, Box::new(Bbr::with_cwnd_gain(mss, gain)))),
+            Box::new(TcpSender::with_controller(
+                cfg,
+                Box::new(Bbr::with_cwnd_gain(mss, gain)),
+            )),
         );
         b.add_agent(c, Box::new(TcpReceiver::new(acks, s, sender)));
         let mut sim = b.build();
@@ -202,7 +218,11 @@ fn delayed_acks_halve_ack_traffic_without_hurting_goodput() {
         b.link(
             s,
             c,
-            LinkSpec::bottleneck(BitRate::from_mbps(20), Bytes(80_000), SimDuration::from_millis(8)),
+            LinkSpec::bottleneck(
+                BitRate::from_mbps(20),
+                Bytes(80_000),
+                SimDuration::from_millis(8),
+            ),
         );
         b.link(c, s, LinkSpec::lan(SimDuration::from_millis(8)));
         let data = b.flow("d");
@@ -210,7 +230,11 @@ fn delayed_acks_halve_ack_traffic_without_hurting_goodput() {
         let cfg = TcpSenderConfig::new(data, c, AgentId(1), CcaKind::Cubic);
         let sender = b.add_agent(s, Box::new(TcpSender::new(cfg)));
         let recv = TcpReceiver::new(acks, s, sender);
-        let recv = if delack { recv.with_delayed_acks() } else { recv };
+        let recv = if delack {
+            recv.with_delayed_acks()
+        } else {
+            recv
+        };
         b.add_agent(c, Box::new(recv));
         let mut sim = b.build();
         sim.run_until(SimTime::from_secs(20));
@@ -221,7 +245,10 @@ fn delayed_acks_halve_ack_traffic_without_hurting_goodput() {
     };
     let (gp_imm, ratio_imm) = run(false);
     let (gp_del, ratio_del) = run(true);
-    assert!(ratio_imm > 0.95, "immediate acks: ~1 ack/segment, got {ratio_imm}");
+    assert!(
+        ratio_imm > 0.95,
+        "immediate acks: ~1 ack/segment, got {ratio_imm}"
+    );
     assert!(
         ratio_del < 0.65,
         "delayed acks should roughly halve ack count, got {ratio_del}"
@@ -240,7 +267,11 @@ fn two_bbr_flows_converge_to_fair_share() {
     b.link(
         s,
         c,
-        LinkSpec::bottleneck(BitRate::from_mbps(24), Bytes(100_000), SimDuration::from_millis(8)),
+        LinkSpec::bottleneck(
+            BitRate::from_mbps(24),
+            Bytes(100_000),
+            SimDuration::from_millis(8),
+        ),
     );
     b.link(c, s, LinkSpec::lan(SimDuration::from_millis(8)));
     let mut flows = vec![];

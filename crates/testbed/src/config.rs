@@ -128,7 +128,12 @@ pub struct Condition {
 
 impl Condition {
     /// A condition on the paper's timeline.
-    pub fn new(system: SystemKind, cca: Option<CcaKind>, capacity_mbps: u64, queue_mult: f64) -> Self {
+    pub fn new(
+        system: SystemKind,
+        cca: Option<CcaKind>,
+        capacity_mbps: u64,
+        queue_mult: f64,
+    ) -> Self {
         Condition {
             system,
             controller_override: None,
@@ -250,17 +255,15 @@ impl Grid {
     pub fn table1(timeline: Timeline) -> Vec<Condition> {
         SystemKind::ALL
             .iter()
-            .map(|&sys| {
-                Condition {
-                    system: sys,
-                    controller_override: None,
-                    cca: None,
-                    capacity: BitRate::from_gbps(1),
-                    queue_mult: 2.0,
-                    aqm: Aqm::DropTail,
-                    wan_jitter: SimDuration::ZERO,
-                    timeline,
-                }
+            .map(|&sys| Condition {
+                system: sys,
+                controller_override: None,
+                cca: None,
+                capacity: BitRate::from_gbps(1),
+                queue_mult: 2.0,
+                aqm: Aqm::DropTail,
+                wan_jitter: SimDuration::ZERO,
+                timeline,
             })
             .collect()
     }
@@ -283,7 +286,10 @@ mod tests {
     #[test]
     fn scaled_timeline_preserves_proportions() {
         let t = Timeline::scaled(0.1);
-        assert_eq!(t.iperf_start, SimTime::ZERO + SimDuration::from_secs_f64(18.5));
+        assert_eq!(
+            t.iperf_start,
+            SimTime::ZERO + SimDuration::from_secs_f64(18.5)
+        );
         assert_eq!(t.end, SimTime::from_secs(54));
     }
 
@@ -293,15 +299,17 @@ mod tests {
         // BDP(25 Mb/s, 16.5 ms) = 51 562 B → 2x = 103 124 B.
         assert_eq!(c.queue_bytes().as_u64(), 103_124);
         let c = Condition::new(SystemKind::Luna, Some(CcaKind::Bbr), 15, 0.5);
-        assert_eq!(c.queue_bytes().as_u64(), (15_000_000f64 * 0.0165 / 8.0 * 0.5).round() as u64);
+        assert_eq!(
+            c.queue_bytes().as_u64(),
+            (15_000_000f64 * 0.0165 / 8.0 * 0.5).round() as u64
+        );
     }
 
     #[test]
     fn labels_are_stable_and_unique() {
         let grid = Grid::full(Timeline::paper());
         assert_eq!(grid.len(), 54);
-        let labels: std::collections::HashSet<String> =
-            grid.iter().map(|c| c.label()).collect();
+        let labels: std::collections::HashSet<String> = grid.iter().map(|c| c.label()).collect();
         assert_eq!(labels.len(), 54);
     }
 

@@ -132,7 +132,10 @@ pub fn table1(opts: ExperimentOpts) -> Table1 {
         .map(|r| {
             let mut pooled = gsrepro_simcore::stats::Samples::new();
             for run in &r.runs {
-                for v in run.game_window(tl.original_window.0, tl.original_window.1).values() {
+                for v in run
+                    .game_window(tl.original_window.0, tl.original_window.1)
+                    .values()
+                {
                     pooled.add(*v);
                 }
             }
@@ -194,10 +197,17 @@ pub fn figure2(opts: ExperimentOpts) -> Figure2 {
                     series.push((q, cr.game_series_ci()));
                 }
             }
-            panels.push(Figure2Panel { system: sys, cca, series });
+            panels.push(Figure2Panel {
+                system: sys,
+                cca,
+                series,
+            });
         }
     }
-    Figure2 { panels, timeline: opts.timeline }
+    Figure2 {
+        panels,
+        timeline: opts.timeline,
+    }
 }
 
 impl Figure2 {
@@ -247,8 +257,14 @@ impl fmt::Display for Figure2 {
                         vals.iter().sum::<f64>() / vals.len() as f64
                     }
                 };
-                let before = phase(tl.original_window.0.as_secs_f64(), tl.iperf_start.as_secs_f64());
-                let during = phase(tl.fairness_window.0.as_secs_f64(), tl.iperf_stop.as_secs_f64());
+                let before = phase(
+                    tl.original_window.0.as_secs_f64(),
+                    tl.iperf_start.as_secs_f64(),
+                );
+                let during = phase(
+                    tl.fairness_window.0.as_secs_f64(),
+                    tl.iperf_stop.as_secs_f64(),
+                );
                 let after = phase(
                     (tl.iperf_stop.as_secs_f64() + tl.end.as_secs_f64()) / 2.0,
                     tl.end.as_secs_f64(),
@@ -294,7 +310,9 @@ pub struct Figure3 {
 pub fn figure3(grid: &GridResults) -> Figure3 {
     let mut cells = Vec::new();
     for cr in &grid.results {
-        let Some(cca) = cr.condition.cca else { continue };
+        let Some(cca) = cr.condition.cca else {
+            continue;
+        };
         let ratios: Vec<f64> = cr
             .runs
             .iter()
@@ -344,7 +362,10 @@ impl Figure3 {
 
 impl fmt::Display for Figure3 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 3 — (game − TCP) bitrate ÷ capacity; + = game wins, − = TCP wins")?;
+        writeln!(
+            f,
+            "Figure 3 — (game − TCP) bitrate ÷ capacity; + = game wins, − = TCP wins"
+        )?;
         for &cca in &CCAS {
             writeln!(f, "\n== competing with {} ==", cca)?;
             for &sys in &SystemKind::ALL {
@@ -416,7 +437,9 @@ pub fn figure4(grid: &GridResults) -> Figure4 {
     }
     let mut raws = Vec::new();
     for cr in &grid.results {
-        let Some(cca) = cr.condition.cca else { continue };
+        let Some(cca) = cr.condition.cca else {
+            continue;
+        };
         let tl = &cr.condition.timeline;
         let mut cs = Vec::new();
         let mut es = Vec::new();
@@ -527,10 +550,14 @@ impl Figure4 {
 
 impl fmt::Display for Figure4 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "Figure 4 — adaptiveness (0..1, higher better) vs fairness (0 = equal share)")?;
+        writeln!(
+            f,
+            "Figure 4 — adaptiveness (0..1, higher better) vs fairness (0 = equal share)"
+        )?;
         for &cca in &CCAS {
             writeln!(f, "\n== vs {} ==", cca)?;
-            let mut t = TextTable::new(vec!["system", "fairness", "adaptiveness", "C (s)", "E (s)"]);
+            let mut t =
+                TextTable::new(vec!["system", "fairness", "adaptiveness", "C (s)", "E (s)"]);
             for &sys in &SystemKind::ALL {
                 let (fx, ay) = self.centroid(sys, cca);
                 let pts: Vec<&Figure4Point> = self
@@ -573,9 +600,7 @@ impl QoeTable {
     pub fn mean(&self, capacity: u64, queue: f64, system: SystemKind, cca: &str) -> Option<f64> {
         self.rows
             .iter()
-            .find(|r| {
-                r.0 == capacity && (r.1 - queue).abs() < 1e-9 && r.2 == system && r.3 == cca
-            })
+            .find(|r| r.0 == capacity && (r.1 - queue).abs() < 1e-9 && r.2 == system && r.3 == cca)
             .map(|r| r.4)
     }
 
@@ -606,7 +631,11 @@ impl fmt::Display for QoeTable {
                 format!("{q}x"),
                 sys.label().to_string(),
                 cca.clone(),
-                if *m >= 10.0 { mean_sd(*m, *sd) } else { mean_sd2(*m, *sd) },
+                if *m >= 10.0 {
+                    mean_sd(*m, *sd)
+                } else {
+                    mean_sd2(*m, *sd)
+                },
             ]);
         }
         write!(f, "{}", t.render())
@@ -629,14 +658,19 @@ pub fn table3(solo: &GridResults) -> QoeTable {
             s.stddev(),
         ));
     }
-    QoeTable { title: "Table 3 — RTT (ms) without a competing TCP flow".into(), rows }
+    QoeTable {
+        title: "Table 3 — RTT (ms) without a competing TCP flow".into(),
+        rows,
+    }
 }
 
 /// Table 4: RTT with a competing flow, measured while it runs.
 pub fn table4(grid: &GridResults) -> QoeTable {
     let mut rows = Vec::new();
     for cr in &grid.results {
-        let Some(cca) = cr.condition.cca else { continue };
+        let Some(cca) = cr.condition.cca else {
+            continue;
+        };
         let tl = &cr.condition.timeline;
         let s = cr.rtt_pooled(tl.iperf_start, tl.iperf_stop);
         rows.push((
@@ -648,14 +682,19 @@ pub fn table4(grid: &GridResults) -> QoeTable {
             s.stddev(),
         ));
     }
-    QoeTable { title: "Table 4 — RTT (ms) with a competing TCP flow".into(), rows }
+    QoeTable {
+        title: "Table 4 — RTT (ms) with a competing TCP flow".into(),
+        rows,
+    }
 }
 
 /// Table 5: displayed frame rate with a competing flow.
 pub fn table5(grid: &GridResults) -> QoeTable {
     let mut rows = Vec::new();
     for cr in &grid.results {
-        let Some(cca) = cr.condition.cca else { continue };
+        let Some(cca) = cr.condition.cca else {
+            continue;
+        };
         let tl = &cr.condition.timeline;
         let s = cr.fps_pooled(tl.iperf_start, tl.iperf_stop);
         rows.push((
@@ -667,7 +706,10 @@ pub fn table5(grid: &GridResults) -> QoeTable {
             s.stddev(),
         ));
     }
-    QoeTable { title: "Table 5 — frame rate (f/s) with a competing TCP flow".into(), rows }
+    QoeTable {
+        title: "Table 5 — frame rate (f/s) with a competing TCP flow".into(),
+        rows,
+    }
 }
 
 /// Tech-report loss tables: game media loss with/without the competitor.
@@ -687,7 +729,9 @@ pub fn loss_tables(solo: &GridResults, grid: &GridResults) -> (QoeTable, QoeTabl
     }
     let mut comp_rows = Vec::new();
     for cr in &grid.results {
-        let Some(cca) = cr.condition.cca else { continue };
+        let Some(cca) = cr.condition.cca else {
+            continue;
+        };
         let tl = &cr.condition.timeline;
         let loss = cr.loss_mean(tl.iperf_start, tl.iperf_stop) * 100.0;
         comp_rows.push((
@@ -700,8 +744,14 @@ pub fn loss_tables(solo: &GridResults, grid: &GridResults) -> (QoeTable, QoeTabl
         ));
     }
     (
-        QoeTable { title: "Loss (%) without a competing TCP flow".into(), rows: solo_rows },
-        QoeTable { title: "Loss (%) with a competing TCP flow".into(), rows: comp_rows },
+        QoeTable {
+            title: "Loss (%) without a competing TCP flow".into(),
+            rows: solo_rows,
+        },
+        QoeTable {
+            title: "Loss (%) with a competing TCP flow".into(),
+            rows: comp_rows,
+        },
     )
 }
 
@@ -721,7 +771,9 @@ pub struct ResponseRecoveryTable {
 pub fn response_recovery(grid: &GridResults) -> ResponseRecoveryTable {
     let mut rows = Vec::new();
     for cr in &grid.results {
-        let Some(cca) = cr.condition.cca else { continue };
+        let Some(cca) = cr.condition.cca else {
+            continue;
+        };
         let tl = &cr.condition.timeline;
         let n = cr.runs.len().max(1) as f64;
         let mut c_sum = 0.0;
@@ -794,7 +846,9 @@ pub struct HarmTable {
 pub fn harm_table(solo: &GridResults, grid: &GridResults) -> HarmTable {
     let mut rows = Vec::new();
     for cr in &grid.results {
-        let Some(cca) = cr.condition.cca else { continue };
+        let Some(cca) = cr.condition.cca else {
+            continue;
+        };
         let cap = cr.condition.capacity.as_mbps() as u64;
         let q = cr.condition.queue_mult;
         let Some(solo_cr) = solo.get(cr.condition.system, None, cap, q) else {
@@ -831,7 +885,13 @@ impl fmt::Display for HarmTable {
             "Harm analysis (Ware et al.): damage to the game stream relative to solo"
         )?;
         let mut t = TextTable::new(vec![
-            "capacity", "queue", "system", "cca", "tput harm", "delay harm", "fps harm",
+            "capacity",
+            "queue",
+            "system",
+            "cca",
+            "tput harm",
+            "delay harm",
+            "fps harm",
         ]);
         for &(cap, q, sys, cca, ht, hd, hf) in &self.rows {
             t.row(vec![
@@ -883,7 +943,10 @@ mod tests {
         let geforce = get(SystemKind::GeForce);
         let luna = get(SystemKind::Luna);
         // Unconstrained ordering from Table 1: Stadia > GeForce > Luna.
-        assert!(stadia > geforce && geforce > luna, "{stadia} {geforce} {luna}");
+        assert!(
+            stadia > geforce && geforce > luna,
+            "{stadia} {geforce} {luna}"
+        );
         // And the absolute levels are near the paper's. (The smoke
         // timeline's short window does not average over whole scene-sine
         // periods, so allow a generous band; the full-timeline bench

@@ -62,10 +62,16 @@ fn settle_time(
             continue;
         }
         if (v - target_mean).abs() <= tol {
-            return SettleTime { secs: mid - f, never: false };
+            return SettleTime {
+                secs: mid - f,
+                never: false,
+            };
         }
     }
-    SettleTime { secs: t - f, never: true }
+    SettleTime {
+        secs: t - f,
+        never: true,
+    }
 }
 
 /// Response time *C* for one run.
@@ -95,8 +101,12 @@ pub fn adaptiveness(c: f64, c_max: f64, e: f64, e_max: f64) -> f64 {
 /// Fairness for one run: `(game − tcp) / capacity` over the stable window.
 pub fn fairness(run: &RunResult, cond: &Condition) -> f64 {
     let tl = &cond.timeline;
-    let game = run.game_window(tl.fairness_window.0, tl.fairness_window.1).mean();
-    let tcp = run.iperf_window(tl.fairness_window.0, tl.fairness_window.1).mean();
+    let game = run
+        .game_window(tl.fairness_window.0, tl.fairness_window.1)
+        .mean();
+    let tcp = run
+        .iperf_window(tl.fairness_window.0, tl.fairness_window.1)
+        .mean();
     ((game - tcp) / cond.capacity.as_mbps()).clamp(-1.0, 1.0)
 }
 
@@ -151,6 +161,8 @@ mod tests {
             tcp_retransmissions: 0,
             tcp_delivered_bytes: 0,
             encoder_rate_mean: 0.0,
+            events_processed: 0,
+            wall_secs: 0.0,
         }
     }
 
@@ -214,7 +226,12 @@ mod tests {
         let fast = recovery_time(&synthetic(2.0, 3.0), &tl());
         let slow = recovery_time(&synthetic(2.0, 15.0), &tl());
         assert!(!fast.never && !slow.never);
-        assert!(slow.secs > fast.secs + 4.0, "slow {} fast {}", slow.secs, fast.secs);
+        assert!(
+            slow.secs > fast.secs + 4.0,
+            "slow {} fast {}",
+            slow.secs,
+            fast.secs
+        );
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub struct RunResult {
     pub tcp_delivered_bytes: u64,
     /// Final encoder rate trace mean, Mb/s (diagnostics).
     pub encoder_rate_mean: f64,
+    /// Engine events handled by this run (deterministic per seed).
+    pub events_processed: u64,
+    /// Wall-clock seconds the simulation took (NOT deterministic; excluded
+    /// from reproducibility comparisons).
+    pub wall_secs: f64,
 }
 
 impl RunResult {
@@ -126,12 +131,18 @@ pub struct ConditionResult {
 impl ConditionResult {
     /// Per-run means of game goodput over a window (one sample per run).
     pub fn game_means(&self, from: SimTime, to: SimTime) -> Vec<f64> {
-        self.runs.iter().map(|r| r.game_window(from, to).mean()).collect()
+        self.runs
+            .iter()
+            .map(|r| r.game_window(from, to).mean())
+            .collect()
     }
 
     /// Per-run means of competing-TCP goodput over a window.
     pub fn iperf_means(&self, from: SimTime, to: SimTime) -> Vec<f64> {
-        self.runs.iter().map(|r| r.iperf_window(from, to).mean()).collect()
+        self.runs
+            .iter()
+            .map(|r| r.iperf_window(from, to).mean())
+            .collect()
     }
 
     /// Pooled RTT samples over a window across all runs.
@@ -161,13 +172,22 @@ impl ConditionResult {
         if self.runs.is_empty() {
             return 0.0;
         }
-        self.runs.iter().map(|r| r.game_loss_window(from, to)).sum::<f64>() / self.runs.len() as f64
+        self.runs
+            .iter()
+            .map(|r| r.game_loss_window(from, to))
+            .sum::<f64>()
+            / self.runs.len() as f64
     }
 
     /// Cross-run mean ± 95% CI of the game bitrate for each time bin
     /// (Figure 2's plotted series).
     pub fn game_series_ci(&self) -> Vec<(f64, f64, f64)> {
-        let n_bins = self.runs.iter().map(|r| r.game_bins_mbps.len()).max().unwrap_or(0);
+        let n_bins = self
+            .runs
+            .iter()
+            .map(|r| r.game_bins_mbps.len())
+            .max()
+            .unwrap_or(0);
         let w = self
             .runs
             .first()
@@ -189,24 +209,40 @@ impl ConditionResult {
 
 /// Run a single iteration of a condition to completion.
 pub fn run_condition(cond: &Condition, iter: u32) -> RunResult {
+    let started = std::time::Instant::now();
     let mut tb = topology::build(cond, iter);
     // Run slightly past the end so the final bins fill.
-    tb.sim.run_until(cond.timeline.end + SimDuration::from_secs(1));
+    tb.sim
+        .run_until(cond.timeline.end + SimDuration::from_secs(1));
+    let wall_secs = started.elapsed().as_secs_f64();
+    let events_processed = tb.sim.events_processed();
 
     let monitor = tb.sim.net.monitor();
     let bin_width = monitor.stats(tb.game_flow).delivered_bins.width();
     let to_mbps = 8.0 / bin_width.as_secs_f64() / 1e6;
 
     let game_stats = monitor.stats(tb.game_flow);
-    let game_bins_mbps: Vec<f64> =
-        game_stats.delivered_bins.bins().iter().map(|b| b * to_mbps).collect();
+    let game_bins_mbps: Vec<f64> = game_stats
+        .delivered_bins
+        .bins()
+        .iter()
+        .map(|b| b * to_mbps)
+        .collect();
     let game_sent_bins = game_stats.sent_bins.bins().to_vec();
     let game_dropped_bins = game_stats.dropped_bins.bins().to_vec();
     let game_loss_rate = game_stats.loss_rate();
 
     let iperf_bins_mbps: Vec<f64> = tb
         .iperf_flow
-        .map(|f| monitor.stats(f).delivered_bins.bins().iter().map(|b| b * to_mbps).collect())
+        .map(|f| {
+            monitor
+                .stats(f)
+                .delivered_bins
+                .bins()
+                .iter()
+                .map(|b| b * to_mbps)
+                .collect()
+        })
         .unwrap_or_default();
 
     let ping: &PingAgent = tb.sim.net.agent(tb.ping);
@@ -240,12 +276,64 @@ pub fn run_condition(cond: &Condition, iter: u32) -> RunResult {
         tcp_retransmissions,
         tcp_delivered_bytes,
         encoder_rate_mean,
+        events_processed,
+        wall_secs,
+    }
+}
+
+/// Aggregate engine-throughput numbers for one grid of runs.
+#[derive(Clone, Copy, Debug)]
+pub struct GridPerf {
+    /// Total (condition × iteration) runs.
+    pub runs: usize,
+    /// Engine events handled across all runs.
+    pub events_processed: u64,
+    /// Sum of per-run wall times (CPU-seconds of simulation, roughly).
+    pub run_wall_secs: f64,
+    /// Wall-clock seconds for the whole grid (less than `run_wall_secs`
+    /// when runs execute in parallel).
+    pub grid_wall_secs: f64,
+}
+
+impl GridPerf {
+    /// Engine events per wall second, summed over workers.
+    pub fn events_per_sec(&self) -> f64 {
+        if self.run_wall_secs > 0.0 {
+            self.events_processed as f64 / self.run_wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Sum the perf counters of already-collected results. `grid_wall_secs` is
+/// taken by the caller; [`run_many`] fills it with the grid's elapsed time.
+pub fn grid_perf(results: &[ConditionResult], grid_wall_secs: f64) -> GridPerf {
+    let mut runs = 0;
+    let mut events = 0u64;
+    let mut wall = 0.0;
+    for cr in results {
+        for r in &cr.runs {
+            runs += 1;
+            events += r.events_processed;
+            wall += r.wall_secs;
+        }
+    }
+    GridPerf {
+        runs,
+        events_processed: events,
+        run_wall_secs: wall,
+        grid_wall_secs,
     }
 }
 
 /// Run `iterations` seeded runs of every condition, using up to `threads`
-/// OS threads. Results preserve the input condition order.
+/// OS threads. Results preserve the input condition order. After the grid
+/// completes, an aggregate throughput line (total events, events/sec, wall
+/// time) is logged to stderr; use [`grid_perf`] to recompute it from the
+/// returned results.
 pub fn run_many(conditions: &[Condition], iterations: u32, threads: usize) -> Vec<ConditionResult> {
+    let grid_started = std::time::Instant::now();
     let jobs: Vec<(usize, u32)> = (0..conditions.len())
         .flat_map(|c| (0..iterations).map(move |i| (c, i)))
         .collect();
@@ -267,7 +355,7 @@ pub fn run_many(conditions: &[Condition], iterations: u32, threads: usize) -> Ve
         }
     });
 
-    conditions
+    let out: Vec<ConditionResult> = conditions
         .iter()
         .zip(results)
         .map(|(cond, cell)| ConditionResult {
@@ -279,7 +367,16 @@ pub fn run_many(conditions: &[Condition], iterations: u32, threads: usize) -> Ve
                 .map(|r| r.expect("missing run result"))
                 .collect(),
         })
-        .collect()
+        .collect();
+    let perf = grid_perf(&out, grid_started.elapsed().as_secs_f64());
+    eprintln!(
+        "grid: {} runs, {} events in {:.2} s wall ({:.2}M events/s)",
+        perf.runs,
+        perf.events_processed,
+        perf.grid_wall_secs,
+        perf.events_per_sec() / 1e6,
+    );
+    out
 }
 
 /// Default thread count: leave one core for the OS.
@@ -341,6 +438,8 @@ mod tests {
         let loss = r.game_loss_window(t.fairness_window.0, t.fairness_window.1);
         assert!((0.0..=1.0).contains(&loss));
         // RTT samples exist in the window.
-        assert!(!r.rtt_window(t.original_window.0, t.original_window.1).is_empty());
+        assert!(!r
+            .rtt_window(t.original_window.0, t.original_window.1)
+            .is_empty());
     }
 }

@@ -238,7 +238,11 @@ pub fn scorecard(solo: &GridResults, grid: &GridResults) -> Scorecard {
         claims.push(Claim {
             id: "F3-luna-bbr-coolest",
             statement: "Luna vs BBR is coolest at the small queue and high capacity",
-            verdict: if is_min { Verdict::Pass } else { Verdict::Partial },
+            verdict: if is_min {
+                Verdict::Pass
+            } else {
+                Verdict::Partial
+            },
             evidence: format!("cell(35, 0.5x) = {coolest:+.2}"),
         });
     }
@@ -299,7 +303,11 @@ pub fn scorecard(solo: &GridResults, grid: &GridResults) -> Scorecard {
             }
             let tl = &cr.condition.timeline;
             let rtt = cr.rtt_pooled(tl.iperf_start, tl.iperf_stop).mean();
-            let qdelay = cr.condition.capacity.tx_time(cr.condition.queue_bytes()).as_millis_f64();
+            let qdelay = cr
+                .condition
+                .capacity
+                .tx_time(cr.condition.queue_bytes())
+                .as_millis_f64();
             let limit = EQUALIZED_RTT.as_millis_f64() + qdelay;
             n += 1;
             // "Consistently at the limit dictated by the queue size":
@@ -451,7 +459,9 @@ pub fn scorecard(solo: &GridResults, grid: &GridResults) -> Scorecard {
                 (true, false) | (false, true) => Verdict::Partial,
                 _ => Verdict::Fail,
             },
-            evidence: format!("{degrade}/6 (system, queue) pairs degrade; GeForce ≥ Stadia: {gf_best}"),
+            evidence: format!(
+                "{degrade}/6 (system, queue) pairs degrade; GeForce ≥ Stadia: {gf_best}"
+            ),
         });
     }
 

@@ -88,7 +88,9 @@ pub fn build(cond: &Condition, iter: u32) -> Testbed {
             shaper: gsrepro_netsim::Shaper::rate(cond.capacity),
             delay: half,
             queue: match cond.aqm {
-                Aqm::DropTail => QueueSpec::DropTail { limit: cond.queue_bytes() },
+                Aqm::DropTail => QueueSpec::DropTail {
+                    limit: cond.queue_bytes(),
+                },
                 Aqm::CoDel => QueueSpec::codel_default(cond.queue_bytes()),
                 Aqm::FqCoDel => QueueSpec::fq_codel_default(cond.queue_bytes()),
             },
@@ -133,7 +135,10 @@ pub fn build(cond: &Condition, iter: u32) -> Testbed {
             server_agent_id,
         ))),
     );
-    assert_eq!(client, client_agent_id, "agent wiring changed: update the id map");
+    assert_eq!(
+        client, client_agent_id,
+        "agent wiring changed: update the id map"
+    );
 
     let source = profile.build_source(seed, stream_id("frames"));
     let controller = profile.build_controller();
@@ -148,13 +153,21 @@ pub fn build(cond: &Condition, iter: u32) -> Testbed {
             profile.fps_policy,
         )),
     );
-    assert_eq!(server, server_agent_id, "agent wiring changed: update the id map");
+    assert_eq!(
+        server, server_agent_id,
+        "agent wiring changed: update the id map"
+    );
 
     // Agent 2: ping at the game client; agent 3: echo responder at the
     // game server (the paper pings the game server from the client).
     let ping = b.add_agent(
         game_client,
-        Box::new(PingAgent::new(ping_flow, game_server, AgentId(3), PING_INTERVAL)),
+        Box::new(PingAgent::new(
+            ping_flow,
+            game_server,
+            AgentId(3),
+            PING_INTERVAL,
+        )),
     );
     b.add_agent(game_server, Box::new(EchoTo::new(ping_flow, ping)));
 
@@ -169,7 +182,10 @@ pub fn build(cond: &Condition, iter: u32) -> Testbed {
                 iperf_client,
                 Box::new(TcpReceiver::new(acks, iperf_server, sender)),
             );
-            assert_eq!(receiver, receiver_id, "agent wiring changed: update the id map");
+            assert_eq!(
+                receiver, receiver_id,
+                "agent wiring changed: update the id map"
+            );
             Some(sender)
         }
         _ => None,

@@ -1,0 +1,79 @@
+//! Regression tests for the testbed's reproducibility guarantees: the same
+//! (condition, iteration) seed must produce bit-identical results, and the
+//! thread count used to execute a grid must never leak into the numbers.
+//! These pin the invariants the scheduler fast lane and the packet pool
+//! must preserve — any hidden ordering or shared-state dependency shows up
+//! here as a diff.
+
+use gsrepro_gamestream::SystemKind;
+use gsrepro_tcp::CcaKind;
+use gsrepro_testbed::config::{Condition, Timeline};
+use gsrepro_testbed::runner::{run_condition, run_many, RunResult};
+
+fn quick_cond(system: SystemKind, cca: CcaKind) -> Condition {
+    Condition::new(system, Some(cca), 15, 2.0).with_timeline(Timeline::scaled(0.06))
+}
+
+/// Compare every deterministic field of two runs. `wall_secs` is wall-clock
+/// measurement and is deliberately excluded.
+fn assert_runs_identical(a: &RunResult, b: &RunResult, what: &str) {
+    assert_eq!(a.label, b.label, "{what}: label");
+    assert_eq!(a.iter, b.iter, "{what}: iter");
+    assert_eq!(a.game_bins_mbps, b.game_bins_mbps, "{what}: game bins");
+    assert_eq!(a.iperf_bins_mbps, b.iperf_bins_mbps, "{what}: iperf bins");
+    assert_eq!(a.rtt, b.rtt, "{what}: rtt samples");
+    assert_eq!(a.fps_bins, b.fps_bins, "{what}: fps bins");
+    assert_eq!(a.game_sent_bins, b.game_sent_bins, "{what}: sent bins");
+    assert_eq!(
+        a.game_dropped_bins, b.game_dropped_bins,
+        "{what}: dropped bins"
+    );
+    assert_eq!(a.game_loss_rate, b.game_loss_rate, "{what}: loss rate");
+    assert_eq!(
+        a.tcp_retransmissions, b.tcp_retransmissions,
+        "{what}: tcp retransmissions"
+    );
+    assert_eq!(
+        a.tcp_delivered_bytes, b.tcp_delivered_bytes,
+        "{what}: tcp delivered bytes"
+    );
+    assert_eq!(
+        a.encoder_rate_mean, b.encoder_rate_mean,
+        "{what}: encoder rate"
+    );
+    assert_eq!(
+        a.events_processed, b.events_processed,
+        "{what}: events processed"
+    );
+}
+
+#[test]
+fn same_seed_is_bit_identical() {
+    let cond = quick_cond(SystemKind::Luna, CcaKind::Cubic);
+    let a = run_condition(&cond, 0);
+    let b = run_condition(&cond, 0);
+    assert_runs_identical(&a, &b, "repeat run, iter 0");
+    assert!(a.events_processed > 0, "run must process events");
+    assert!(a.wall_secs > 0.0, "run must record wall time");
+}
+
+#[test]
+fn thread_count_never_changes_results() {
+    // A small mixed grid: two systems × two CCAs exercises both TCP paths
+    // and both media envelopes through the parallel runner.
+    let conditions = vec![
+        quick_cond(SystemKind::Luna, CcaKind::Cubic),
+        quick_cond(SystemKind::Stadia, CcaKind::Bbr),
+    ];
+    let serial = run_many(&conditions, 2, 1);
+    let parallel = run_many(&conditions, 2, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.condition.label(), p.condition.label());
+        assert_eq!(s.runs.len(), p.runs.len());
+        for (sr, pr) in s.runs.iter().zip(&p.runs) {
+            let what = format!("{} iter {}", sr.label, sr.iter);
+            assert_runs_identical(sr, pr, &what);
+        }
+    }
+}

@@ -53,14 +53,22 @@ fn main() {
             dup_prob: 0.0,
         },
     );
-    b.link(client_node, server_node, LinkSpec::lan(SimDuration::from_micros(8_250)));
+    b.link(
+        client_node,
+        server_node,
+        LinkSpec::lan(SimDuration::from_micros(8_250)),
+    );
 
     let media = b.flow("media");
     let feedback = b.flow("feedback");
     let profile = system.profile();
     let client = b.add_agent(
         client_node,
-        Box::new(StreamClient::new(StreamClientConfig::new(feedback, server_node, AgentId(1)))),
+        Box::new(StreamClient::new(StreamClientConfig::new(
+            feedback,
+            server_node,
+            AgentId(1),
+        ))),
     );
     b.add_agent(
         server_node,
@@ -76,12 +84,19 @@ fn main() {
 
     let mut sim = b.build();
     for &(at, cap) in stair {
-        sim.schedule_link_rate(bottleneck, Some(BitRate::from_mbps(cap)), SimTime::from_secs(at));
+        sim.schedule_link_rate(
+            bottleneck,
+            Some(BitRate::from_mbps(cap)),
+            SimTime::from_secs(at),
+        );
     }
     sim.run_until(SimTime::from_secs(210));
 
     println!("{system} under a capacity staircase (Carrascosa & Bellalta methodology)\n");
-    println!("{:<14}{:>10}{:>12}{:>10}{:>9}", "window", "cap Mb/s", "game Mb/s", "fps", "loss %");
+    println!(
+        "{:<14}{:>10}{:>12}{:>10}{:>9}",
+        "window", "cap Mb/s", "game Mb/s", "fps", "loss %"
+    );
     let st = sim.net.monitor().stats(media);
     let c: &StreamClient = sim.net.agent(client);
     let mut caps = vec![40u64];

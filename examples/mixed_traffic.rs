@@ -41,7 +41,11 @@ fn main() {
             dup_prob: 0.0,
         },
     );
-    b.link(client, router, LinkSpec::lan(SimDuration::from_micros(4_250)));
+    b.link(
+        client,
+        router,
+        LinkSpec::lan(SimDuration::from_micros(4_250)),
+    );
 
     let game = b.flow("luna-media");
     let feedback = b.flow("feedback");
@@ -55,7 +59,11 @@ fn main() {
     let profile = SystemKind::Luna.profile();
     let gclient = b.add_agent(
         client,
-        Box::new(StreamClient::new(StreamClientConfig::new(feedback, servers, AgentId(1)))),
+        Box::new(StreamClient::new(StreamClientConfig::new(
+            feedback,
+            servers,
+            AgentId(1),
+        ))),
     );
     b.add_agent(
         servers,
@@ -93,8 +101,14 @@ fn main() {
     b.add_agent(
         servers,
         Box::new(
-            CbrSource::new(video, client, vsink, BitRate::from_mbps(6), gsrepro_simcore::Bytes(1200))
-                .active_during(SimTime::from_secs(90), SimTime::from_secs(180)),
+            CbrSource::new(
+                video,
+                client,
+                vsink,
+                BitRate::from_mbps(6),
+                gsrepro_simcore::Bytes(1200),
+            )
+            .active_during(SimTime::from_secs(90), SimTime::from_secs(180)),
         ),
     );
 
@@ -128,5 +142,8 @@ fn main() {
         );
     }
     let st = sim.net.monitor().stats(game);
-    println!("\ngame media loss over the run: {:.2}%", st.loss_rate() * 100.0);
+    println!(
+        "\ngame media loss over the run: {:.2}%",
+        st.loss_rate() * 100.0
+    );
 }

@@ -45,7 +45,11 @@ fn main() {
             dup_prob: 0.0,
         },
     );
-    b.link(home, servers, LinkSpec::lan(SimDuration::from_micros(8_250)));
+    b.link(
+        home,
+        servers,
+        LinkSpec::lan(SimDuration::from_micros(8_250)),
+    );
 
     let media = b.flow(format!("{}-media", system.label()));
     let feedback = b.flow("feedback");
@@ -55,7 +59,11 @@ fn main() {
     let profile = system.profile();
     let gclient = b.add_agent(
         home,
-        Box::new(StreamClient::new(StreamClientConfig::new(feedback, servers, AgentId(1)))),
+        Box::new(StreamClient::new(StreamClientConfig::new(
+            feedback,
+            servers,
+            AgentId(1),
+        ))),
     );
     b.add_agent(
         servers,
@@ -71,7 +79,10 @@ fn main() {
     // The DASH session starts at t = 60 s and binge-watches to the end.
     let dash_cfg = TcpSenderConfig::new(dash_data, home, AgentId(3), CcaKind::Cubic)
         .active_during(SimTime::from_secs(60), SimTime::from_secs(300));
-    let dash = b.add_agent(servers, Box::new(DashServer::new(dash_cfg, DashConfig::default())));
+    let dash = b.add_agent(
+        servers,
+        Box::new(DashServer::new(dash_cfg, DashConfig::default())),
+    );
     b.add_agent(home, Box::new(TcpReceiver::new(dash_ack, servers, dash)));
 
     let mut sim = b.build();

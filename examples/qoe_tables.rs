@@ -35,7 +35,11 @@ fn main() {
     for &q in &QUEUE_MULTS {
         for &sys in &SystemKind::ALL {
             let mut cells = vec![format!("{q}x"), sys.label().to_string()];
-            for cca in [None, Some(gsrepro_testbed::CcaKind::Cubic), Some(gsrepro_testbed::CcaKind::Bbr)] {
+            for cca in [
+                None,
+                Some(gsrepro_testbed::CcaKind::Cubic),
+                Some(gsrepro_testbed::CcaKind::Bbr),
+            ] {
                 let cr = results
                     .iter()
                     .find(|r| {
@@ -58,7 +62,10 @@ fn main() {
     for &q in &QUEUE_MULTS {
         for &sys in &SystemKind::ALL {
             let mut cells = vec![format!("{q}x"), sys.label().to_string()];
-            for cca in [gsrepro_testbed::CcaKind::Cubic, gsrepro_testbed::CcaKind::Bbr] {
+            for cca in [
+                gsrepro_testbed::CcaKind::Cubic,
+                gsrepro_testbed::CcaKind::Bbr,
+            ] {
                 let cr = results
                     .iter()
                     .find(|r| {

@@ -14,8 +14,8 @@ fn main() {
     // preserving the arrive→compete→depart structure (competitor active
     // for the middle third).
     let timeline = Timeline::scaled(0.25);
-    let cond = Condition::new(SystemKind::Stadia, Some(CcaKind::Cubic), 25, 2.0)
-        .with_timeline(timeline);
+    let cond =
+        Condition::new(SystemKind::Stadia, Some(CcaKind::Cubic), 25, 2.0).with_timeline(timeline);
 
     println!("condition: {}", cond.label());
     println!(
@@ -31,10 +31,19 @@ fn main() {
     let before = run.game_window(tl.original_window.0, tl.original_window.1);
     let during = run.game_window(tl.fairness_window.0, tl.fairness_window.1);
     let tcp = run.iperf_window(tl.fairness_window.0, tl.fairness_window.1);
-    println!("\ngame bitrate before competitor : {:6.1} Mb/s", before.mean());
-    println!("game bitrate during competitor : {:6.1} Mb/s", during.mean());
+    println!(
+        "\ngame bitrate before competitor : {:6.1} Mb/s",
+        before.mean()
+    );
+    println!(
+        "game bitrate during competitor : {:6.1} Mb/s",
+        during.mean()
+    );
     println!("tcp  bitrate during competitor : {:6.1} Mb/s", tcp.mean());
-    println!("fair share                     : {:6.1} Mb/s", cond.fair_share_mbps());
+    println!(
+        "fair share                     : {:6.1} Mb/s",
+        cond.fair_share_mbps()
+    );
 
     let fairness = metrics::fairness(&run, &cond);
     let resp = metrics::response_time(&run, tl);
@@ -53,8 +62,14 @@ fn main() {
 
     let rtt_before = run.rtt_window(tl.original_window.0, tl.original_window.1);
     let rtt_during = run.rtt_window(tl.iperf_start, tl.iperf_stop);
-    println!("\nping RTT before competitor     : {:6.1} ms", rtt_before.mean());
-    println!("ping RTT during competitor     : {:6.1} ms", rtt_during.mean());
+    println!(
+        "\nping RTT before competitor     : {:6.1} ms",
+        rtt_before.mean()
+    );
+    println!(
+        "ping RTT during competitor     : {:6.1} ms",
+        rtt_during.mean()
+    );
 
     let fps = run.fps_window(tl.iperf_start, tl.iperf_stop);
     println!("frame rate during competitor   : {:6.1} f/s", fps.mean());

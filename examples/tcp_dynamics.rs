@@ -45,7 +45,11 @@ fn duel(cca1: CcaKind, cca2: CcaKind, queue_mult: f64, seed: u64) -> Outcome {
             dup_prob: 0.0,
         },
     );
-    b.link(client, server, LinkSpec::lan(SimDuration::from_micros(8_250)));
+    b.link(
+        client,
+        server,
+        LinkSpec::lan(SimDuration::from_micros(8_250)),
+    );
 
     let mut flows = vec![];
     for (i, cca) in [cca1, cca2].into_iter().enumerate() {
@@ -54,7 +58,9 @@ fn duel(cca1: CcaKind, cca2: CcaKind, queue_mult: f64, seed: u64) -> Outcome {
         let recv_id = AgentId(i as u32 * 2 + 1);
         let s = b.add_agent(
             server,
-            Box::new(TcpSender::new(TcpSenderConfig::new(data, client, recv_id, cca))),
+            Box::new(TcpSender::new(TcpSenderConfig::new(
+                data, client, recv_id, cca,
+            ))),
         );
         b.add_agent(client, Box::new(TcpReceiver::new(acks, server, s)));
         flows.push(data);
@@ -63,7 +69,12 @@ fn duel(cca1: CcaKind, cca2: CcaKind, queue_mult: f64, seed: u64) -> Outcome {
     let ping_flow = b.flow("ping");
     let ping = b.add_agent(
         client,
-        Box::new(PingAgent::new(ping_flow, server, AgentId(5), SimDuration::from_millis(200))),
+        Box::new(PingAgent::new(
+            ping_flow,
+            server,
+            AgentId(5),
+            SimDuration::from_millis(200),
+        )),
     );
     b.add_agent(server, Box::new(EchoTo::new(ping_flow, ping)));
 
@@ -71,12 +82,19 @@ fn duel(cca1: CcaKind, cca2: CcaKind, queue_mult: f64, seed: u64) -> Outcome {
     sim.run_until(SimTime::from_secs(60));
     let w = |f| sim.goodput_mbps(f, SimTime::from_secs(20), SimTime::from_secs(60));
     let p: &PingAgent = sim.net.agent(ping);
-    Outcome { g1: w(flows[0]), g2: w(flows[1]), rtt: p.rtt_samples().mean() }
+    Outcome {
+        g1: w(flows[0]),
+        g2: w(flows[1]),
+        rtt: p.rtt_samples().mean(),
+    }
 }
 
 fn main() {
     println!("25 Mb/s bottleneck, 16.5 ms base RTT, 60 s runs, throughput over [20,60) s\n");
-    println!("{:<22}{:>8}{:>8}{:>10}", "pairing", "flow1", "flow2", "RTT ms");
+    println!(
+        "{:<22}{:>8}{:>8}{:>10}",
+        "pairing", "flow1", "flow2", "RTT ms"
+    );
     for (label, c1, c2, q) in [
         ("cubic vs cubic @2x", CcaKind::Cubic, CcaKind::Cubic, 2.0),
         ("bbr   vs bbr   @2x", CcaKind::Bbr, CcaKind::Bbr, 2.0),

@@ -6,14 +6,14 @@
 //! cargo run --release --example trace_dump
 //! ```
 
+use gsrepro_gamestream::client::{StreamClient, StreamClientConfig};
+use gsrepro_gamestream::server::StreamServer;
+use gsrepro_gamestream::SystemKind;
 use gsrepro_netsim::net::{AgentId, NetworkBuilder};
 use gsrepro_netsim::queue::QueueSpec;
 use gsrepro_netsim::{LinkSpec, Shaper, TraceKind};
 use gsrepro_simcore::rng::stream_id;
 use gsrepro_simcore::{BitRate, SimDuration, SimTime};
-use gsrepro_gamestream::client::{StreamClient, StreamClientConfig};
-use gsrepro_gamestream::server::StreamServer;
-use gsrepro_gamestream::SystemKind;
 use gsrepro_tcp::{CcaKind, TcpReceiver, TcpSender, TcpSenderConfig};
 
 fn main() {
@@ -35,7 +35,11 @@ fn main() {
             dup_prob: 0.0,
         },
     );
-    b.link(client, servers, LinkSpec::lan(SimDuration::from_micros(8_250)));
+    b.link(
+        client,
+        servers,
+        LinkSpec::lan(SimDuration::from_micros(8_250)),
+    );
 
     let media = b.flow("stadia-media");
     let feedback = b.flow("feedback");
@@ -45,7 +49,11 @@ fn main() {
     let profile = SystemKind::Stadia.profile();
     let gclient = b.add_agent(
         client,
-        Box::new(StreamClient::new(StreamClientConfig::new(feedback, servers, AgentId(1)))),
+        Box::new(StreamClient::new(StreamClientConfig::new(
+            feedback,
+            servers,
+            AgentId(1),
+        ))),
     );
     b.add_agent(
         servers,
@@ -78,13 +86,21 @@ fn main() {
     );
 
     println!("\nper-flow event counts:");
-    for (flow, label) in [(media, "stadia-media"), (tcp_data, "cubic"), (feedback, "feedback")] {
+    for (flow, label) in [
+        (media, "stadia-media"),
+        (tcp_data, "cubic"),
+        (feedback, "feedback"),
+    ] {
         let evs = trace.for_flow(flow);
         let drops = evs
             .iter()
             .filter(|e| matches!(e.kind, TraceKind::QueueDrop | TraceKind::LinkDrop))
             .count();
-        println!("  {label:<14} {:>6} events, {:>4} drops in window", evs.len(), drops);
+        println!(
+            "  {label:<14} {:>6} events, {:>4} drops in window",
+            evs.len(),
+            drops
+        );
     }
 
     println!("\nlast 20 packet events:");

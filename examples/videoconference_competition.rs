@@ -46,7 +46,11 @@ fn main() {
             dup_prob: 0.0,
         },
     );
-    b.link(home, servers, LinkSpec::lan(SimDuration::from_micros(8_250)));
+    b.link(
+        home,
+        servers,
+        LinkSpec::lan(SimDuration::from_micros(8_250)),
+    );
 
     let game_flow = b.flow(format!("{}-media", system.label()));
     let game_fb = b.flow("game-feedback");
@@ -57,7 +61,11 @@ fn main() {
     let profile = system.profile();
     let gclient = b.add_agent(
         home,
-        Box::new(StreamClient::new(StreamClientConfig::new(game_fb, servers, AgentId(1)))),
+        Box::new(StreamClient::new(StreamClientConfig::new(
+            game_fb,
+            servers,
+            AgentId(1),
+        ))),
     );
     b.add_agent(
         servers,
@@ -74,14 +82,21 @@ fn main() {
     // camera, running alongside for the whole session.
     let cclient = b.add_agent(
         home,
-        Box::new(StreamClient::new(StreamClientConfig::new(conf_fb, servers, AgentId(3)))),
+        Box::new(StreamClient::new(StreamClientConfig::new(
+            conf_fb,
+            servers,
+            AgentId(3),
+        ))),
     );
     let conf_cfg = GccConfig {
         min_rate: BitRate::from_kbps(300),
         max_rate: BitRate::from_mbps_f64(3.5),
         ..GccConfig::default()
     };
-    let conf_frames = FrameSourceConfig { fps: 30, ..FrameSourceConfig::default() };
+    let conf_frames = FrameSourceConfig {
+        fps: 30,
+        ..FrameSourceConfig::default()
+    };
     b.add_agent(
         servers,
         Box::new(StreamServer::new(
@@ -98,7 +113,11 @@ fn main() {
 
     println!("{system} vs a 3.5 Mb/s video conference on a 15 Mb/s link\n");
     println!("{:<18}{:>11}{:>11}", "window", "game Mb/s", "conf Mb/s");
-    for (label, a, z) in [("0-60 s", 0u64, 60u64), ("60-120 s", 60, 120), ("120-180 s", 120, 180)] {
+    for (label, a, z) in [
+        ("0-60 s", 0u64, 60u64),
+        ("60-120 s", 60, 120),
+        ("120-180 s", 120, 180),
+    ] {
         let g = sim.goodput_mbps(game_flow, SimTime::from_secs(a), SimTime::from_secs(z));
         let c = sim.goodput_mbps(conf_flow, SimTime::from_secs(a), SimTime::from_secs(z));
         println!("{label:<18}{g:>11.1}{c:>11.1}");

@@ -36,7 +36,9 @@ fn run_cbr(
         LinkSpec {
             shaper: Shaper::rate(BitRate::from_mbps(rate_mbps)),
             delay: SimDuration::from_millis(3),
-            queue: QueueSpec::DropTail { limit: Bytes(queue_bytes) },
+            queue: QueueSpec::DropTail {
+                limit: Bytes(queue_bytes),
+            },
             jitter: SimDuration::ZERO,
             loss_prob,
             dup_prob: 0.0,
@@ -48,7 +50,13 @@ fn run_cbr(
     let sink = b.add_agent(d, Box::new(SinkAgent::new()));
     b.add_agent(
         s,
-        Box::new(CbrSource::new(f, d, sink, BitRate::from_mbps(cbr_mbps), Bytes(pkt_size))),
+        Box::new(CbrSource::new(
+            f,
+            d,
+            sink,
+            BitRate::from_mbps(cbr_mbps),
+            Bytes(pkt_size),
+        )),
     );
     let mut sim = b.build();
     sim.run_until(SimTime::from_secs(secs));

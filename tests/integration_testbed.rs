@@ -2,9 +2,9 @@
 //! netsim + testbed harness) on shortened timelines, checking the
 //! qualitative structure every paper figure relies on.
 
+use gsrepro_simcore::SimTime;
 use gsrepro_testbed::config::{Condition, Timeline};
 use gsrepro_testbed::{metrics, run_condition, CcaKind, SystemKind};
-use gsrepro_simcore::SimTime;
 
 /// Shared short timeline: 54 s runs, competitor during the middle third.
 fn tl() -> Timeline {
@@ -15,31 +15,43 @@ fn tl() -> Timeline {
 fn game_yields_when_tcp_arrives_and_recovers_after() {
     // Luna is the clear yielder-and-recoverer vs Cubic (Stadia, per the
     // paper and our Figure 3, barely yields at a 2x queue).
-    let cond = Condition::new(SystemKind::Luna, Some(CcaKind::Cubic), 25, 2.0)
-        .with_timeline(tl());
+    let cond = Condition::new(SystemKind::Luna, Some(CcaKind::Cubic), 25, 2.0).with_timeline(tl());
     let r = run_condition(&cond, 0);
     let t = cond.timeline;
 
-    let before = r.game_window(t.original_window.0, t.original_window.1).mean();
-    let during = r.game_window(t.adjusted_window.0, t.adjusted_window.1).mean();
+    let before = r
+        .game_window(t.original_window.0, t.original_window.1)
+        .mean();
+    let during = r
+        .game_window(t.adjusted_window.0, t.adjusted_window.1)
+        .mean();
     let rec = t.recovery_window();
     let half = SimTime::from_nanos((rec.0.as_nanos() + rec.1.as_nanos()) / 2);
     let after = r.game_window(half, rec.1).mean();
 
     assert!(before > 20.0, "pre-competitor bitrate {before}");
-    assert!(during < before - 5.0, "must yield to TCP: {during} !< {before}");
-    assert!(after > during + 3.0, "must recover afterwards: {after} !> {during}");
+    assert!(
+        during < before - 5.0,
+        "must yield to TCP: {during} !< {before}"
+    );
+    assert!(
+        after > during + 3.0,
+        "must recover afterwards: {after} !> {during}"
+    );
 }
 
 #[test]
 fn tcp_flow_gets_capacity_while_active_only() {
-    let cond = Condition::new(SystemKind::Luna, Some(CcaKind::Cubic), 25, 2.0)
-        .with_timeline(tl());
+    let cond = Condition::new(SystemKind::Luna, Some(CcaKind::Cubic), 25, 2.0).with_timeline(tl());
     let r = run_condition(&cond, 0);
     let t = cond.timeline;
 
-    let before = r.iperf_window(t.original_window.0, t.original_window.1).mean();
-    let during = r.iperf_window(t.fairness_window.0, t.fairness_window.1).mean();
+    let before = r
+        .iperf_window(t.original_window.0, t.original_window.1)
+        .mean();
+    let during = r
+        .iperf_window(t.fairness_window.0, t.fairness_window.1)
+        .mean();
     let rec = t.recovery_window();
     let after = r.iperf_window(rec.0 + (rec.1 - rec.0) / 2, rec.1).mean();
 
@@ -67,11 +79,13 @@ fn link_is_never_overfilled() {
 
 #[test]
 fn rtt_rises_under_cubic_competition_with_big_queue() {
-    let cond = Condition::new(SystemKind::GeForce, Some(CcaKind::Cubic), 25, 7.0)
-        .with_timeline(tl());
+    let cond =
+        Condition::new(SystemKind::GeForce, Some(CcaKind::Cubic), 25, 7.0).with_timeline(tl());
     let r = run_condition(&cond, 0);
     let t = cond.timeline;
-    let solo = r.rtt_window(t.original_window.0, t.original_window.1).mean();
+    let solo = r
+        .rtt_window(t.original_window.0, t.original_window.1)
+        .mean();
     let contested = r.rtt_window(t.iperf_start, t.iperf_stop).mean();
     assert!(solo < 30.0, "solo RTT {solo}");
     // 7x BDP at 25 Mb/s ≈ 115 ms of queueing when full: Cubic keeps it
@@ -85,8 +99,7 @@ fn rtt_rises_under_cubic_competition_with_big_queue() {
 #[test]
 fn bbr_limits_queueing_relative_to_cubic_at_7x() {
     let mk = |cca| {
-        let cond =
-            Condition::new(SystemKind::GeForce, Some(cca), 25, 7.0).with_timeline(tl());
+        let cond = Condition::new(SystemKind::GeForce, Some(cca), 25, 7.0).with_timeline(tl());
         let r = run_condition(&cond, 0);
         let t = cond.timeline;
         r.rtt_window(t.iperf_start, t.iperf_stop).mean()
@@ -133,7 +146,10 @@ fn fairness_signs_match_paper_at_small_queue() {
     // vs Cubic: Stadia takes more than fair; GeForce much less.
     let stadia = fair(SystemKind::Stadia, CcaKind::Cubic);
     let geforce = fair(SystemKind::GeForce, CcaKind::Cubic);
-    assert!(stadia > 0.1, "stadia vs cubic at 0.5x should be warm: {stadia}");
+    assert!(
+        stadia > 0.1,
+        "stadia vs cubic at 0.5x should be warm: {stadia}"
+    );
     assert!(geforce < -0.1, "geforce must defer to cubic: {geforce}");
     // vs BBR every system is at or below fair.
     for sys in SystemKind::ALL {

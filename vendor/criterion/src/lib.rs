@@ -1,0 +1,208 @@
+//! Offline stand-in for `criterion` (the subset this workspace uses).
+//!
+//! crates.io is unreachable in the build environment, so this vendored
+//! crate provides a minimal wall-clock benchmark harness behind the same
+//! `criterion_group!` / `criterion_main!` / `Criterion` surface. Each
+//! benchmark is warmed up once, then timed for a fixed wall budget (or a
+//! sample-count cap); mean/min per-iteration times print to stdout as
+//!
+//! ```text
+//! bench group/name ... mean 12.345 ms/iter, min 11.987 ms (17 iters)
+//! ```
+//!
+//! `cargo bench -- <substring>` filters benchmarks by name, like real
+//! criterion. There is no statistical regression machinery — track the
+//! printed numbers (or the `perf` binary's `BENCH_hotpath.json`) across
+//! commits instead.
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark wall-clock budget after warmup.
+const TIME_BUDGET: Duration = Duration::from_secs(2);
+
+/// Prevent the optimizer from discarding a value (stable-Rust idiom).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle, passed to every benchmark function.
+pub struct Criterion {
+    filter: Option<String>,
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            filter: None,
+            sample_size: 60,
+        }
+    }
+}
+
+impl Criterion {
+    /// Read CLI args (`cargo bench -- <filter>`); mirrors real criterion.
+    pub fn configure_from_args(mut self) -> Self {
+        // Skip flags cargo-bench forwards (e.g. `--bench`); the first bare
+        // token is a name filter.
+        let arg = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        self.filter = arg;
+        self
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, &self.filter, self.sample_size, f);
+        self
+    }
+
+    /// Start a named group; benchmarks inside print as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            prefix: name.to_string(),
+            filter: &self.filter,
+            sample_size: self.sample_size,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sample budget.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    filter: &'a Option<String>,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Cap the number of timed iterations (real criterion's sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, name);
+        run_bench(&full, self.filter, self.sample_size, f);
+        self
+    }
+
+    /// End the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Passed to the closure given to `bench_function`; call [`Bencher::iter`].
+pub struct Bencher {
+    samples: Vec<Duration>,
+    max_samples: usize,
+}
+
+impl Bencher {
+    /// Time `f` repeatedly: one warmup call, then timed iterations until
+    /// the wall budget or the sample cap is reached.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warmup (also triggers lazy init)
+        let budget_start = Instant::now();
+        while self.samples.len() < self.max_samples
+            && (self.samples.len() < 3 || budget_start.elapsed() < TIME_BUDGET)
+        {
+            let t = Instant::now();
+            black_box(f());
+            self.samples.push(t.elapsed());
+        }
+    }
+}
+
+fn run_bench<F>(name: &str, filter: &Option<String>, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !name.contains(pat.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples: Vec::new(),
+        max_samples: sample_size.max(1),
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("bench {name} ... no samples (closure never called iter)");
+        return;
+    }
+    let n = b.samples.len() as u32;
+    let mean = b.samples.iter().sum::<Duration>() / n;
+    let min = b.samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "bench {name} ... mean {:.3} ms/iter, min {:.3} ms ({n} iters)",
+        mean.as_secs_f64() * 1e3,
+        min.as_secs_f64() * 1e3,
+    );
+}
+
+/// Bundle benchmark functions under one runner name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 5,
+        };
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("zzz".into()),
+            sample_size: 5,
+        };
+        let mut ran = false;
+        c.bench_function("abc", |b| {
+            ran = true;
+            b.iter(|| ());
+        });
+        assert!(!ran, "filtered bench must not run");
+    }
+
+    #[test]
+    fn groups_prefix_names() {
+        let mut c = Criterion {
+            filter: None,
+            sample_size: 3,
+        };
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(2).bench_function("x", |b| b.iter(|| ()));
+        g.finish();
+    }
+}
