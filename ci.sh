@@ -20,4 +20,10 @@ cargo test -q
 echo "== smoke reproduction"
 cargo run --release -p gsrepro-bench --bin full_reproduction -- --smoke
 
+echo "== traced smoke run + trace schema validation"
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+cargo run --release -p gsrepro-bench --bin figure2 -- --smoke --iters 1 --trace "$trace_dir"
+cargo run --release -p gsrepro-bench --bin validate_trace -- "$trace_dir"
+
 echo "CI OK"

@@ -13,12 +13,12 @@ fn main() {
     println!("{}", ex::table2_text());
 
     eprintln!("[1/4] Table 1 (unconstrained bitrates)...");
-    println!("\n{}", ex::table1(opts));
+    println!("\n{}", ex::table1(opts.clone()));
 
     eprintln!("[2/4] solo grid (Table 3, solo loss)...");
-    let solo = ex::run_solo_grid(opts);
+    let solo = ex::run_solo_grid(opts.clone());
     eprintln!("[3/4] full competing grid (Figures 2-4, Tables 4-5)...");
-    let grid = ex::run_full_grid(opts);
+    let grid = ex::run_full_grid(opts.clone());
 
     println!("\n{}", ex::table3(&solo));
     println!("\n{}", ex::table4(&grid));

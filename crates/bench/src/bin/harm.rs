@@ -7,7 +7,7 @@ use gsrepro_testbed::experiments as ex;
 fn main() {
     let (opts, csv) = gsrepro_bench::parse_args();
     eprintln!("running solo grid...");
-    let solo = ex::run_solo_grid(opts);
+    let solo = ex::run_solo_grid(opts.clone());
     eprintln!("running competing grid...");
     let grid = ex::run_full_grid(opts);
     let harm = ex::harm_table(&solo, &grid);

@@ -2,7 +2,7 @@
 
 fn main() {
     let (opts, csv) = gsrepro_bench::parse_args();
-    let solo = gsrepro_testbed::experiments::run_solo_grid(opts);
+    let solo = gsrepro_testbed::experiments::run_solo_grid(opts.clone());
     let grid = gsrepro_testbed::experiments::run_full_grid(opts);
     let (a, b) = gsrepro_testbed::experiments::loss_tables(&solo, &grid);
     println!("{a}\n{b}");

@@ -6,7 +6,7 @@ use gsrepro_testbed::experiments as ex;
 fn main() {
     let (opts, _) = gsrepro_bench::parse_args();
     eprintln!("running solo grid...");
-    let solo = ex::run_solo_grid(opts);
+    let solo = ex::run_solo_grid(opts.clone());
     eprintln!("running competing grid...");
     let grid = ex::run_full_grid(opts);
     let sc = gsrepro_testbed::scorecard::scorecard(&solo, &grid);

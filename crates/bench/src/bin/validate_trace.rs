@@ -1,0 +1,90 @@
+//! Validate exported flight-recorder traces against the telemetry schema.
+//!
+//! Usage: `validate_trace <dir>`. Parses every `.csv` and `.jsonl` in the
+//! directory with the simcore telemetry codecs, checks the event stream
+//! invariants (non-empty, timestamps non-decreasing), requires the
+//! decision-grade series a paper condition must produce (cwnd,
+//! queue_depth, enc_rate), and checks that each run's CSV and JSONL agree.
+//! Exits non-zero on the first violation — CI runs this after a traced
+//! smoke grid.
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+use gsrepro_simcore::telemetry::{
+    parse_csv, parse_jsonl, validate_events, EventKind, TelemetryEvent,
+};
+
+fn fail(msg: String) -> ! {
+    eprintln!("validate_trace: {msg}");
+    exit(1);
+}
+
+fn load(path: &Path) -> Vec<TelemetryEvent> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format!("reading {}: {e}", path.display())));
+    let events = match path.extension().and_then(|s| s.to_str()) {
+        Some("csv") => parse_csv(&text),
+        Some("jsonl") => parse_jsonl(&text),
+        _ => unreachable!("only .csv/.jsonl files are collected"),
+    }
+    .unwrap_or_else(|e| fail(format!("{}: {e}", path.display())));
+    validate_events(&events).unwrap_or_else(|e| fail(format!("{}: {e}", path.display())));
+    events
+}
+
+/// Kinds that every traced paper condition must have produced.
+const REQUIRED: [EventKind; 3] = [
+    EventKind::Cwnd,
+    EventKind::QueueDepth,
+    EventKind::EncoderRate,
+];
+
+fn main() {
+    let dir = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| fail("usage: validate_trace <dir>".into()));
+
+    // Pair up <stem>.csv / <stem>.jsonl.
+    let mut stems: BTreeMap<String, (Option<PathBuf>, Option<PathBuf>)> = BTreeMap::new();
+    let entries = std::fs::read_dir(&dir).unwrap_or_else(|e| fail(format!("reading {dir}: {e}")));
+    for entry in entries {
+        let path = entry
+            .unwrap_or_else(|e| fail(format!("reading {dir}: {e}")))
+            .path();
+        let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else {
+            continue;
+        };
+        let slot = stems.entry(stem.to_string()).or_default();
+        match path.extension().and_then(|s| s.to_str()) {
+            Some("csv") => slot.0 = Some(path),
+            Some("jsonl") => slot.1 = Some(path),
+            _ => {}
+        }
+    }
+    if stems.is_empty() {
+        fail(format!("no .csv/.jsonl traces found in {dir}"));
+    }
+
+    let mut runs = 0usize;
+    let mut events = 0usize;
+    for (stem, (csv, jsonl)) in &stems {
+        let (Some(csv), Some(jsonl)) = (csv, jsonl) else {
+            fail(format!("{stem}: missing csv or jsonl half of the pair"));
+        };
+        let from_csv = load(csv);
+        let from_jsonl = load(jsonl);
+        if from_csv != from_jsonl {
+            fail(format!("{stem}: csv and jsonl exports disagree"));
+        }
+        for kind in REQUIRED {
+            if !from_csv.iter().any(|e| e.kind == kind) {
+                fail(format!("{stem}: no {} events in trace", kind.name()));
+            }
+        }
+        runs += 1;
+        events += from_csv.len();
+    }
+    println!("validate_trace: {runs} runs OK ({events} events)");
+}

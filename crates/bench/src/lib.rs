@@ -19,14 +19,18 @@
 //! | everything | `... --bin full_reproduction` |
 //!
 //! Every binary accepts `--iters N` (default 5; the paper used 15),
-//! `--full` (15 iterations), `--smoke` (tiny scaled run for CI), and
-//! `--csv PATH` to dump machine-readable data.
+//! `--full` (15 iterations), `--smoke` (tiny scaled run for CI),
+//! `--csv PATH` to dump machine-readable data, and `--trace DIR` to
+//! export per-run flight-recorder traces (see EXPERIMENTS.md).
 
 use gsrepro_testbed::experiments::ExperimentOpts;
+use gsrepro_testbed::runner::TraceSpec;
+
+const FLAGS: &str = "flags: --full | --smoke | --iters N | --threads N | --csv PATH | --trace DIR";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("flags: --full | --smoke | --iters N | --threads N | --csv PATH");
+    eprintln!("{FLAGS}");
     std::process::exit(2);
 }
 
@@ -34,6 +38,7 @@ fn usage_error(msg: &str) -> ! {
 pub fn parse_args() -> (ExperimentOpts, Option<String>) {
     let mut opts = ExperimentOpts::quick();
     let mut csv = None;
+    let mut trace = None;
     let mut explicit_iters = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -71,8 +76,19 @@ pub fn parse_args() -> (ExperimentOpts, Option<String>) {
                 }
                 csv = Some(path);
             }
+            "--trace" => {
+                let dir = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--trace needs a directory"));
+                // Create (and thereby validate) the directory up front, for
+                // the same reason as --csv.
+                if let Err(e) = std::fs::create_dir_all(&dir) {
+                    usage_error(&format!("cannot create --trace dir {dir}: {e}"));
+                }
+                trace = Some(TraceSpec::new(dir));
+            }
             "--help" | "-h" => {
-                eprintln!("flags: --full | --smoke | --iters N | --threads N | --csv PATH");
+                eprintln!("{FLAGS}");
                 std::process::exit(0);
             }
             other => {
@@ -86,6 +102,8 @@ pub fn parse_args() -> (ExperimentOpts, Option<String>) {
     if let Some(n) = explicit_iters {
         opts.iterations = n;
     }
+    // --trace survives a later --smoke: it replaces the whole option set.
+    opts.trace = trace;
     (opts, csv)
 }
 

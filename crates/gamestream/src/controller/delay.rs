@@ -19,7 +19,7 @@
 
 use gsrepro_simcore::{BitRate, SimDuration, SimTime};
 
-use super::{clamp_rate, FeedbackSnapshot, RateController};
+use super::{clamp_rate, BackoffReason, ControllerEvent, FeedbackSnapshot, RateController};
 
 /// Tuning knobs for [`DelayConservativeController`].
 #[derive(Clone, Debug)]
@@ -65,6 +65,8 @@ pub struct DelayConservativeController {
     last_congested: SimTime,
     /// Last report time, for the additive ramp integration.
     last_report: Option<SimTime>,
+    /// Decision queued for [`RateController::poll_event`].
+    pending: Option<ControllerEvent>,
 }
 
 impl DelayConservativeController {
@@ -76,6 +78,7 @@ impl DelayConservativeController {
             rate,
             last_congested: SimTime::ZERO,
             last_report: None,
+            pending: None,
         }
     }
 }
@@ -101,6 +104,16 @@ impl RateController for DelayConservativeController {
                 next = next.mul_f64(self.cfg.loss_backoff);
             }
             self.rate = clamp_rate(next, self.cfg.min_rate, self.cfg.max_rate);
+            self.pending = Some(ControllerEvent::Backoff {
+                // Loss is the stronger (rarer) signal: report it when both
+                // fire in one window.
+                reason: if lossy {
+                    BackoffReason::Loss
+                } else {
+                    BackoffReason::Delay
+                },
+                rate: self.rate,
+            });
         } else if now.saturating_since(self.last_congested) >= self.cfg.hold {
             let add = self.cfg.ramp_per_sec.as_bps() as f64 * dt.as_secs_f64();
             self.rate = clamp_rate(
@@ -118,6 +131,10 @@ impl RateController for DelayConservativeController {
 
     fn name(&self) -> &'static str {
         "delay-conservative"
+    }
+
+    fn poll_event(&mut self) -> Option<ControllerEvent> {
+        self.pending.take()
     }
 }
 

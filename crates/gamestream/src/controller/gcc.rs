@@ -28,7 +28,7 @@
 
 use gsrepro_simcore::{BitRate, SimDuration, SimTime};
 
-use super::{clamp_rate, FeedbackSnapshot, RateController};
+use super::{clamp_rate, BackoffReason, ControllerEvent, FeedbackSnapshot, RateController};
 
 /// Tuning knobs for [`GccController`].
 #[derive(Clone, Debug)]
@@ -113,6 +113,8 @@ pub struct GccController {
     mid_loss_streak: u32,
     /// Adaptive trend threshold γ (ms/s).
     gamma: f64,
+    /// Decision queued for [`RateController::poll_event`].
+    pending: Option<ControllerEvent>,
 }
 
 impl GccController {
@@ -129,6 +131,7 @@ impl GccController {
             last_capacity: None,
             mid_loss_streak: 0,
             gamma: cfg_gamma,
+            pending: None,
         }
     }
 }
@@ -175,6 +178,10 @@ impl RateController for GccController {
             self.last_capacity = Some(base);
             self.state = State::Hold;
             self.hold_until = now + self.cfg.hold;
+            self.pending = Some(ControllerEvent::Backoff {
+                reason: BackoffReason::Delay,
+                rate: self.rate,
+            });
             return self.rate;
         }
         if heavy_loss {
@@ -190,6 +197,10 @@ impl RateController for GccController {
             self.rate = clamp_rate(target, self.cfg.min_rate, self.cfg.max_rate);
             self.state = State::Hold;
             self.hold_until = now + self.cfg.hold;
+            self.pending = Some(ControllerEvent::Backoff {
+                reason: BackoffReason::Loss,
+                rate: self.rate,
+            });
             return self.rate;
         }
 
@@ -239,6 +250,10 @@ impl RateController for GccController {
 
     fn name(&self) -> &'static str {
         "gcc"
+    }
+
+    fn poll_event(&mut self) -> Option<ControllerEvent> {
+        self.pending.take()
     }
 }
 

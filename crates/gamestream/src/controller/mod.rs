@@ -41,6 +41,44 @@ impl FeedbackSnapshot {
     }
 }
 
+/// Why a controller backed off (exported as the telemetry reason code).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BackoffReason {
+    /// Delay signal: overuse detector or absolute queueing delay.
+    Delay,
+    /// Loss signal: loss fraction above the controller's bound.
+    Loss,
+}
+
+impl BackoffReason {
+    /// Telemetry wire code (`ctrl_backoff` event, payload `b`).
+    pub fn code(self) -> u64 {
+        match self {
+            BackoffReason::Delay => 0,
+            BackoffReason::Loss => 1,
+        }
+    }
+}
+
+/// A discrete controller decision worth tracing, queued during
+/// [`RateController::on_feedback`] and drained by the stream server into
+/// the telemetry bus after each report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ControllerEvent {
+    /// The controller cut its target rate in response to congestion.
+    Backoff {
+        /// What triggered the cut.
+        reason: BackoffReason,
+        /// The rate after the cut.
+        rate: BitRate,
+    },
+    /// A TFRC/WALI loss interval closed (loss ended one loss-free run).
+    LossIntervalClose {
+        /// Length of the closed interval in packets.
+        pkts: u64,
+    },
+}
+
 /// A bitrate controller.
 pub trait RateController: Send {
     /// Process one receiver report; returns the new target bitrate.
@@ -51,6 +89,12 @@ pub trait RateController: Send {
 
     /// Algorithm name for reports.
     fn name(&self) -> &'static str;
+
+    /// Drain the next queued [`ControllerEvent`], if any. Called after
+    /// each `on_feedback`; the default records nothing.
+    fn poll_event(&mut self) -> Option<ControllerEvent> {
+        None
+    }
 }
 
 /// Clamp helper shared by controllers.

@@ -23,7 +23,7 @@
 
 use gsrepro_simcore::{BitRate, SimDuration, SimTime};
 
-use super::{clamp_rate, FeedbackSnapshot, RateController};
+use super::{clamp_rate, BackoffReason, ControllerEvent, FeedbackSnapshot, RateController};
 
 /// Number of loss intervals in the WALI history (RFC 5348 default).
 const WALI_INTERVALS: usize = 8;
@@ -82,6 +82,8 @@ pub struct TfrcController {
     current_interval: f64,
     /// Whether any loss event has occurred yet.
     seen_loss: bool,
+    /// Decisions queued for [`RateController::poll_event`].
+    pending: Vec<ControllerEvent>,
 }
 
 impl TfrcController {
@@ -94,6 +96,7 @@ impl TfrcController {
             intervals: Vec::new(),
             current_interval: 0.0,
             seen_loss: false,
+            pending: Vec::new(),
         }
     }
 
@@ -151,9 +154,13 @@ impl TfrcController {
         self.current_interval += pkts;
         if fb.loss > 0.0 {
             self.seen_loss = true;
-            self.intervals.insert(0, self.current_interval.max(1.0));
+            let closed = self.current_interval.max(1.0);
+            self.intervals.insert(0, closed);
             self.intervals.truncate(WALI_INTERVALS);
             self.current_interval = 0.0;
+            self.pending.push(ControllerEvent::LossIntervalClose {
+                pkts: closed.round() as u64,
+            });
         }
     }
 }
@@ -171,6 +178,10 @@ impl RateController for TfrcController {
                 self.cfg.min_rate,
                 self.cfg.max_rate,
             );
+            self.pending.push(ControllerEvent::Backoff {
+                reason: BackoffReason::Delay,
+                rate: self.rate,
+            });
             return self.rate;
         }
 
@@ -207,6 +218,14 @@ impl RateController for TfrcController {
 
     fn name(&self) -> &'static str {
         "tfrc"
+    }
+
+    fn poll_event(&mut self) -> Option<ControllerEvent> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(self.pending.remove(0))
+        }
     }
 }
 

@@ -15,7 +15,7 @@ use gsrepro_netsim::wire::{FlowId, MediaChunk, Packet, Payload, MEDIA_MTU, UDP_H
 use gsrepro_simcore::stats::Samples;
 use gsrepro_simcore::{BitRate, Bytes, SimDuration};
 
-use crate::controller::{FeedbackSnapshot, RateController};
+use crate::controller::{ControllerEvent, FeedbackSnapshot, RateController};
 use crate::frame::FrameSource;
 use crate::profile::FpsPolicy;
 
@@ -158,6 +158,9 @@ impl StreamServer {
 
         let mtu = MEDIA_MTU.as_u64();
         let chunk_count = frame.size.as_u64().div_ceil(mtu).max(1) as u16;
+        let now = ctx.now();
+        ctx.telemetry()
+            .frame(now, self.flow.0, frame.size.as_u64(), chunk_count as u64);
         let parity_count = match self.fec {
             Some(f) => chunk_count.div_ceil(f.data_per_parity),
             None => 0,
@@ -239,6 +242,20 @@ impl Agent for StreamServer {
         };
         let rate = self.controller.on_feedback(&snapshot, ctx.now());
         self.rate_trace.add(rate.as_mbps());
+        let now = ctx.now();
+        let flow = self.flow.0;
+        ctx.telemetry().encoder_rate(now, flow, rate.as_bps());
+        while let Some(ev) = self.controller.poll_event() {
+            match ev {
+                ControllerEvent::Backoff { reason, rate } => {
+                    ctx.telemetry()
+                        .ctrl_backoff(now, flow, rate.as_bps(), reason.code());
+                }
+                ControllerEvent::LossIntervalClose { pkts } => {
+                    ctx.telemetry().loss_interval(now, flow, pkts);
+                }
+            }
+        }
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx) {

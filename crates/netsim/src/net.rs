@@ -32,6 +32,7 @@
 use std::any::Any;
 
 use gsrepro_simcore::rng::rng_for;
+use gsrepro_simcore::telemetry::{Recorder, TelemetryConfig};
 use gsrepro_simcore::{BitRate, Bytes};
 use gsrepro_simcore::{Engine, Scheduler, SimDuration, SimRng, SimTime, World};
 use rand::Rng;
@@ -98,6 +99,7 @@ pub struct Ctx<'a> {
     node: NodeId,
     rng: &'a mut SimRng,
     cmds: &'a mut Vec<Command>,
+    telemetry: &'a mut Recorder,
 }
 
 impl Ctx<'_> {
@@ -134,6 +136,14 @@ impl Ctx<'_> {
     /// Deterministic per-network RNG (for app-level jitter).
     pub fn rng(&mut self) -> &mut SimRng {
         self.rng
+    }
+
+    /// The network's telemetry recorder (a no-op unless enabled via
+    /// [`NetworkBuilder::telemetry`]). Agents record protocol-level
+    /// events — cwnd updates, encoder decisions — through this handle.
+    #[inline]
+    pub fn telemetry(&mut self) -> &mut Recorder {
+        self.telemetry
     }
 }
 
@@ -174,6 +184,7 @@ pub struct Network {
     agent_node: Vec<NodeId>,
     monitor: Monitor,
     trace: Option<Trace>,
+    telemetry: Recorder,
     rng: SimRng,
     /// Storage for every packet currently in flight (queued, on the wire,
     /// or scheduled to arrive). Queues, links, and events move [`PktRef`]
@@ -208,6 +219,19 @@ impl Network {
                 proto: proto_tag(&pkt.payload),
             });
         }
+    }
+
+    /// The telemetry recorder (disabled unless enabled via
+    /// [`NetworkBuilder::telemetry`]); read it after a run to export
+    /// traces and counters.
+    pub fn telemetry(&self) -> &Recorder {
+        &self.telemetry
+    }
+
+    /// Mutable recorder access (e.g. to stamp run-level counters before
+    /// export).
+    pub fn telemetry_mut(&mut self) -> &mut Recorder {
+        &mut self.telemetry
     }
 
     /// A link, for inspecting backlog or delivery counters.
@@ -260,6 +284,7 @@ impl Network {
                 node: self.agent_node[id.0 as usize],
                 rng: &mut self.rng,
                 cmds: &mut cmds,
+                telemetry: &mut self.telemetry,
             };
             f(agent.as_mut(), &mut ctx);
         }
@@ -281,8 +306,18 @@ impl Network {
     }
 
     /// Release a dropped entry's pool slot and account for the drop.
-    fn drop_pooled(&mut self, item: QueuedPkt, kind: DropKind, at: SimTime) {
+    fn drop_pooled(&mut self, item: QueuedPkt, kind: DropKind, link: LinkId, at: SimTime) {
         self.monitor.on_dropped(item.flow, kind, at);
+        match kind {
+            DropKind::Queue => {
+                self.telemetry
+                    .queue_drop(at, item.flow.0, link.0 as u64, item.size.as_u64())
+            }
+            DropKind::Link => {
+                self.telemetry
+                    .link_drop(at, item.flow.0, link.0 as u64, item.size.as_u64())
+            }
+        }
         let pkt = self.pool.take(item.pkt);
         let trace_kind = match kind {
             DropKind::Queue => TraceKind::QueueDrop,
@@ -336,8 +371,14 @@ impl Network {
         };
         let link = &mut self.links[link_id.0 as usize];
         match link.offer(item, now) {
-            Ok(()) => self.pump_link(link_id, sched),
-            Err(dropped) => self.drop_pooled(dropped, DropKind::Queue, now),
+            Ok(()) => {
+                if self.telemetry.is_enabled() {
+                    let backlog = self.links[link_id.0 as usize].backlog().as_u64();
+                    self.telemetry.queue_depth(now, link_id.0 as u64, backlog);
+                }
+                self.pump_link(link_id, sched)
+            }
+            Err(dropped) => self.drop_pooled(dropped, DropKind::Queue, link_id, now),
         }
     }
 
@@ -353,8 +394,17 @@ impl Network {
                     let loss = link.loss_prob;
                     let dup = link.dup_prob;
                     if loss > 0.0 && self.rng.gen::<f64>() < loss {
-                        self.drop_pooled(item, DropKind::Link, sched.now());
+                        self.drop_pooled(item, DropKind::Link, id, sched.now());
                         continue;
+                    }
+                    if self.telemetry.is_enabled() {
+                        let sojourn = sched.now().saturating_since(item.enqueued_at);
+                        self.telemetry.queue_sojourn(
+                            sched.now(),
+                            item.flow.0,
+                            id.0 as u64,
+                            sojourn,
+                        );
                     }
                     let extra = if jitter.is_zero() {
                         SimDuration::ZERO
@@ -394,6 +444,11 @@ impl Network {
                 Service::Wait(at) => {
                     if !link.wakeup_scheduled {
                         link.wakeup_scheduled = true;
+                        self.telemetry.link_busy(
+                            sched.now(),
+                            id.0 as u64,
+                            at.saturating_since(sched.now()),
+                        );
                         sched.schedule_at(at, NetEvent::LinkWakeup(id));
                     }
                     break;
@@ -403,7 +458,7 @@ impl Network {
         }
         let now = sched.now();
         for d in dropped.drain(..) {
-            self.drop_pooled(d, DropKind::Queue, now);
+            self.drop_pooled(d, DropKind::Queue, id, now);
         }
         self.drop_buf = dropped;
     }
@@ -454,6 +509,7 @@ pub struct NetworkBuilder {
     flow_labels: Vec<String>,
     bin: SimDuration,
     trace_capacity: usize,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl NetworkBuilder {
@@ -467,6 +523,7 @@ impl NetworkBuilder {
             flow_labels: Vec::new(),
             bin: SimDuration::from_millis(500),
             trace_capacity: 0,
+            telemetry: None,
         }
     }
 
@@ -482,6 +539,14 @@ impl NetworkBuilder {
     /// is for debugging, not for the measurement harness).
     pub fn trace_capacity(mut self, capacity: usize) -> Self {
         self.trace_capacity = capacity;
+        self
+    }
+
+    /// Enable flight-recorder telemetry (typed per-flow events; see
+    /// [`gsrepro_simcore::telemetry`]). Disabled by default: the recorder
+    /// then compiles down to a null check on every hot-path site.
+    pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
+        self.telemetry = Some(cfg);
         self
     }
 
@@ -583,6 +648,10 @@ impl NetworkBuilder {
             } else {
                 None
             },
+            telemetry: match self.telemetry {
+                Some(cfg) => Recorder::enabled(cfg),
+                None => Recorder::disabled(),
+            },
             rng: rng_for(self.seed, 0),
             pool: PacketPool::new(),
             next_pkt_id: 0,
@@ -628,6 +697,12 @@ impl Sim {
     /// Events processed so far (engine-health metric).
     pub fn events_processed(&self) -> u64 {
         self.engine.events_processed()
+    }
+
+    /// How many events were scheduled into the past and clamped to `now`
+    /// (zero in a well-behaved run; surfaced per run instead of stderr).
+    pub fn past_clamps(&self) -> u64 {
+        self.engine.past_schedules()
     }
 
     /// Utilization helper: overall goodput of `flow` across `[from, to)`.
@@ -934,6 +1009,76 @@ mod tests {
         // Last packet may still be in flight at the cut-off.
         assert!(delivers >= sends - 1, "delivers {delivers} sends {sends}");
         assert!(trace.to_csv().contains("raw"));
+    }
+
+    #[test]
+    fn telemetry_records_queue_dynamics_and_drops() {
+        use gsrepro_simcore::telemetry::EventKind;
+        let mut b = NetworkBuilder::new(2).telemetry(TelemetryConfig::default());
+        let s = b.add_node("server");
+        let c = b.add_node("client");
+        b.link(
+            s,
+            c,
+            LinkSpec {
+                shaper: Shaper::rate(BitRate::from_mbps(10)),
+                delay: SimDuration::from_millis(5),
+                queue: QueueSpec::DropTail {
+                    limit: Bytes(50_000),
+                },
+                jitter: SimDuration::ZERO,
+                loss_prob: 0.0,
+                dup_prob: 0.0,
+            },
+        );
+        b.link(c, s, LinkSpec::lan(SimDuration::from_millis(5)));
+        let f = b.flow("cbr");
+        let sink = b.add_agent(c, Box::new(SinkAgent::new()));
+        // 20 Mb/s into 10 Mb/s: standing queue, sojourn, and tail drops.
+        b.add_agent(
+            s,
+            Box::new(CbrSource::new(
+                f,
+                c,
+                sink,
+                BitRate::from_mbps(20),
+                Bytes(1200),
+            )),
+        );
+        let mut sim = b.build();
+        sim.run_until(SimTime::from_secs(5));
+        let tel = sim.net.telemetry().telemetry().expect("telemetry enabled");
+        let events = tel.events();
+        let count = |k: EventKind| events.iter().filter(|e| e.kind == k).count();
+        assert!(count(EventKind::QueueDepth) > 100, "sampled backlog series");
+        assert!(count(EventKind::QueueSojourn) > 100, "sampled sojourns");
+        assert!(count(EventKind::QueueDrop) > 0, "tail drops recorded");
+        let c = tel.counters();
+        assert_eq!(
+            c.queue_drops,
+            sim.net.monitor().stats(f).queue_drop_pkts,
+            "telemetry drop counter must agree with the monitor"
+        );
+        assert!(c.throttled > 0, "per-packet kinds are sampled");
+        // Depth events are link-scope, sojourns belong to the flow.
+        assert!(events
+            .iter()
+            .filter(|e| e.kind == EventKind::QueueDepth)
+            .all(|e| e.flow == gsrepro_simcore::telemetry::GLOBAL_FLOW && e.b == 0));
+        assert!(events
+            .iter()
+            .filter(|e| e.kind == EventKind::QueueSojourn)
+            .all(|e| e.flow == f.0));
+        gsrepro_simcore::telemetry::validate_events(&events).unwrap();
+    }
+
+    #[test]
+    fn telemetry_disabled_by_default_and_inert() {
+        let (mut sim, _) = two_node_sim(10, 20, 2);
+        sim.run_until(SimTime::from_secs(2));
+        assert!(!sim.net.telemetry().is_enabled());
+        assert_eq!(sim.net.telemetry().counters().recorded, 0);
+        assert_eq!(sim.past_clamps(), 0);
     }
 
     #[test]

@@ -113,19 +113,14 @@ impl<E> Scheduler<E> {
     /// Scheduling into the past is a logic error in the caller, but it is
     /// handled identically in debug and release builds: the event is
     /// clamped to `now` (so it still fires, in FIFO order with other events
-    /// at `now`), the occurrence is counted in [`Scheduler::past_schedules`],
-    /// and the first occurrence per scheduler logs a warning to stderr.
+    /// at `now`) and the occurrence is counted in
+    /// [`Scheduler::past_schedules`]. Harnesses surface that count per run
+    /// (e.g. as the `past_clamps` telemetry counter) rather than writing
+    /// to stderr, which would interleave across parallel workers.
     /// Deterministic outputs are never affected by the build profile.
     pub fn schedule_at(&mut self, at: SimTime, event: E) {
         let at = if at < self.now {
             self.past_schedules += 1;
-            if self.past_schedules == 1 {
-                eprintln!(
-                    "warning: event scheduled into the past ({at:?} < {:?}); \
-                     clamped to now (further occurrences counted silently)",
-                    self.now
-                );
-            }
             self.now
         } else {
             at
@@ -253,6 +248,12 @@ impl<W: World> Engine<W> {
     /// Total events handled so far (an engine-health metric used by benches).
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Read-only view of [`Scheduler::past_schedules`], so harnesses can
+    /// report past-timestamp clamps without mutable scheduler access.
+    pub fn past_schedules(&self) -> u64 {
+        self.sched.past_schedules
     }
 
     /// Run until the queue is empty or simulated time would exceed `until`.

@@ -15,7 +15,9 @@
 //! * [`rng`] — seed derivation so every simulated entity gets an independent,
 //!   reproducible random stream,
 //! * [`stats`] — online mean/variance, confidence intervals, time-binned
-//!   series.
+//!   series,
+//! * [`telemetry`] — a flight-recorder trace bus: typed per-flow events,
+//!   bounded rings, counters, CSV/JSONL export; a no-op when disabled.
 //!
 //! Determinism is a hard requirement: two runs with the same seed must
 //! produce bit-identical results. Events scheduled for the same instant are
@@ -24,10 +26,12 @@
 pub mod engine;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod units;
 
 pub use engine::{Engine, Scheduler, World};
 pub use rng::{derive_seed, SimRng};
+pub use telemetry::{Recorder, TelemetryConfig, TelemetryEvent};
 pub use time::{SimDuration, SimTime};
 pub use units::{BitRate, Bytes};

@@ -123,11 +123,23 @@ impl Cubic {
 
 impl CongestionControl for Cubic {
     fn on_ack(&mut self, ack: &AckInfo) {
+        let mut bytes = ack.bytes_acked;
         if self.cwnd < self.ssthresh {
-            self.cwnd += ack.bytes_acked;
-            return;
+            // RFC 5681 §3.1 / ABC: slow start may grow cwnd at most up to
+            // ssthresh. A stretch/cumulative ack that crosses the
+            // threshold contributes the remainder to congestion
+            // avoidance instead of overshooting.
+            let room = self.ssthresh - self.cwnd;
+            let in_ss = bytes.min(room);
+            self.cwnd += in_ss;
+            bytes -= in_ss;
+            if bytes == 0 {
+                return;
+            }
         }
-        self.cubic_update(ack);
+        let mut rest = *ack;
+        rest.bytes_acked = bytes;
+        self.cubic_update(&rest);
     }
 
     fn on_congestion_event(&mut self, _now: SimTime, _in_flight: u64) {
@@ -160,6 +172,10 @@ impl CongestionControl for Cubic {
 
     fn cwnd(&self) -> u64 {
         self.cwnd
+    }
+
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
     }
 
     fn pacing_rate(&self) -> Option<BitRate> {
@@ -313,6 +329,76 @@ mod tests {
             grow_2 > grow_1,
             "convex region must accelerate: {grow_2} !> {grow_1}"
         );
+    }
+
+    #[test]
+    fn stretch_ack_splits_at_ssthresh() {
+        // Reach congestion avoidance once so ssthresh is finite, then RTO
+        // back into slow start.
+        let mut c = Cubic::new(MSS);
+        drive_acks(&mut c, MSS, 100, APR, RTT, RATE, SimTime::ZERO, 0, 0);
+        c.on_rto(SimTime::from_secs(1));
+        let ssthresh = c.ssthresh();
+        assert!(c.in_slow_start());
+        assert!(ssthresh < u64::MAX && c.cwnd() == MSS);
+
+        // One stretch ack covering far more than the slow-start headroom.
+        let stretch = ssthresh - c.cwnd() + 40 * MSS;
+        c.on_ack(&AckInfo {
+            now: SimTime::from_secs(2),
+            bytes_acked: stretch,
+            rtt: Some(RTT),
+            srtt: RTT,
+            min_rtt: RTT,
+            delivered: 1_000_000,
+            delivery_rate: Some(RATE),
+            in_flight: ssthresh,
+            round_start: true,
+            round: 50,
+            app_limited: false,
+        });
+        // Slow start must stop exactly at ssthresh; the excess 40 MSS goes
+        // through cubic_update, which grows by at most a couple of
+        // segments — nowhere near the 40-segment overshoot of the bug.
+        assert!(
+            c.cwnd() >= ssthresh,
+            "ack must reach ssthresh: {} < {ssthresh}",
+            c.cwnd()
+        );
+        assert!(
+            c.cwnd() <= ssthresh + 4 * MSS,
+            "slow start overshot ssthresh: cwnd {} vs ssthresh {ssthresh}",
+            c.cwnd()
+        );
+        assert!(!c.in_slow_start());
+
+        // The excess reached cubic_update: an epoch is now open.
+        assert!(c.epoch_start.is_some(), "excess bytes must open the epoch");
+    }
+
+    #[test]
+    fn stretch_ack_below_ssthresh_stays_in_slow_start() {
+        let mut c = Cubic::new(MSS);
+        drive_acks(&mut c, MSS, 100, APR, RTT, RATE, SimTime::ZERO, 0, 0);
+        c.on_rto(SimTime::from_secs(1));
+        let w0 = c.cwnd();
+        let bytes = (c.ssthresh() - w0) / 2;
+        c.on_ack(&AckInfo {
+            now: SimTime::from_secs(2),
+            bytes_acked: bytes,
+            rtt: Some(RTT),
+            srtt: RTT,
+            min_rtt: RTT,
+            delivered: 500_000,
+            delivery_rate: Some(RATE),
+            in_flight: w0,
+            round_start: true,
+            round: 50,
+            app_limited: false,
+        });
+        assert_eq!(c.cwnd(), w0 + bytes, "full ack credited in slow start");
+        assert!(c.in_slow_start());
+        assert!(c.epoch_start.is_none(), "no epoch below ssthresh");
     }
 
     #[test]

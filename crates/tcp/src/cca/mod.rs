@@ -58,6 +58,12 @@ pub trait CongestionControl: Send {
     /// Current congestion window in bytes.
     fn cwnd(&self) -> u64;
 
+    /// Slow-start threshold in bytes, for telemetry. `u64::MAX` means "no
+    /// threshold yet"; controllers without one (BBR) keep the default.
+    fn ssthresh(&self) -> u64 {
+        u64::MAX
+    }
+
     /// Pacing rate, if this controller paces (BBR does; loss-based
     /// controllers here are ack-clocked and return `None`).
     fn pacing_rate(&self) -> Option<BitRate>;

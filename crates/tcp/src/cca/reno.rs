@@ -61,6 +61,10 @@ impl CongestionControl for Reno {
         self.cwnd
     }
 
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
     fn pacing_rate(&self) -> Option<BitRate> {
         None
     }

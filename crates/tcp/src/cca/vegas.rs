@@ -121,6 +121,10 @@ impl CongestionControl for Vegas {
         self.cwnd
     }
 
+    fn ssthresh(&self) -> u64 {
+        self.ssthresh
+    }
+
     fn pacing_rate(&self) -> Option<BitRate> {
         None
     }

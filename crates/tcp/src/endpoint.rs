@@ -560,6 +560,8 @@ impl TcpSender {
             self.fast_retransmit_events += 1;
             let pipe = self.pipe();
             self.cca.on_congestion_event(now, pipe);
+            ctx.telemetry()
+                .fast_retransmit(now, self.cfg.flow.0, self.cca.cwnd());
         }
 
         if let Some(r) = rtt_sample {
@@ -631,6 +633,14 @@ impl TcpSender {
                 app_limited: false,
             };
             self.cca.on_ack(&info);
+            if ctx.telemetry().is_enabled() {
+                let flow = self.cfg.flow.0;
+                let tel = ctx.telemetry();
+                tel.cwnd(now, flow, self.cca.cwnd(), self.cca.ssthresh());
+                if let Some(rate) = self.cca.pacing_rate() {
+                    tel.pacing(now, flow, rate.as_bps());
+                }
+            }
         }
 
         // Refresh the RTO clock from the oldest outstanding transmission.
@@ -663,6 +673,12 @@ impl TcpSender {
         self.dupacks = 0;
         self.recovery_point = self.next_seq;
         self.rto_backoff += 1;
+        ctx.telemetry().rto(
+            now,
+            self.cfg.flow.0,
+            self.cur_rto(),
+            self.rto_backoff as u64,
+        );
         let deadline = now + self.cur_rto();
         self.arm_rto(ctx, deadline);
         self.try_send(ctx);

@@ -24,10 +24,10 @@ use gsrepro_tcp::CcaKind;
 use crate::config::{Grid, Timeline, CAPACITIES_MBPS, CCAS, QUEUE_MULTS};
 use crate::metrics;
 use crate::report::{heat_glyph, mean_sd, mean_sd2, Csv, TextTable};
-use crate::runner::{run_many, ConditionResult};
+use crate::runner::{run_many_traced, ConditionResult, TraceSpec};
 
 /// How much work to spend: iteration count, parallelism, timeline.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ExperimentOpts {
     /// Runs per condition (the paper uses 15).
     pub iterations: u32,
@@ -35,6 +35,8 @@ pub struct ExperimentOpts {
     pub threads: usize,
     /// Timeline (full paper timeline, or scaled for smoke tests).
     pub timeline: Timeline,
+    /// Export per-run flight-recorder traces (`--trace <dir>`).
+    pub trace: Option<TraceSpec>,
 }
 
 impl Default for ExperimentOpts {
@@ -43,6 +45,7 @@ impl Default for ExperimentOpts {
             iterations: 15,
             threads: crate::runner::default_threads(),
             timeline: Timeline::paper(),
+            trace: None,
         }
     }
 }
@@ -54,6 +57,7 @@ impl ExperimentOpts {
             iterations: 2,
             threads: crate::runner::default_threads(),
             timeline: Timeline::scaled(0.08),
+            trace: None,
         }
     }
 
@@ -63,6 +67,7 @@ impl ExperimentOpts {
             iterations: 5,
             threads: crate::runner::default_threads(),
             timeline: Timeline::paper(),
+            trace: None,
         }
     }
 }
@@ -80,7 +85,12 @@ pub struct GridResults {
 pub fn run_full_grid(opts: ExperimentOpts) -> GridResults {
     let conditions = Grid::full(opts.timeline);
     GridResults {
-        results: run_many(&conditions, opts.iterations, opts.threads),
+        results: run_many_traced(
+            &conditions,
+            opts.iterations,
+            opts.threads,
+            opts.trace.as_ref(),
+        ),
         opts,
     }
 }
@@ -89,7 +99,12 @@ pub fn run_full_grid(opts: ExperimentOpts) -> GridResults {
 pub fn run_solo_grid(opts: ExperimentOpts) -> GridResults {
     let conditions = Grid::solo(opts.timeline);
     GridResults {
-        results: run_many(&conditions, opts.iterations, opts.threads),
+        results: run_many_traced(
+            &conditions,
+            opts.iterations,
+            opts.threads,
+            opts.trace.as_ref(),
+        ),
         opts,
     }
 }
@@ -125,7 +140,12 @@ pub struct Table1 {
 /// Run Table 1: each system on a 1 Gb/s link, no competitor.
 pub fn table1(opts: ExperimentOpts) -> Table1 {
     let conditions = Grid::table1(opts.timeline);
-    let results = run_many(&conditions, opts.iterations, opts.threads);
+    let results = run_many_traced(
+        &conditions,
+        opts.iterations,
+        opts.threads,
+        opts.trace.as_ref(),
+    );
     let tl = opts.timeline;
     let rows = results
         .iter()
@@ -183,7 +203,12 @@ pub struct Figure2 {
 /// Run Figure 2's slice of the grid.
 pub fn figure2(opts: ExperimentOpts) -> Figure2 {
     let conditions = Grid::figure2(opts.timeline);
-    let results = run_many(&conditions, opts.iterations, opts.threads);
+    let results = run_many_traced(
+        &conditions,
+        opts.iterations,
+        opts.threads,
+        opts.trace.as_ref(),
+    );
     let mut panels = Vec::new();
     for &cca in &CCAS {
         for &sys in &SystemKind::ALL {

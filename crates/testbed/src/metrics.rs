@@ -154,6 +154,7 @@ mod tests {
             game_bins_mbps: bins,
             iperf_bins_mbps: iperf,
             rtt: vec![],
+            fps_bin_width: SimDuration::from_secs(1),
             fps_bins: vec![],
             game_sent_bins: vec![],
             game_dropped_bins: vec![],
@@ -162,6 +163,8 @@ mod tests {
             tcp_delivered_bytes: 0,
             encoder_rate_mean: 0.0,
             events_processed: 0,
+            past_clamps: 0,
+            telemetry: Default::default(),
             wall_secs: 0.0,
         }
     }

@@ -7,11 +7,14 @@
 //! Iteration `i` of a condition always uses the same derived seed, so any
 //! run can be reproduced in isolation.
 
+use std::path::PathBuf;
+
 use gsrepro_gamestream::client::StreamClient;
 use gsrepro_gamestream::server::StreamServer;
 use gsrepro_netsim::apps::PingAgent;
 use gsrepro_simcore::stats::Samples;
-use gsrepro_simcore::{SimDuration, SimTime};
+use gsrepro_simcore::telemetry::Counters;
+use gsrepro_simcore::{SimDuration, SimTime, TelemetryConfig};
 use gsrepro_tcp::TcpSender;
 
 use crate::config::Condition;
@@ -32,7 +35,9 @@ pub struct RunResult {
     pub iperf_bins_mbps: Vec<f64>,
     /// Ping RTT samples: (reply time s, RTT ms).
     pub rtt: Vec<(f64, f64)>,
-    /// Displayed frames per 1 s bin.
+    /// Bin width of the frame-rate series (the client's fps bins).
+    pub fps_bin_width: SimDuration,
+    /// Displayed frames per fps bin, scaled to frames/s.
     pub fps_bins: Vec<f64>,
     /// Game media packets sent per bin.
     pub game_sent_bins: Vec<f64>,
@@ -48,6 +53,10 @@ pub struct RunResult {
     pub encoder_rate_mean: f64,
     /// Engine events handled by this run (deterministic per seed).
     pub events_processed: u64,
+    /// Events scheduled in the past and clamped to "now" by the engine.
+    pub past_clamps: u64,
+    /// Telemetry counters for this run (all zero when tracing is off).
+    pub telemetry: Counters,
     /// Wall-clock seconds the simulation took (NOT deterministic; excluded
     /// from reproducibility comparisons).
     pub wall_secs: f64,
@@ -89,7 +98,7 @@ impl RunResult {
 
     /// Mean displayed frame rate within `[from, to)`.
     pub fn fps_window(&self, from: SimTime, to: SimTime) -> Samples {
-        let w = 1.0; // fps bins are 1 s
+        let w = self.fps_bin_width.as_secs_f64();
         let mut s = Samples::new();
         for (i, &v) in self.fps_bins.iter().enumerate() {
             let mid = (i as f64 + 0.5) * w;
@@ -179,6 +188,15 @@ impl ConditionResult {
             / self.runs.len() as f64
     }
 
+    /// Telemetry counters merged across all runs of the condition.
+    pub fn telemetry(&self) -> Counters {
+        let mut c = Counters::default();
+        for r in &self.runs {
+            c.merge(&r.telemetry);
+        }
+        c
+    }
+
     /// Cross-run mean ± 95% CI of the game bitrate for each time bin
     /// (Figure 2's plotted series).
     pub fn game_series_ci(&self) -> Vec<(f64, f64, f64)> {
@@ -207,15 +225,43 @@ impl ConditionResult {
     }
 }
 
+/// Where and how per-run telemetry traces are exported.
+#[derive(Clone, Debug)]
+pub struct TraceSpec {
+    /// Directory receiving one `<label>-i<iter>.csv` and `.jsonl` per run.
+    pub dir: PathBuf,
+    /// Recorder configuration (ring capacity, sampling interval).
+    pub config: TelemetryConfig,
+}
+
+impl TraceSpec {
+    /// Trace into `dir` with the default recorder configuration.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        TraceSpec {
+            dir: dir.into(),
+            config: TelemetryConfig::default(),
+        }
+    }
+}
+
 /// Run a single iteration of a condition to completion.
 pub fn run_condition(cond: &Condition, iter: u32) -> RunResult {
+    run_condition_traced(cond, iter, None)
+}
+
+/// [`run_condition`] with optional flight-recorder tracing. The recorder
+/// only observes — results are bit-identical to an untraced run — and the
+/// per-flow rings are flushed to `<trace.dir>/<label>-i<iter>.{csv,jsonl}`
+/// before returning.
+pub fn run_condition_traced(cond: &Condition, iter: u32, trace: Option<&TraceSpec>) -> RunResult {
     let started = std::time::Instant::now();
-    let mut tb = topology::build(cond, iter);
+    let mut tb = topology::build_with(cond, iter, trace.map(|t| t.config));
     // Run slightly past the end so the final bins fill.
     tb.sim
         .run_until(cond.timeline.end + SimDuration::from_secs(1));
     let wall_secs = started.elapsed().as_secs_f64();
     let events_processed = tb.sim.events_processed();
+    let past_clamps = tb.sim.past_clamps();
 
     let monitor = tb.sim.net.monitor();
     let bin_width = monitor.stats(tb.game_flow).delivered_bins.width();
@@ -249,6 +295,7 @@ pub fn run_condition(cond: &Condition, iter: u32) -> RunResult {
     let rtt: Vec<(f64, f64)> = ping.rtt_with_times();
 
     let client: &StreamClient = tb.sim.net.agent(tb.client);
+    let fps_bin_width = client.fps_bins().width();
     let fps_bins = client.fps_bins().bins().to_vec();
 
     let server: &StreamServer = tb.sim.net.agent(tb.server);
@@ -262,6 +309,24 @@ pub fn run_condition(cond: &Condition, iter: u32) -> RunResult {
         None => (0, 0),
     };
 
+    // Flush the flight recorder last: stamping `past_clamps` into its
+    // counters and writing the export files must not race any of the
+    // immutable reads above.
+    let mut telemetry = Counters::default();
+    if let Some(spec) = trace {
+        if let Some(tel) = tb.sim.net.telemetry_mut().telemetry_mut() {
+            tel.counters_mut().past_clamps = past_clamps;
+            telemetry = tel.counters();
+            let stem = format!("{}-i{}", cond.label(), iter);
+            let csv_path = spec.dir.join(format!("{stem}.csv"));
+            std::fs::write(&csv_path, tel.to_csv())
+                .unwrap_or_else(|e| panic!("writing trace {}: {e}", csv_path.display()));
+            let jsonl_path = spec.dir.join(format!("{stem}.jsonl"));
+            std::fs::write(&jsonl_path, tel.to_jsonl())
+                .unwrap_or_else(|e| panic!("writing trace {}: {e}", jsonl_path.display()));
+        }
+    }
+
     RunResult {
         label: cond.label(),
         iter,
@@ -269,6 +334,7 @@ pub fn run_condition(cond: &Condition, iter: u32) -> RunResult {
         game_bins_mbps,
         iperf_bins_mbps,
         rtt,
+        fps_bin_width,
         fps_bins,
         game_sent_bins,
         game_dropped_bins,
@@ -277,6 +343,8 @@ pub fn run_condition(cond: &Condition, iter: u32) -> RunResult {
         tcp_delivered_bytes,
         encoder_rate_mean,
         events_processed,
+        past_clamps,
+        telemetry,
         wall_secs,
     }
 }
@@ -333,6 +401,21 @@ pub fn grid_perf(results: &[ConditionResult], grid_wall_secs: f64) -> GridPerf {
 /// time) is logged to stderr; use [`grid_perf`] to recompute it from the
 /// returned results.
 pub fn run_many(conditions: &[Condition], iterations: u32, threads: usize) -> Vec<ConditionResult> {
+    run_many_traced(conditions, iterations, threads, None)
+}
+
+/// [`run_many`] with optional flight-recorder tracing: every run exports
+/// its per-flow trace into `trace.dir` (created if missing).
+pub fn run_many_traced(
+    conditions: &[Condition],
+    iterations: u32,
+    threads: usize,
+    trace: Option<&TraceSpec>,
+) -> Vec<ConditionResult> {
+    if let Some(spec) = trace {
+        std::fs::create_dir_all(&spec.dir)
+            .unwrap_or_else(|e| panic!("creating trace dir {}: {e}", spec.dir.display()));
+    }
     let grid_started = std::time::Instant::now();
     let jobs: Vec<(usize, u32)> = (0..conditions.len())
         .flat_map(|c| (0..iterations).map(move |i| (c, i)))
@@ -349,7 +432,7 @@ pub fn run_many(conditions: &[Condition], iterations: u32, threads: usize) -> Ve
             scope.spawn(|| loop {
                 let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&(c, i)) = jobs.get(j) else { break };
-                let run = run_condition(&conditions[c], i);
+                let run = run_condition_traced(&conditions[c], i, trace);
                 results[c].lock().expect("runner mutex poisoned")[i as usize] = Some(run);
             });
         }
@@ -424,6 +507,55 @@ mod tests {
         assert_eq!(many.len(), 1);
         assert_eq!(many[0].runs.len(), 2);
         assert_eq!(many[0].runs[0].game_bins_mbps, serial.game_bins_mbps);
+    }
+
+    #[test]
+    fn fps_window_respects_bin_width() {
+        let mut r = run_condition(&quick_cond(), 0);
+        assert!(r.fps_bin_width > SimDuration::ZERO);
+        // Re-bin by hand: with 500 ms bins, [0, 2 s) must select exactly 4.
+        r.fps_bins = vec![60.0; 10];
+        r.fps_bin_width = SimDuration::from_millis(500);
+        let s = r.fps_window(SimTime::ZERO, SimTime::from_secs(2));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.mean(), 60.0);
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_the_simulation() {
+        use gsrepro_simcore::telemetry::{parse_csv, parse_jsonl, validate_events, EventKind};
+
+        let cond = quick_cond();
+        let plain = run_condition(&cond, 0);
+
+        let dir = std::env::temp_dir().join(format!("gsrepro-trace-test-{}", std::process::id()));
+        let spec = TraceSpec::new(&dir);
+        let traced = {
+            let out = run_many_traced(std::slice::from_ref(&cond), 1, 1, Some(&spec));
+            out.into_iter().next().unwrap().runs.remove(0)
+        };
+
+        // The recorder is a pure observer: every deterministic output of
+        // the run must be bit-identical with tracing on.
+        assert_eq!(plain.game_bins_mbps, traced.game_bins_mbps);
+        assert_eq!(plain.iperf_bins_mbps, traced.iperf_bins_mbps);
+        assert_eq!(plain.rtt, traced.rtt);
+        assert_eq!(plain.fps_bins, traced.fps_bins);
+        assert_eq!(plain.events_processed, traced.events_processed);
+        assert!(traced.telemetry.recorded > 0, "traced run recorded nothing");
+
+        // And the exported files round-trip through both codecs.
+        let stem = dir.join(format!("{}-i0", cond.label()));
+        let csv = std::fs::read_to_string(stem.with_extension("csv")).unwrap();
+        let from_csv = parse_csv(&csv).unwrap();
+        validate_events(&from_csv).unwrap();
+        let jsonl = std::fs::read_to_string(stem.with_extension("jsonl")).unwrap();
+        let from_jsonl = parse_jsonl(&jsonl).unwrap();
+        assert_eq!(from_csv, from_jsonl);
+        assert!(from_csv.iter().any(|e| e.kind == EventKind::Cwnd));
+        assert!(from_csv.iter().any(|e| e.kind == EventKind::EncoderRate));
+        assert!(from_csv.iter().any(|e| e.kind == EventKind::QueueDepth));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

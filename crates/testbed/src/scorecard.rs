@@ -500,7 +500,7 @@ mod tests {
         let mut opts = ExperimentOpts::smoke();
         opts.iterations = 1;
         opts.timeline = Timeline::scaled(0.06);
-        let solo = run_solo_grid(opts);
+        let solo = run_solo_grid(opts.clone());
         let grid = run_full_grid(opts);
         let sc = scorecard(&solo, &grid);
         assert!(sc.claims.len() >= 12);

@@ -26,7 +26,7 @@ use gsrepro_netsim::queue::QueueSpec;
 use gsrepro_netsim::wire::FlowId;
 use gsrepro_netsim::LinkSpec;
 use gsrepro_simcore::rng::stream_id;
-use gsrepro_simcore::SimDuration;
+use gsrepro_simcore::{SimDuration, TelemetryConfig};
 use gsrepro_tcp::{TcpReceiver, TcpSender, TcpSenderConfig};
 
 use crate::config::{Aqm, Condition};
@@ -61,8 +61,18 @@ pub const PING_INTERVAL: SimDuration = SimDuration::from_millis(200);
 
 /// Build the testbed network for `cond`, seeded for iteration `iter`.
 pub fn build(cond: &Condition, iter: u32) -> Testbed {
+    build_with(cond, iter, None)
+}
+
+/// [`build`], optionally with an enabled telemetry recorder. Tracing must
+/// not perturb the simulation: the recorder only observes, so a traced and
+/// an untraced run of the same seed produce identical results.
+pub fn build_with(cond: &Condition, iter: u32, telemetry: Option<TelemetryConfig>) -> Testbed {
     let seed = cond.seed(iter);
     let mut b = NetworkBuilder::new(seed);
+    if let Some(cfg) = telemetry {
+        b = b.telemetry(cfg);
+    }
 
     let game_server = b.add_node("game-server");
     let iperf_server = b.add_node("iperf-server");
