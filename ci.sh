@@ -26,4 +26,10 @@ trap 'rm -rf "$trace_dir"' EXIT
 cargo run --release -p gsrepro-bench --bin figure2 -- --smoke --iters 1 --trace "$trace_dir"
 cargo run --release -p gsrepro-bench --bin validate_trace -- "$trace_dir"
 
+echo "== dynamic-paths smoke + scenario trace validation"
+scenario_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$scenario_dir"' EXIT
+cargo run --release -p gsrepro-bench --bin dynamic_paths -- --smoke --iters 1 --trace "$scenario_dir"
+cargo run --release -p gsrepro-bench --bin validate_trace -- "$scenario_dir" --require-scenario
+
 echo "CI OK"

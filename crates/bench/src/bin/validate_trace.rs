@@ -1,12 +1,14 @@
 //! Validate exported flight-recorder traces against the telemetry schema.
 //!
-//! Usage: `validate_trace <dir>`. Parses every `.csv` and `.jsonl` in the
-//! directory with the simcore telemetry codecs, checks the event stream
-//! invariants (non-empty, timestamps non-decreasing), requires the
-//! decision-grade series a paper condition must produce (cwnd,
-//! queue_depth, enc_rate), and checks that each run's CSV and JSONL agree.
-//! Exits non-zero on the first violation — CI runs this after a traced
-//! smoke grid.
+//! Usage: `validate_trace <dir> [--require-scenario]`. Parses every `.csv`
+//! and `.jsonl` in the directory with the simcore telemetry codecs, checks
+//! the event stream invariants (non-empty, timestamps non-decreasing),
+//! requires the decision-grade series a paper condition must produce
+//! (cwnd, queue_depth, enc_rate), and checks that each run's CSV and JSONL
+//! agree. With `--require-scenario`, every run must additionally carry at
+//! least one `link_scenario` event — proof the scheduled path disturbances
+//! actually executed. Exits non-zero on the first violation — CI runs this
+//! after a traced smoke grid.
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
@@ -34,17 +36,25 @@ fn load(path: &Path) -> Vec<TelemetryEvent> {
     events
 }
 
-/// Kinds that every traced paper condition must have produced.
-const REQUIRED: [EventKind; 3] = [
-    EventKind::Cwnd,
-    EventKind::QueueDepth,
-    EventKind::EncoderRate,
-];
+/// Kinds that every traced paper condition must have produced. Cwnd is
+/// only demanded of competing runs — solo conditions (label `*-solo-*`)
+/// have no TCP flow to produce it.
+const REQUIRED: [EventKind; 2] = [EventKind::QueueDepth, EventKind::EncoderRate];
 
 fn main() {
-    let dir = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| fail("usage: validate_trace <dir>".into()));
+    let mut dir = None;
+    let mut require_scenario = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--require-scenario" => require_scenario = true,
+            other if dir.is_none() && !other.starts_with('-') => dir = Some(other.to_string()),
+            other => fail(format!(
+                "unexpected argument {other}; usage: validate_trace <dir> [--require-scenario]"
+            )),
+        }
+    }
+    let dir =
+        dir.unwrap_or_else(|| fail("usage: validate_trace <dir> [--require-scenario]".into()));
 
     // Pair up <stem>.csv / <stem>.jsonl.
     let mut stems: BTreeMap<String, (Option<PathBuf>, Option<PathBuf>)> = BTreeMap::new();
@@ -82,6 +92,14 @@ fn main() {
             if !from_csv.iter().any(|e| e.kind == kind) {
                 fail(format!("{stem}: no {} events in trace", kind.name()));
             }
+        }
+        if !stem.contains("-solo-") && !from_csv.iter().any(|e| e.kind == EventKind::Cwnd) {
+            fail(format!("{stem}: no cwnd events in competing-run trace"));
+        }
+        if require_scenario && !from_csv.iter().any(|e| e.kind == EventKind::LinkScenario) {
+            fail(format!(
+                "{stem}: --require-scenario set but no link_scenario events in trace"
+            ));
         }
         runs += 1;
         events += from_csv.len();

@@ -64,10 +64,16 @@ pub struct GccConfig {
     /// probing on top of measurable loss is how a solo stream ends up
     /// permanently overdriving a capacity constraint.
     pub loss_low: f64,
-    /// Mid-band loss (between `loss_low` and `loss_high`) sustained for
+    /// Mid-band loss floor: loss above this (but below `loss_high`) counts
+    /// toward the sustained-loss streak.
+    pub loss_mid: f64,
+    /// Mid-band loss (between `loss_mid` and `loss_high`) sustained for
     /// this many consecutive reports also forces a decrease — persistent
     /// moderate loss means the encoder itself is overdriving the link.
     pub sustained_loss_reports: u32,
+    /// Loss fraction above which the target snaps down to the received
+    /// rate (never probing on top of measurable loss).
+    pub loss_snap: f64,
     /// Hold time after an overuse decrease before probing resumes.
     pub hold: SimDuration,
 }
@@ -89,7 +95,9 @@ impl Default for GccConfig {
             near_capacity_step: BitRate::from_kbps(200),
             loss_high: 0.10,
             loss_low: 0.005,
+            loss_mid: 0.03,
             sustained_loss_reports: 10,
+            loss_snap: 0.005,
             hold: SimDuration::from_millis(300),
         }
     }
@@ -109,7 +117,7 @@ pub struct GccController {
     hold_until: SimTime,
     /// Received rate at the last overuse event — "near capacity" marker.
     last_capacity: Option<BitRate>,
-    /// Consecutive reports with mid-band loss (> ~3%).
+    /// Consecutive reports with mid-band loss (> `loss_mid`).
     mid_loss_streak: u32,
     /// Adaptive trend threshold γ (ms/s).
     gamma: f64,
@@ -157,13 +165,14 @@ impl RateController for GccController {
         }
         self.gamma = self.gamma.clamp(self.cfg.gamma_init, 200.0);
 
-        if fb.loss > 0.03 {
+        if fb.loss > self.cfg.loss_mid {
             self.mid_loss_streak += 1;
         } else {
             self.mid_loss_streak = 0;
         }
         let heavy_loss = fb.loss > self.cfg.loss_high
-            || (fb.loss > 0.03 && self.mid_loss_streak >= self.cfg.sustained_loss_reports);
+            || (fb.loss > self.cfg.loss_mid
+                && self.mid_loss_streak >= self.cfg.sustained_loss_reports);
 
         if overusing {
             // Delay overuse: multiplicative decrease anchored to what
@@ -209,7 +218,8 @@ impl RateController for GccController {
         // This is what keeps a solo capacity-constrained stream's loss near
         // zero (the paper's solo loss tables) instead of persistently
         // overdriving the link by a probe step.
-        if fb.loss > 0.005 && fb.recv_rate > BitRate::ZERO && fb.recv_rate < self.rate {
+        if fb.loss > self.cfg.loss_snap && fb.recv_rate > BitRate::ZERO && fb.recv_rate < self.rate
+        {
             self.rate = clamp_rate(fb.recv_rate, self.cfg.min_rate, self.cfg.max_rate);
             // The delivered rate marks capacity: probing resumes additively
             // near it instead of overshooting multiplicatively.
@@ -428,6 +438,63 @@ mod tests {
             inflated,
             c.gamma
         );
+    }
+
+    #[test]
+    fn loss_mid_config_moves_the_sustained_loss_band() {
+        // Regression: the mid-band floor used to be hardcoded at 0.03, so
+        // ablations overriding the config silently changed nothing. With
+        // the floor raised above the offered 5% loss the streak never
+        // accumulates and the controller holds; with the floor lowered
+        // beneath it the decrease fires — same feedback either way.
+        // recv above the current rate keeps the snap-to-received rule out
+        // of play, isolating the mid-band streak.
+        let run = |loss_mid: f64| {
+            let mut c = GccController::new(GccConfig {
+                loss_mid,
+                ..GccConfig::default()
+            });
+            let mut r = c.current();
+            for i in 0..12 {
+                r = c.on_feedback(&fb(30.0, 0.05, 2, 0.0), SimTime::from_millis(i * 100));
+            }
+            r
+        };
+        let tolerant = run(0.08);
+        let strict = run(0.02);
+        assert_eq!(
+            tolerant,
+            BitRate::from_mbps_f64(27.5),
+            "5% loss below the raised floor must hold"
+        );
+        assert!(
+            strict < BitRate::from_mbps_f64(27.5),
+            "5% loss above the lowered floor must decrease, got {strict}"
+        );
+        assert!(strict < tolerant);
+    }
+
+    #[test]
+    fn loss_snap_config_moves_the_snap_threshold() {
+        // Regression: the snap-to-received threshold was hardcoded at
+        // 0.005. 4% loss with the path delivering 21 of 27.5 Mb/s snaps
+        // under the default but must not once the threshold is above it.
+        let mut relaxed = GccController::new(GccConfig {
+            loss_snap: 0.06,
+            ..GccConfig::default()
+        });
+        let r = relaxed.on_feedback(&fb(21.0, 0.04, 1, 0.0), SimTime::from_millis(100));
+        assert_eq!(
+            r,
+            BitRate::from_mbps_f64(27.5),
+            "loss below the raised snap threshold must not snap"
+        );
+        let mut strict = GccController::new(GccConfig {
+            loss_snap: 0.01,
+            ..GccConfig::default()
+        });
+        let r = strict.on_feedback(&fb(21.0, 0.04, 1, 0.0), SimTime::from_millis(100));
+        assert_eq!(r, BitRate::from_mbps_f64(21.0));
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub mod link;
 pub mod monitor;
 pub mod net;
 pub mod queue;
+pub mod scenario;
 pub mod trace;
 pub mod wire;
 
@@ -39,5 +40,6 @@ pub use link::{LinkId, LinkSpec, Shaper};
 pub use monitor::{FlowStats, Monitor};
 pub use net::{Agent, AgentId, Ctx, Network, NetworkBuilder, NodeId, PacketSpec, Sim};
 pub use queue::{CoDelQueue, DropTailQueue, FqCoDelQueue, Queue, QueueSpec};
+pub use scenario::{ScenarioAction, ScenarioSpec, ScenarioStep};
 pub use trace::{Trace, TraceEvent, TraceKind};
 pub use wire::{FlowId, MediaChunk, Packet, Payload, PingEcho, StreamFeedback, TcpSegment};

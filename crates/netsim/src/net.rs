@@ -40,6 +40,7 @@ use rand::Rng;
 use crate::link::{Link, LinkId, LinkSpec, Service};
 use crate::monitor::{DropKind, Monitor};
 use crate::queue::QueuedPkt;
+use crate::scenario::{ScenarioAction, ScenarioSpec};
 use crate::trace::{proto_tag, Trace, TraceEvent, TraceKind};
 use crate::wire::{FlowId, Packet, PacketPool, Payload, PktRef};
 
@@ -157,6 +158,15 @@ pub enum NetEvent {
         link: LinkId,
         /// The new rate; `None` removes shaping.
         rate: Option<BitRate>,
+    },
+    /// Apply one [`ScenarioAction`] to a link — the generalized live
+    /// reconfiguration behind [`Sim::apply_scenario`]. Applications are
+    /// recorded as `link_scenario` telemetry events.
+    Scenario {
+        /// The link to reconfigure.
+        link: LinkId,
+        /// What changes.
+        action: ScenarioAction,
     },
     /// Deliver `Agent::on_start`.
     AgentStart(AgentId),
@@ -382,6 +392,37 @@ impl Network {
         }
     }
 
+    /// Apply one scenario action to a link, record it, account any
+    /// evicted packets, and pump the link so the change takes effect at
+    /// this exact instant.
+    fn apply_scenario_action(
+        &mut self,
+        id: LinkId,
+        action: ScenarioAction,
+        sched: &mut Scheduler<NetEvent>,
+    ) {
+        let now = sched.now();
+        self.telemetry
+            .link_scenario(now, id.0 as u64, action.wire_code());
+        let link = &mut self.links[id.0 as usize];
+        match action {
+            ScenarioAction::Rate(rate) => link.set_rate(rate, now),
+            ScenarioAction::Delay(d) => link.set_delay(d),
+            ScenarioAction::Loss(p) => link.set_loss_prob(p),
+            ScenarioAction::Duplication(p) => link.set_dup_prob(p),
+            ScenarioAction::Up(up) => link.set_up(up, now),
+            ScenarioAction::QueueLimit(limit) => {
+                let mut dropped = std::mem::take(&mut self.drop_buf);
+                link.set_queue_limit(limit, &mut dropped);
+                for d in dropped.drain(..) {
+                    self.drop_pooled(d, DropKind::Queue, id, now);
+                }
+                self.drop_buf = dropped;
+            }
+        }
+        self.pump_link(id, sched);
+    }
+
     fn pump_link(&mut self, id: LinkId, sched: &mut Scheduler<NetEvent>) {
         let mut dropped = std::mem::take(&mut self.drop_buf);
         loop {
@@ -480,8 +521,10 @@ impl World for Network {
                 self.pump_link(id, sched);
             }
             NetEvent::SetLinkRate { link, rate } => {
-                self.links[link.0 as usize].set_rate(rate, sched.now());
-                self.pump_link(link, sched);
+                self.apply_scenario_action(link, ScenarioAction::Rate(rate), sched);
+            }
+            NetEvent::Scenario { link, action } => {
+                self.apply_scenario_action(link, action, sched);
             }
             NetEvent::Arrive { node, pkt } => {
                 if self.pool.get(pkt).dst == node {
@@ -717,6 +760,22 @@ impl Sim {
             .scheduler()
             .schedule_at(at, NetEvent::SetLinkRate { link, rate });
     }
+
+    /// Schedule one scenario action at `at` (absolute sim time).
+    pub fn schedule_scenario_action(&mut self, link: LinkId, action: ScenarioAction, at: SimTime) {
+        self.engine
+            .scheduler()
+            .schedule_at(at, NetEvent::Scenario { link, action });
+    }
+
+    /// Schedule a whole disturbance schedule. Steps are ordinary events:
+    /// traced and untraced runs stay bit-identical, and the run reproduces
+    /// from (scenario, seed).
+    pub fn apply_scenario(&mut self, spec: &ScenarioSpec) {
+        for step in &spec.steps {
+            self.schedule_scenario_action(step.link, step.action, step.at);
+        }
+    }
 }
 
 /// Convenience: the rate used for "effectively unshaped" LAN links in specs
@@ -942,6 +1001,225 @@ mod tests {
         assert!((during - 5.0).abs() < 0.5, "during {during}");
         assert!((after - 15.0).abs() < 1.0, "after {after}");
         assert!(st.dropped_pkts() > 0, "the 5 Mb/s phase must drop");
+    }
+
+    #[test]
+    fn scenario_steps_apply_and_record() {
+        use gsrepro_simcore::telemetry::EventKind;
+        let mut b = NetworkBuilder::new(5).telemetry(TelemetryConfig::default());
+        let s = b.add_node("s");
+        let c = b.add_node("c");
+        let bottleneck = b.link(
+            s,
+            c,
+            LinkSpec::bottleneck(
+                BitRate::from_mbps(20),
+                Bytes(100_000),
+                SimDuration::from_millis(2),
+            ),
+        );
+        b.link(c, s, LinkSpec::lan(SimDuration::from_millis(2)));
+        let f = b.flow("x");
+        let sink = b.add_agent(c, Box::new(SinkAgent::new()));
+        b.add_agent(
+            s,
+            Box::new(CbrSource::new(
+                f,
+                c,
+                sink,
+                BitRate::from_mbps(10),
+                Bytes(1200),
+            )),
+        );
+        let mut sim = b.build();
+        let spec = ScenarioSpec::new()
+            .rate(SimTime::from_secs(2), bottleneck, BitRate::from_mbps(5))
+            .delay(
+                SimTime::from_secs(3),
+                bottleneck,
+                SimDuration::from_millis(9),
+            )
+            .loss_window(
+                SimTime::from_secs(4),
+                SimTime::from_secs(5),
+                bottleneck,
+                0.5,
+            )
+            .outage(SimTime::from_secs(6), SimTime::from_secs(7), bottleneck)
+            .queue_limit(SimTime::from_secs(8), bottleneck, Bytes(10_000));
+        let n_steps = spec.steps.len() as u64;
+        sim.apply_scenario(&spec);
+        sim.run_until(SimTime::from_secs(10));
+
+        let link = sim.net.link(bottleneck);
+        assert_eq!(link.rate(), Some(BitRate::from_mbps(5)));
+        assert_eq!(link.delay(), SimDuration::from_millis(9));
+        assert!(link.is_up());
+        let st = sim.net.monitor().stats(f);
+        assert!(st.link_drop_pkts > 0, "loss window must drop packets");
+        assert!(st.queue_drop_pkts > 0, "5 Mb/s phase must tail-drop");
+        let tel = sim.net.telemetry().telemetry().unwrap();
+        assert_eq!(tel.counters().scenario_steps, n_steps);
+        let recorded: Vec<_> = tel
+            .events()
+            .into_iter()
+            .filter(|e| e.kind == EventKind::LinkScenario)
+            .collect();
+        assert_eq!(recorded.len() as u64, n_steps);
+        assert!(recorded.iter().all(
+            |e| e.flow == gsrepro_simcore::telemetry::GLOBAL_FLOW && e.a == bottleneck.0 as u64
+        ));
+        // Wire codes, in schedule order: rate, delay, loss on/off, down/up,
+        // queue limit.
+        let codes: Vec<u64> = recorded.iter().map(|e| e.b).collect();
+        assert_eq!(codes, vec![0, 1, 2, 2, 4, 4, 5]);
+    }
+
+    #[test]
+    fn scenario_outage_pauses_delivery() {
+        let mut b = NetworkBuilder::new(9);
+        let s = b.add_node("s");
+        let c = b.add_node("c");
+        let l = b.link(
+            s,
+            c,
+            LinkSpec::bottleneck(
+                BitRate::from_mbps(10),
+                Bytes(1_000_000),
+                SimDuration::from_millis(1),
+            ),
+        );
+        b.link(c, s, LinkSpec::lan(SimDuration::from_millis(1)));
+        let f = b.flow("x");
+        let sink = b.add_agent(c, Box::new(SinkAgent::new()));
+        b.add_agent(
+            s,
+            Box::new(CbrSource::new(
+                f,
+                c,
+                sink,
+                BitRate::from_mbps(5),
+                Bytes(1000),
+            )),
+        );
+        let mut sim = b.build();
+        sim.apply_scenario(&ScenarioSpec::new().outage(
+            SimTime::from_secs(2),
+            SimTime::from_secs(4),
+            l,
+        ));
+        sim.run_until(SimTime::from_secs(6));
+        let st = sim.net.monitor().stats(f);
+        // New arrivals during the outage are rejected at the link and
+        // accounted like queue-overflow drops (the queue here is far too
+        // large to overflow on its own).
+        assert!(st.queue_drop_pkts > 500, "drops {}", st.queue_drop_pkts);
+        // Delivery resumes after the outage.
+        let after = st.mean_goodput_mbps(SimTime::from_secs(4), SimTime::from_secs(6));
+        assert!((after - 5.0).abs() < 0.5, "after-outage goodput {after}");
+        // No goodput inside the dark window (minus the sub-ms tail in flight).
+        let during = st.mean_goodput_mbps(SimTime::from_millis(2100), SimTime::from_millis(3900));
+        assert!(during < 0.1, "during-outage goodput {during}");
+    }
+
+    #[test]
+    fn delay_step_spares_in_flight_packets() {
+        // A delay step must not touch packets already propagating: their
+        // arrivals were scheduled with the delay in force at send time.
+        let mut b = NetworkBuilder::new(27).trace_capacity(100_000);
+        let s = b.add_node("s");
+        let c = b.add_node("c");
+        let l = b.link(s, c, LinkSpec::lan(SimDuration::from_millis(50)));
+        b.link(c, s, LinkSpec::lan(SimDuration::from_millis(1)));
+        let f = b.flow("x");
+        let sink = b.add_agent(c, Box::new(SinkAgent::new()));
+        // 100 pkt/s: sends at 0, 10 ms, 20 ms, ...
+        b.add_agent(
+            s,
+            Box::new(CbrSource::new(
+                f,
+                c,
+                sink,
+                BitRate::from_kbps(800),
+                Bytes(1000),
+            )),
+        );
+        let mut sim = b.build();
+        // At t = 1 s the delay jumps 50 ms -> 200 ms.
+        sim.schedule_scenario_action(
+            l,
+            ScenarioAction::Delay(SimDuration::from_millis(200)),
+            SimTime::from_secs(1),
+        );
+        sim.run_until(SimTime::from_secs(3));
+        let trace = sim.net.trace().unwrap();
+        let deliveries: Vec<SimTime> = trace
+            .events()
+            .filter(|e| e.kind == TraceKind::Deliver)
+            .map(|e| e.at)
+            .collect();
+        // Packets sent before 1 s keep the 50 ms delay (last arrives at
+        // ~1.04 s); the first post-step send (t = 1.0 s) lands at 1.2 s.
+        // Nothing arrives inside the gap.
+        let gap = deliveries
+            .iter()
+            .filter(|t| **t > SimTime::from_millis(1045) && **t < SimTime::from_millis(1195))
+            .count();
+        assert_eq!(gap, 0, "no arrivals between the two delay regimes");
+        let pre = deliveries
+            .iter()
+            .filter(|t| **t > SimTime::from_secs(1) && **t <= SimTime::from_millis(1045))
+            .count();
+        assert!(pre > 0, "in-flight packets still arrive at the old delay");
+    }
+
+    #[test]
+    fn scenario_runs_are_bit_identical() {
+        let run = |telemetry: bool| {
+            let mut b = NetworkBuilder::new(77);
+            if telemetry {
+                b = b.telemetry(TelemetryConfig::default());
+            }
+            let s = b.add_node("s");
+            let c = b.add_node("c");
+            let l = b.link(
+                s,
+                c,
+                LinkSpec::bottleneck(
+                    BitRate::from_mbps(25),
+                    Bytes(100_000),
+                    SimDuration::from_millis(2),
+                ),
+            );
+            b.link(c, s, LinkSpec::lan(SimDuration::from_millis(2)));
+            let f = b.flow("x");
+            let sink = b.add_agent(c, Box::new(SinkAgent::new()));
+            b.add_agent(
+                s,
+                Box::new(CbrSource::new(
+                    f,
+                    c,
+                    sink,
+                    BitRate::from_mbps(20),
+                    Bytes(1200),
+                )),
+            );
+            let mut sim = b.build();
+            sim.apply_scenario(
+                &ScenarioSpec::new()
+                    .rate(SimTime::from_secs(3), l, BitRate::from_mbps(10))
+                    .rate(SimTime::from_secs(6), l, BitRate::from_mbps(25))
+                    .loss_window(SimTime::from_secs(7), SimTime::from_secs(8), l, 0.02),
+            );
+            sim.run_until(SimTime::from_secs(10));
+            let st = sim.net.monitor().stats(f);
+            (st.delivered_pkts, st.dropped_pkts(), sim.events_processed())
+        };
+        let a = run(false);
+        let b2 = run(false);
+        let traced = run(true);
+        assert_eq!(a, b2, "same scenario + seed must be bit-identical");
+        assert_eq!(a, traced, "tracing must not perturb a scenario run");
     }
 
     #[test]

@@ -62,6 +62,14 @@ pub trait Queue {
 
     /// Configured capacity in bytes, if byte-limited.
     fn capacity_bytes(&self) -> Option<Bytes>;
+
+    /// Change the byte limit at runtime (emulating `tc qdisc change ...
+    /// limit`). Overflow policy on a shrink: most-recently-queued entries
+    /// are evicted first (tail drop — the packets a smaller buffer would
+    /// never have admitted) until the backlog fits; evictions are appended
+    /// to `dropped` and the caller owns their pool slots. A packet-limited
+    /// discipline gains a byte limit alongside its packet limit.
+    fn set_byte_limit(&mut self, limit: Bytes, dropped: &mut Vec<QueuedPkt>);
 }
 
 /// Declarative queue configuration, used by topology builders.
@@ -214,6 +222,15 @@ impl Queue for DropTailQueue {
     fn capacity_bytes(&self) -> Option<Bytes> {
         self.byte_limit
     }
+
+    fn set_byte_limit(&mut self, limit: Bytes, dropped: &mut Vec<QueuedPkt>) {
+        self.byte_limit = Some(limit);
+        while self.bytes > limit {
+            let item = self.q.pop_back().expect("backlog implies entries");
+            self.bytes -= item.size;
+            dropped.push(item);
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -351,6 +368,15 @@ impl Queue for CoDelQueue {
 
     fn capacity_bytes(&self) -> Option<Bytes> {
         Some(self.limit)
+    }
+
+    fn set_byte_limit(&mut self, limit: Bytes, dropped: &mut Vec<QueuedPkt>) {
+        self.limit = limit;
+        while self.bytes > limit {
+            let item = self.q.pop_back().expect("backlog implies entries");
+            self.bytes -= item.size;
+            dropped.push(item);
+        }
     }
 }
 
@@ -507,6 +533,38 @@ impl Queue for FqCoDelQueue {
 
     fn capacity_bytes(&self) -> Option<Bytes> {
         Some(self.limit)
+    }
+
+    fn set_byte_limit(&mut self, limit: Bytes, dropped: &mut Vec<QueuedPkt>) {
+        self.limit = limit;
+        // Sub-queue CoDels were built with the old limit as backstop; keep
+        // them in line so a later direct overfill cannot exceed the new cap.
+        // Their backlogs are trimmed via the fattest-flow eviction below,
+        // not here, so cross-flow fairness is preserved.
+        for f in &mut self.flows {
+            f.codel.limit = limit;
+        }
+        while self.bytes > limit {
+            // Evict from the tail of the fattest flow (RFC 8290 §4.1.2
+            // drops from the biggest queue; tail-first matches the other
+            // disciplines' shrink policy).
+            let b = self
+                .flows
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, f)| f.codel.bytes.as_u64())
+                .map(|(i, _)| i)
+                .expect("FQ_BUCKETS > 0");
+            let item = self.flows[b]
+                .codel
+                .q
+                .pop_back()
+                .expect("fattest flow has entries while backlog > 0");
+            self.flows[b].codel.bytes -= item.size;
+            self.bytes -= item.size;
+            self.pkts -= 1;
+            dropped.push(item);
+        }
     }
 }
 
@@ -679,6 +737,34 @@ mod tests {
         while q.dequeue(now, &mut dropped).is_some() {}
         assert_eq!(q.len_bytes(), Bytes::ZERO);
         assert_eq!(q.len_pkts(), 0);
+    }
+
+    #[test]
+    fn shrink_evicts_tail_first_across_disciplines() {
+        let specs = [
+            QueueSpec::DropTail { limit: Bytes(5000) },
+            QueueSpec::codel_default(Bytes(5000)),
+            QueueSpec::fq_codel_default(Bytes(5000)),
+        ];
+        for spec in &specs {
+            let mut q = spec.build();
+            for i in 0..5u32 {
+                q.enqueue(qpkt(i, 1, 1000), SimTime::ZERO).unwrap();
+            }
+            let mut dropped = vec![];
+            q.set_byte_limit(Bytes(2500), &mut dropped);
+            // 2 packets fit; the 3 most recent are evicted, newest first.
+            assert_eq!(q.len_bytes(), Bytes(2000), "{spec:?}");
+            assert_eq!(q.len_pkts(), 2, "{spec:?}");
+            let ids: Vec<u32> = dropped.iter().map(|p| p.pkt.0).collect();
+            assert_eq!(ids, vec![4, 3, 2], "{spec:?}");
+            // Oldest entries survive in FIFO order.
+            let out = q.dequeue(SimTime::ZERO, &mut dropped).unwrap();
+            assert_eq!(out.pkt, PktRef(0), "{spec:?}");
+            // A grow is drop-free and admits traffic again.
+            q.set_byte_limit(Bytes(10_000), &mut dropped);
+            assert!(q.enqueue(qpkt(9, 1, 4000), SimTime::ZERO).is_ok());
+        }
     }
 
     #[test]

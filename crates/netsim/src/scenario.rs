@@ -1,0 +1,172 @@
+//! Declarative time-varying link scenarios.
+//!
+//! A [`ScenarioSpec`] is a schedule of per-link disturbances — rate steps,
+//! delay steps, loss/duplication-probability windows, full outages, and
+//! queue-limit changes — each at an absolute simulation time. The engine
+//! applies steps through ordinary scheduled events
+//! ([`crate::net::NetEvent::Scenario`]), so traced and untraced runs stay
+//! bit-identical and any run reproduces from (condition, seed) alone.
+//! Every application is recorded as a `link_scenario` telemetry event, so
+//! an exported trace proves each disturbance actually happened.
+//!
+//! Real paths disturb streams by changing themselves, not only by adding
+//! competitors: GeForce NOW sessions observed in the wild ride through
+//! rate renegotiations and outages, and physical testbeds induce the same
+//! with `tc qdisc change`. This module is the simulator's equivalent of
+//! running `tc` against a live router mid-experiment.
+
+use gsrepro_simcore::{BitRate, Bytes, SimDuration, SimTime};
+
+use crate::link::LinkId;
+
+/// One live reconfiguration of a link.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum ScenarioAction {
+    /// Change the shaping rate (`None` removes the limit). Token-bucket
+    /// credit is conserved across the change — no burst is forged and no
+    /// banked tokens are destroyed.
+    Rate(Option<BitRate>),
+    /// Change the one-way propagation delay. Packets already propagating
+    /// keep the delay in force at their send time.
+    Delay(SimDuration),
+    /// Change the independent per-packet drop probability.
+    Loss(f64),
+    /// Change the independent per-packet duplication probability.
+    Duplication(f64),
+    /// Take the link down (`false`) or bring it back up (`true`). While
+    /// down, arrivals are dropped at the link and queued packets park.
+    Up(bool),
+    /// Change the queue's byte limit. A shrink evicts newest-first.
+    QueueLimit(Bytes),
+}
+
+impl ScenarioAction {
+    /// Stable wire code carried in the `link_scenario` telemetry event's
+    /// `b` payload word.
+    pub fn wire_code(&self) -> u64 {
+        match self {
+            ScenarioAction::Rate(_) => 0,
+            ScenarioAction::Delay(_) => 1,
+            ScenarioAction::Loss(_) => 2,
+            ScenarioAction::Duplication(_) => 3,
+            ScenarioAction::Up(_) => 4,
+            ScenarioAction::QueueLimit(_) => 5,
+        }
+    }
+}
+
+/// One scheduled disturbance: apply `action` to `link` at `at`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScenarioStep {
+    /// Absolute simulation time of the change.
+    pub at: SimTime,
+    /// The link to reconfigure.
+    pub link: LinkId,
+    /// What changes.
+    pub action: ScenarioAction,
+}
+
+/// A declarative per-link disturbance schedule. Build one with the fluent
+/// helpers, then hand it to [`crate::net::Sim::apply_scenario`] before
+/// (or during) a run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ScenarioSpec {
+    /// The schedule, in insertion order (the engine orders by time).
+    pub steps: Vec<ScenarioStep>,
+}
+
+impl ScenarioSpec {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        ScenarioSpec::default()
+    }
+
+    /// Append an arbitrary step.
+    pub fn step(mut self, at: SimTime, link: LinkId, action: ScenarioAction) -> Self {
+        self.steps.push(ScenarioStep { at, link, action });
+        self
+    }
+
+    /// Step the shaping rate at `at`.
+    pub fn rate(self, at: SimTime, link: LinkId, rate: BitRate) -> Self {
+        self.step(at, link, ScenarioAction::Rate(Some(rate)))
+    }
+
+    /// Step the one-way propagation delay at `at`.
+    pub fn delay(self, at: SimTime, link: LinkId, delay: SimDuration) -> Self {
+        self.step(at, link, ScenarioAction::Delay(delay))
+    }
+
+    /// Open a random-loss window: probability `p` from `from` to `to`.
+    pub fn loss_window(self, from: SimTime, to: SimTime, link: LinkId, p: f64) -> Self {
+        self.step(from, link, ScenarioAction::Loss(p))
+            .step(to, link, ScenarioAction::Loss(0.0))
+    }
+
+    /// Open a duplication window: probability `p` from `from` to `to`.
+    pub fn duplication_window(self, from: SimTime, to: SimTime, link: LinkId, p: f64) -> Self {
+        self.step(from, link, ScenarioAction::Duplication(p)).step(
+            to,
+            link,
+            ScenarioAction::Duplication(0.0),
+        )
+    }
+
+    /// Full outage from `from` to `to`.
+    pub fn outage(self, from: SimTime, to: SimTime, link: LinkId) -> Self {
+        self.step(from, link, ScenarioAction::Up(false))
+            .step(to, link, ScenarioAction::Up(true))
+    }
+
+    /// Change the queue byte limit at `at`.
+    pub fn queue_limit(self, at: SimTime, link: LinkId, limit: Bytes) -> Self {
+        self.step(at, link, ScenarioAction::QueueLimit(limit))
+    }
+
+    /// Times of all steps, sorted ascending — the disturbance instants a
+    /// settling-time analysis scans from.
+    pub fn disturbance_times(&self) -> Vec<SimTime> {
+        let mut ts: Vec<SimTime> = self.steps.iter().map(|s| s.at).collect();
+        ts.sort();
+        ts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_accumulate_steps_in_order() {
+        let l = LinkId(3);
+        let s = ScenarioSpec::new()
+            .rate(SimTime::from_secs(100), l, BitRate::from_mbps(10))
+            .outage(SimTime::from_secs(150), SimTime::from_secs(152), l)
+            .loss_window(SimTime::from_secs(200), SimTime::from_secs(210), l, 0.05)
+            .queue_limit(SimTime::from_secs(250), l, Bytes(10_000));
+        assert_eq!(s.steps.len(), 6);
+        assert_eq!(
+            s.steps[0].action,
+            ScenarioAction::Rate(Some(BitRate::from_mbps(10)))
+        );
+        assert_eq!(s.steps[1].action, ScenarioAction::Up(false));
+        assert_eq!(s.steps[2].action, ScenarioAction::Up(true));
+        assert_eq!(s.steps[5].action, ScenarioAction::QueueLimit(Bytes(10_000)));
+        let ts = s.disturbance_times();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(ts[0], SimTime::from_secs(100));
+    }
+
+    #[test]
+    fn wire_codes_are_stable_and_distinct() {
+        let codes = [
+            ScenarioAction::Rate(None).wire_code(),
+            ScenarioAction::Delay(SimDuration::ZERO).wire_code(),
+            ScenarioAction::Loss(0.0).wire_code(),
+            ScenarioAction::Duplication(0.0).wire_code(),
+            ScenarioAction::Up(true).wire_code(),
+            ScenarioAction::QueueLimit(Bytes::ZERO).wire_code(),
+        ];
+        assert_eq!(codes, [0, 1, 2, 3, 4, 5]);
+    }
+}

@@ -31,7 +31,7 @@ use crate::time::{SimDuration, SimTime};
 pub const GLOBAL_FLOW: u32 = u32::MAX;
 
 /// Number of event kinds (size of per-flow throttle state).
-pub const KIND_COUNT: usize = 13;
+pub const KIND_COUNT: usize = 14;
 
 /// What happened. The `a`/`b` payload meaning is per-kind (documented on
 /// each variant as `a` / `b`).
@@ -71,6 +71,11 @@ pub enum EventKind {
     FastRetransmit = 11,
     /// A frame entered the send pipeline. `frame bytes` / `chunk count`.
     Frame = 12,
+    /// A scheduled link-scenario step was applied (live reconfiguration).
+    /// `link id` / `action code` (netsim's `ScenarioAction` wire code).
+    /// Recorded against [`GLOBAL_FLOW`]; never throttled, so traces prove
+    /// each disturbance actually happened.
+    LinkScenario = 13,
 }
 
 impl EventKind {
@@ -89,6 +94,7 @@ impl EventKind {
         EventKind::Rto,
         EventKind::FastRetransmit,
         EventKind::Frame,
+        EventKind::LinkScenario,
     ];
 
     /// Stable wire name (CSV `kind` column, JSONL `"kind"` value).
@@ -107,6 +113,7 @@ impl EventKind {
             EventKind::Rto => "rto",
             EventKind::FastRetransmit => "fast_retx",
             EventKind::Frame => "frame",
+            EventKind::LinkScenario => "link_scenario",
         }
     }
 
@@ -168,6 +175,8 @@ pub struct Counters {
     pub backoffs: u64,
     /// TFRC loss-interval closes observed.
     pub loss_intervals: u64,
+    /// Link-scenario steps applied (live path reconfigurations).
+    pub scenario_steps: u64,
     /// Events the scheduler clamped from the past to `now` (see
     /// [`crate::engine::Scheduler::past_schedules`]).
     pub past_clamps: u64,
@@ -185,6 +194,7 @@ impl Counters {
         self.fast_retransmits += o.fast_retransmits;
         self.backoffs += o.backoffs;
         self.loss_intervals += o.loss_intervals;
+        self.scenario_steps += o.scenario_steps;
         self.past_clamps += o.past_clamps;
     }
 }
@@ -268,6 +278,7 @@ impl Telemetry {
             EventKind::FastRetransmit => self.counters.fast_retransmits += 1,
             EventKind::CtrlBackoff => self.counters.backoffs += 1,
             EventKind::LossInterval => self.counters.loss_intervals += 1,
+            EventKind::LinkScenario => self.counters.scenario_steps += 1,
             _ => {}
         }
         let interval = self.cfg.sample_interval.as_nanos();
@@ -472,6 +483,13 @@ impl Recorder {
     #[inline]
     pub fn frame(&mut self, at: SimTime, flow: u32, frame_bytes: u64, chunks: u64) {
         self.rec(at, flow, EventKind::Frame, frame_bytes, chunks);
+    }
+
+    /// A link-scenario step was applied (link scope). `action` is the
+    /// netsim `ScenarioAction` wire code.
+    #[inline]
+    pub fn link_scenario(&mut self, at: SimTime, link: u64, action: u64) {
+        self.rec(at, GLOBAL_FLOW, EventKind::LinkScenario, link, action);
     }
 }
 

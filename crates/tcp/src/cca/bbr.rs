@@ -264,6 +264,7 @@ impl Bbr {
 
 impl CongestionControl for Bbr {
     fn on_ack(&mut self, ack: &AckInfo) {
+        let was_probe_rtt = self.mode == Mode::ProbeRtt;
         // rt_prop windowed-min filter (monotonic deque, O(1) amortized).
         if let Some(rtt) = ack.rtt {
             while self.rt_samples.back().is_some_and(|&(_, r)| r >= rtt) {
@@ -335,7 +336,16 @@ impl CongestionControl for Bbr {
             self.cwnd = self.min_cwnd();
         } else {
             let target = (self.cwnd_gain * self.bdp_bytes() as f64) as u64;
-            self.cwnd = target.max(self.min_cwnd());
+            let mut next = target.max(self.min_cwnd());
+            if was_probe_rtt {
+                // This ack just exited PROBE_RTT and `self.cwnd` holds the
+                // restored pre-probe window. Honor the restore even when
+                // the bandwidth model deflated during the probe (e.g. an
+                // in-probe timeout collapsed delivery); the model target
+                // takes back over from the next ack on.
+                next = next.max(self.cwnd);
+            }
+            self.cwnd = next;
         }
         if self.btl_bw > BitRate::ZERO {
             self.pacing_rate = Some(self.btl_bw.mul_f64(self.pacing_gain));
@@ -348,8 +358,15 @@ impl CongestionControl for Bbr {
 
     fn on_rto(&mut self, _now: SimTime) {
         // Conservation on timeout: collapse to one segment; the model
-        // rebuilds the window on the next acks.
-        self.prior_cwnd = self.cwnd;
+        // rebuilds the window on the next acks. During PROBE_RTT the
+        // operating cwnd is the pinned 4-segment floor, and `prior_cwnd`
+        // already holds the pre-probe window that the probe exit must
+        // restore — overwriting it here would make a timeout inside a
+        // probe permanently forget the real window (Linux guards its
+        // `bbr_save_cwnd` the same way).
+        if self.mode != Mode::ProbeRtt {
+            self.prior_cwnd = self.cwnd;
+        }
         self.cwnd = self.mss;
     }
 
@@ -540,6 +557,106 @@ mod tests {
         assert_eq!(min_cwnd_seen, 4 * MSS);
         // And it must leave PROBE_RTT afterwards.
         assert_eq!(b.mode_name(), "probe_bw");
+    }
+
+    #[test]
+    fn rto_inside_probe_rtt_keeps_prior_cwnd() {
+        // Regression: `on_rto` used to unconditionally save the operating
+        // cwnd into `prior_cwnd`. Inside PROBE_RTT the operating cwnd is
+        // the pinned 4-segment floor, so a timeout there overwrote the
+        // saved pre-probe window; the probe exit then "restored" the floor
+        // instead of the real window (Linux guards `bbr_save_cwnd` against
+        // exactly this).
+        let mut b = Bbr::new(MSS);
+        let (t0, mut round) = warm_up(&mut b);
+        let mut now = t0;
+        let mut delivered = 1_000_000;
+        let rate_full = BitRate::from_mbps(10);
+        // Starve the rt_prop floor (21 ms > the 20 ms min) until the
+        // 10 s window lapses and PROBE_RTT engages.
+        let mut pre_probe = 0;
+        for i in 0..2_000u64 {
+            let round_start = i % 2 == 0;
+            if round_start {
+                round += 1;
+                now += SimDuration::from_millis(21);
+            }
+            delivered += MSS;
+            let before = b.cwnd();
+            b.on_ack(&ack_at(
+                now,
+                21,
+                rate_full,
+                50_000,
+                round,
+                round_start,
+                delivered,
+            ));
+            if b.mode_name() == "probe_rtt" {
+                pre_probe = before;
+                break;
+            }
+        }
+        assert_eq!(b.mode_name(), "probe_rtt");
+        assert!(pre_probe > 30_000, "pre-probe cwnd {pre_probe}");
+
+        // While the pipe drains, an RTO strikes and delivery collapses to
+        // 1 Mb/s; enough rounds pass to flush every 10 Mb/s sample out of
+        // the bandwidth window, so the model alone can no longer justify
+        // the old window.
+        let rate_low = BitRate::from_mbps(1);
+        b.on_rto(now);
+        for i in 0..2 * (BW_WINDOW_ROUNDS + 2) {
+            let round_start = i % 2 == 0;
+            if round_start {
+                round += 1;
+                now += SimDuration::from_millis(21);
+            }
+            delivered += MSS;
+            b.on_ack(&ack_at(
+                now,
+                20,
+                rate_low,
+                50_000,
+                round,
+                round_start,
+                delivered,
+            ));
+        }
+        assert_eq!(b.mode_name(), "probe_rtt");
+        assert!(b.btl_bw() <= rate_low, "bw window must have flushed");
+
+        // Drain in-flight to the floor so the 200 ms dwell can elapse and
+        // the probe exits.
+        let mut exited = false;
+        for i in 0..40u64 {
+            let round_start = i % 2 == 0;
+            if round_start {
+                round += 1;
+                now += SimDuration::from_millis(21);
+            }
+            delivered += MSS;
+            b.on_ack(&ack_at(
+                now,
+                20,
+                rate_low,
+                4 * MSS,
+                round,
+                round_start,
+                delivered,
+            ));
+            if b.mode_name() != "probe_rtt" {
+                exited = true;
+                break;
+            }
+        }
+        assert!(exited, "PROBE_RTT must complete");
+        // The exit must restore the pre-probe window, not the probe floor.
+        assert!(
+            b.cwnd() >= pre_probe,
+            "exit cwnd {} must restore pre-probe cwnd {pre_probe}",
+            b.cwnd()
+        );
     }
 
     #[test]

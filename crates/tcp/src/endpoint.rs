@@ -119,7 +119,11 @@ pub struct TcpSender {
     min_rtt: SimDuration,
     rto_backoff: u32,
     rto_deadline: SimTime,
-    rto_timer_armed: bool,
+    /// Fire time of the earliest pending RTO timer, [`SimTime::MAX`] when
+    /// none. Timers are not cancellable, so when the deadline moves
+    /// *earlier* than every pending timer a new one is set and later
+    /// firings are discarded as stale against this field.
+    rto_timer_at: SimTime,
 
     dupacks: u32,
     recovery_point: u64,
@@ -167,7 +171,7 @@ impl TcpSender {
             min_rtt: SimDuration::MAX,
             rto_backoff: 0,
             rto_deadline: SimTime::MAX,
-            rto_timer_armed: false,
+            rto_timer_at: SimTime::MAX,
             dupacks: 0,
             recovery_point: 0,
             highest_sacked: 0,
@@ -308,8 +312,13 @@ impl TcpSender {
 
     fn arm_rto(&mut self, ctx: &mut Ctx, deadline: SimTime) {
         self.rto_deadline = deadline;
-        if !self.rto_timer_armed {
-            self.rto_timer_armed = true;
+        // A pending timer at or before the deadline will fire in time and
+        // re-check the deadline then. But if every pending timer fires
+        // *after* the new deadline (e.g. the backoff just reset while a
+        // heavily backed-off timer is in flight), the timeout would fire
+        // late — set an earlier timer and let the stale one no-op.
+        if deadline < self.rto_timer_at {
+            self.rto_timer_at = deadline;
             let delay = deadline.saturating_since(ctx.now());
             ctx.set_timer(delay, TOK_RTO);
         }
@@ -650,14 +659,19 @@ impl TcpSender {
     }
 
     fn on_rto_fire(&mut self, ctx: &mut Ctx) {
-        self.rto_timer_armed = false;
         let now = ctx.now();
+        if now < self.rto_timer_at {
+            // Stale firing: the deadline moved earlier after this timer was
+            // set, and a newer, earlier timer is still pending.
+            return;
+        }
+        self.rto_timer_at = SimTime::MAX;
         if self.segs.is_empty() || self.rto_deadline == SimTime::MAX {
             return;
         }
         if now < self.rto_deadline {
-            // The deadline moved while the timer was in flight; re-arm.
-            self.rto_timer_armed = true;
+            // The deadline moved out while the timer was in flight; re-arm.
+            self.rto_timer_at = self.rto_deadline;
             ctx.set_timer(self.rto_deadline.saturating_since(now), TOK_RTO);
             return;
         }
@@ -1197,6 +1211,66 @@ mod tests {
         // And the sender went idle long before the end (10 s at 50 Mb/s
         // could carry 60+ MB).
         assert!(st.sent_bytes.as_u64() < 700_000);
+    }
+
+    #[test]
+    fn rto_rearms_earlier_after_backoff_reset() {
+        // Regression: `arm_rto` used to be a pure no-op while a timer was
+        // pending. After a long outage escalates the backoff, the pending
+        // timer sits minutes out; when the path heals and an ack resets the
+        // backoff, the recomputed (much earlier) deadline must get its own
+        // timer — otherwise a second loss episode stalls until the stale
+        // backed-off timer finally fires.
+        let mut b = NetworkBuilder::new(31);
+        let server = b.add_node("server");
+        let client = b.add_node("client");
+        let fwd = b.link(
+            server,
+            client,
+            LinkSpec::bottleneck(
+                BitRate::from_mbps(10),
+                Bytes(40_000),
+                SimDuration::from_millis(5),
+            ),
+        );
+        b.link(client, server, LinkSpec::lan(SimDuration::from_millis(5)));
+        let data = b.flow("d");
+        let acks = b.flow("a");
+        let cfg = TcpSenderConfig::new(data, client, AgentId(1), CcaKind::Cubic);
+        let sender = b.add_agent(server, Box::new(TcpSender::new(cfg)));
+        b.add_agent(client, Box::new(TcpReceiver::new(acks, server, sender)));
+        let mut sim = b.build();
+        // Outage #1 (7 s) escalates the backoff: in-outage RTOs fire at
+        // ~2.2 through ~6.6 s, leaving a backed-off timer pending at
+        // ~10.85 s. When the link heals at 9 s the parked queue delivers,
+        // the acks reset the backoff, and the flow resumes — but under the
+        // old no-op arm that ~10.85 s timer is still the only one pending.
+        // Outage #2 (9.3 → 9.8 s) also nukes the queue, so parked packets
+        // cannot carry SACK recovery; only the RTO can restart the flow.
+        // The fixed arm keeps a timer tracking the ~200 ms deadline, so
+        // RTOs fire on time during the outage and the flow resumes by
+        // ~10 s; the stale arm stayed dark until the ~10.85 s firing.
+        sim.apply_scenario(
+            &gsrepro_netsim::ScenarioSpec::new()
+                .outage(SimTime::from_secs(2), SimTime::from_secs(9), fwd)
+                .outage(
+                    SimTime::from_millis(9_300),
+                    SimTime::from_millis(9_800),
+                    fwd,
+                )
+                .queue_limit(SimTime::from_millis(9_350), fwd, Bytes(0))
+                .queue_limit(SimTime::from_millis(9_800), fwd, Bytes(40_000)),
+        );
+        sim.run_until(SimTime::from_secs(12));
+        let st = sim.net.monitor().stats(data);
+        let resumed =
+            st.mean_goodput_mbps(SimTime::from_millis(10_000), SimTime::from_millis(10_800));
+        assert!(
+            resumed > 2.0,
+            "flow must resume within ~2 RTOs of outage #2 ending, got {resumed} Mb/s"
+        );
+        let s: &TcpSender = sim.net.agent(sender);
+        assert!(s.rto_events() >= 2, "rto events {}", s.rto_events());
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use gsrepro_gamestream::profile::ControllerKind;
 use gsrepro_gamestream::SystemKind;
+use gsrepro_netsim::link::LinkId;
+use gsrepro_netsim::scenario::ScenarioSpec;
 use gsrepro_simcore::rng::{derive_seed, stream_id};
 use gsrepro_simcore::{BitRate, Bytes, SimDuration, SimTime};
 use gsrepro_tcp::CcaKind;
@@ -101,6 +103,113 @@ impl Aqm {
     }
 }
 
+/// A scheduled disturbance of the bottleneck path — the testbed-level
+/// face of [`ScenarioSpec`]. The paper's testbed holds the path constant
+/// and varies the *competitor*; these scenarios vary the *path* itself
+/// (a `tc qdisc change` against the live router), which is how real
+/// cloud-gaming sessions experience rate renegotiations and outages.
+///
+/// Times are absolute simulation times; pair them with the condition's
+/// timeline scale. The scenario joins the condition label (and therefore
+/// the seed derivation), so scenario runs never share RNG streams with
+/// their static baselines.
+#[derive(Clone, Copy, Debug, PartialEq, Default)]
+pub enum PathScenario {
+    /// Static path (the paper's baseline).
+    #[default]
+    None,
+    /// Bottleneck rate steps to `rate` at `from` and restores the
+    /// condition's capacity at `to`.
+    RateStep {
+        /// Rate during the window.
+        rate: BitRate,
+        /// Step-down instant.
+        from: SimTime,
+        /// Restore instant.
+        to: SimTime,
+    },
+    /// Full bottleneck outage over `[from, to)`.
+    Outage {
+        /// Cut instant.
+        from: SimTime,
+        /// Restore instant.
+        to: SimTime,
+    },
+    /// Random-loss window with probability `p` over `[from, to)`.
+    LossWindow {
+        /// Per-packet drop probability during the window.
+        p: f64,
+        /// Window open.
+        from: SimTime,
+        /// Window close.
+        to: SimTime,
+    },
+    /// Bottleneck queue limit becomes `limit` at `from` and restores the
+    /// condition's configured size at `to`.
+    QueueStep {
+        /// Byte limit during the window.
+        limit: Bytes,
+        /// Shrink instant.
+        from: SimTime,
+        /// Restore instant.
+        to: SimTime,
+    },
+}
+
+impl PathScenario {
+    /// Label suffix, empty for the static path. Stable across runs: it
+    /// feeds the seed derivation and trace file names.
+    pub fn label_suffix(&self) -> String {
+        let secs = |t: SimTime| t.as_secs_f64().to_string();
+        match *self {
+            PathScenario::None => String::new(),
+            PathScenario::RateStep { rate, from, to } => {
+                format!("-sr{}-{}-{}", rate.as_mbps(), secs(from), secs(to))
+            }
+            PathScenario::Outage { from, to } => {
+                format!("-sout-{}-{}", secs(from), secs(to))
+            }
+            PathScenario::LossWindow { p, from, to } => {
+                format!("-sloss{}-{}-{}", p, secs(from), secs(to))
+            }
+            PathScenario::QueueStep { limit, from, to } => {
+                format!("-sq{}-{}-{}", limit.as_u64(), secs(from), secs(to))
+            }
+        }
+    }
+
+    /// Lower the scenario onto a concrete bottleneck link. `capacity` and
+    /// `queue_bytes` are the condition's static values, restored when a
+    /// window closes.
+    pub fn spec(&self, bottleneck: LinkId, capacity: BitRate, queue_bytes: Bytes) -> ScenarioSpec {
+        match *self {
+            PathScenario::None => ScenarioSpec::new(),
+            PathScenario::RateStep { rate, from, to } => ScenarioSpec::new()
+                .rate(from, bottleneck, rate)
+                .rate(to, bottleneck, capacity),
+            PathScenario::Outage { from, to } => ScenarioSpec::new().outage(from, to, bottleneck),
+            PathScenario::LossWindow { p, from, to } => {
+                ScenarioSpec::new().loss_window(from, to, bottleneck, p)
+            }
+            PathScenario::QueueStep { limit, from, to } => ScenarioSpec::new()
+                .queue_limit(from, bottleneck, limit)
+                .queue_limit(to, bottleneck, queue_bytes),
+        }
+    }
+
+    /// The disturbance instants, in order — what a settling-time analysis
+    /// scans from.
+    pub fn disturbance_times(&self) -> Vec<SimTime> {
+        match *self {
+            PathScenario::None => vec![],
+            PathScenario::RateStep { from, to, .. }
+            | PathScenario::Outage { from, to }
+            | PathScenario::LossWindow { from, to, .. }
+            | PathScenario::QueueStep { from, to, .. } => vec![from, to],
+        }
+    }
+}
+
 /// One experimental condition: a cell in the paper's grid.
 #[derive(Clone, Debug)]
 pub struct Condition {
@@ -122,6 +231,8 @@ pub struct Condition {
     /// re-injected "Internet weather" for sensitivity analyses. Zero by
     /// default: the paper equalizes paths and our base topology is clean.
     pub wan_jitter: SimDuration,
+    /// Scheduled bottleneck disturbance (dynamic-path experiments).
+    pub scenario: PathScenario,
     /// Run timeline.
     pub timeline: Timeline,
 }
@@ -142,6 +253,7 @@ impl Condition {
             queue_mult,
             aqm: Aqm::DropTail,
             wan_jitter: SimDuration::ZERO,
+            scenario: PathScenario::None,
             timeline: Timeline::paper(),
         }
     }
@@ -161,6 +273,14 @@ impl Condition {
     /// Replace the timeline (e.g. a scaled one for tests).
     pub fn with_timeline(mut self, t: Timeline) -> Self {
         self.timeline = t;
+        self
+    }
+
+    /// Attach a scheduled bottleneck disturbance (dynamic-path
+    /// experiments). The scenario joins the label, so seeds and trace
+    /// files stay distinct from the static baseline.
+    pub fn with_scenario(mut self, scenario: PathScenario) -> Self {
+        self.scenario = scenario;
         self
     }
 
@@ -187,6 +307,7 @@ impl Condition {
         if !self.wan_jitter.is_zero() {
             label.push_str(&format!("-j{}us", self.wan_jitter.as_nanos() / 1_000));
         }
+        label.push_str(&self.scenario.label_suffix());
         label
     }
 
@@ -263,6 +384,7 @@ impl Grid {
                 queue_mult: 2.0,
                 aqm: Aqm::DropTail,
                 wan_jitter: SimDuration::ZERO,
+                scenario: PathScenario::None,
                 timeline,
             })
             .collect()
@@ -320,6 +442,58 @@ mod tests {
         assert_ne!(a.seed(0), a.seed(1));
         assert_ne!(a.seed(0), b.seed(0));
         assert_eq!(a.seed(3), a.seed(3));
+    }
+
+    #[test]
+    fn scenario_labels_are_distinct_and_change_seeds() {
+        let base = Condition::new(SystemKind::Stadia, Some(CcaKind::Cubic), 25, 2.0);
+        let step = base.clone().with_scenario(PathScenario::RateStep {
+            rate: BitRate::from_mbps(10),
+            from: SimTime::from_secs(100),
+            to: SimTime::from_secs(200),
+        });
+        let outage = base.clone().with_scenario(PathScenario::Outage {
+            from: SimTime::from_secs(100),
+            to: SimTime::from_secs(102),
+        });
+        assert_eq!(step.label(), "stadia-cubic-b25-q2-sr10-100-200");
+        assert_ne!(base.label(), step.label());
+        assert_ne!(step.label(), outage.label());
+        // Scenario runs must not share RNG streams with their baseline.
+        assert_ne!(base.seed(0), step.seed(0));
+        assert_ne!(step.seed(0), outage.seed(0));
+        assert_eq!(
+            step.scenario.disturbance_times(),
+            vec![SimTime::from_secs(100), SimTime::from_secs(200)]
+        );
+    }
+
+    #[test]
+    fn scenario_spec_restores_static_values() {
+        use gsrepro_netsim::scenario::ScenarioAction;
+        let l = LinkId(4);
+        let cond =
+            Condition::new(SystemKind::Luna, None, 25, 2.0).with_scenario(PathScenario::RateStep {
+                rate: BitRate::from_mbps(10),
+                from: SimTime::from_secs(100),
+                to: SimTime::from_secs(200),
+            });
+        let spec = cond.scenario.spec(l, cond.capacity, cond.queue_bytes());
+        assert_eq!(spec.steps.len(), 2);
+        assert_eq!(
+            spec.steps[1].action,
+            ScenarioAction::Rate(Some(BitRate::from_mbps(25)))
+        );
+        let qs = PathScenario::QueueStep {
+            limit: Bytes(10_000),
+            from: SimTime::from_secs(50),
+            to: SimTime::from_secs(60),
+        };
+        let spec = qs.spec(l, cond.capacity, cond.queue_bytes());
+        assert_eq!(
+            spec.steps[1].action,
+            ScenarioAction::QueueLimit(cond.queue_bytes())
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //! * **fairness**: `(game − tcp) / capacity` over the stable competing
 //!   window, in `[-1, 1]` with 0 = equal share.
 
-use gsrepro_simcore::SimTime;
+use gsrepro_simcore::{SimDuration, SimTime};
 
 use crate::config::{Condition, Timeline};
 use crate::runner::RunResult;
@@ -43,17 +43,24 @@ pub struct SettleTime {
     pub never: bool,
 }
 
-fn settle_time(
-    run: &RunResult,
+/// Settling time of any uniformly binned series after a disturbance:
+/// seconds from `scan_from` until the 5 s-smoothed series first comes
+/// within tolerance of `target_mean`, scanning up to `scan_to`. The
+/// tolerance is `target_sd`, floored at 10% of the target (tiny σ over a
+/// stable window would otherwise make "settled" unreachable) and at an
+/// absolute 0.25. This is the paper's response/recovery rule lifted off
+/// the game-bitrate series so dynamic-path analyses can apply it to RTT
+/// and frame-rate series too.
+pub fn settle_after(
+    bins: &[f64],
+    bin_width: SimDuration,
     scan_from: SimTime,
     scan_to: SimTime,
     target_mean: f64,
     target_sd: f64,
 ) -> SettleTime {
-    let w = run.bin_width.as_secs_f64();
-    let smoothed = smooth(&run.game_bins_mbps, (5.0 / w).round() as usize);
-    // Tolerance: at least 10% of the target (tiny σ over a stable window
-    // would otherwise make "settled" unreachable).
+    let w = bin_width.as_secs_f64();
+    let smoothed = smooth(bins, (5.0 / w).round() as usize);
     let tol = target_sd.max(0.1 * target_mean.abs()).max(0.25);
     let (f, t) = (scan_from.as_secs_f64(), scan_to.as_secs_f64());
     for (i, &v) in smoothed.iter().enumerate() {
@@ -72,6 +79,23 @@ fn settle_time(
         secs: t - f,
         never: true,
     }
+}
+
+fn settle_time(
+    run: &RunResult,
+    scan_from: SimTime,
+    scan_to: SimTime,
+    target_mean: f64,
+    target_sd: f64,
+) -> SettleTime {
+    settle_after(
+        &run.game_bins_mbps,
+        run.bin_width,
+        scan_from,
+        scan_to,
+        target_mean,
+        target_sd,
+    )
 }
 
 /// Response time *C* for one run.
@@ -209,6 +233,46 @@ mod tests {
         let s = smooth(&[5.0; 20], 9);
         assert!(s.iter().all(|&v| (v - 5.0).abs() < 1e-12));
         assert_eq!(smooth(&[], 5).len(), 0);
+    }
+
+    #[test]
+    fn settle_after_works_on_arbitrary_series() {
+        // 1 s bins: 100 until t = 10 s, linear down to 50 by t = 15 s,
+        // flat after — e.g. an RTT series reacting to a rate step.
+        let mut bins = vec![];
+        for i in 0..40 {
+            let t = i as f64 + 0.5;
+            bins.push(if t < 10.0 {
+                100.0
+            } else if t < 15.0 {
+                100.0 - 10.0 * (t - 10.0)
+            } else {
+                50.0
+            });
+        }
+        let st = settle_after(
+            &bins,
+            SimDuration::from_secs(1),
+            SimTime::from_secs(10),
+            SimTime::from_secs(40),
+            50.0,
+            1.0,
+        );
+        assert!(!st.never);
+        assert!(st.secs > 3.0 && st.secs < 10.0, "settle {}", st.secs);
+
+        // A series that never reaches the target is flagged and capped at
+        // the scan-window length.
+        let st = settle_after(
+            &[100.0; 40],
+            SimDuration::from_secs(1),
+            SimTime::from_secs(10),
+            SimTime::from_secs(40),
+            50.0,
+            1.0,
+        );
+        assert!(st.never);
+        assert!((st.secs - 30.0).abs() < 1e-9);
     }
 
     #[test]

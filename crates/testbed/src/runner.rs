@@ -559,6 +559,68 @@ mod tests {
     }
 
     #[test]
+    fn scenario_run_is_deterministic_and_trace_transparent() {
+        use crate::config::PathScenario;
+        use gsrepro_simcore::telemetry::{parse_jsonl, EventKind};
+        use gsrepro_simcore::BitRate;
+
+        // Solo Stadia on a 25 Mb/s path that steps down to 10 Mb/s across
+        // the middle of the run, then restores.
+        let tl = Timeline::scaled(0.12); // ~65 s runs
+        let frac = |f: f64| SimTime::from_millis((tl.end.as_secs_f64() * f * 1000.0) as u64);
+        let cond = Condition::new(SystemKind::Stadia, None, 25, 2.0)
+            .with_timeline(tl)
+            .with_scenario(PathScenario::RateStep {
+                rate: BitRate::from_mbps(10),
+                from: frac(0.35),
+                to: frac(0.70),
+            });
+
+        // Deterministic: two untraced runs are bit-identical.
+        let plain = run_condition(&cond, 0);
+        let again = run_condition(&cond, 0);
+        assert_eq!(plain.game_bins_mbps, again.game_bins_mbps);
+        assert_eq!(plain.rtt, again.rtt);
+        assert_eq!(plain.events_processed, again.events_processed);
+
+        // Trace-transparent: scenario steps ride the ordinary event queue,
+        // so the traced run is bit-identical too.
+        let dir =
+            std::env::temp_dir().join(format!("gsrepro-scenario-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = TraceSpec::new(&dir);
+        let traced = run_condition_traced(&cond, 0, Some(&spec));
+        assert_eq!(plain.game_bins_mbps, traced.game_bins_mbps);
+        assert_eq!(plain.rtt, traced.rtt);
+        assert_eq!(plain.events_processed, traced.events_processed);
+
+        // Both schedule applications were recorded in the trace.
+        assert_eq!(traced.telemetry.scenario_steps, 2);
+        // Scenario labels contain dots (fractional seconds), so build the
+        // full file name rather than going through `with_extension`.
+        let jsonl =
+            std::fs::read_to_string(dir.join(format!("{}-i0.jsonl", cond.label()))).unwrap();
+        let events = parse_jsonl(&jsonl).unwrap();
+        let steps = events
+            .iter()
+            .filter(|e| e.kind == EventKind::LinkScenario)
+            .count();
+        assert_eq!(steps, 2, "trace must carry both scenario steps");
+        std::fs::remove_dir_all(&dir).ok();
+
+        // And the stream actually responded: bitrate near the 25 Mb/s
+        // capacity before the step, pinned under 10 Mb/s while constrained.
+        let pre = plain.game_window(frac(0.15), frac(0.35)).mean();
+        let during = plain.game_window(frac(0.55), frac(0.70)).mean();
+        assert!(pre > 15.0, "pre-step bitrate {pre}");
+        assert!(during < 11.5, "constrained bitrate {during}");
+        assert!(
+            during < pre - 5.0,
+            "rate step must bite: pre {pre} during {during}"
+        );
+    }
+
+    #[test]
     fn window_helpers() {
         let cond = quick_cond();
         let r = run_condition(&cond, 0);

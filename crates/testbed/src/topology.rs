@@ -201,8 +201,18 @@ pub fn build_with(cond: &Condition, iter: u32, telemetry: Option<TelemetryConfig
         _ => None,
     };
 
+    // Lower the condition's path scenario onto the bottleneck. Steps ride
+    // the ordinary event queue, so a scenario run is as deterministic (and
+    // as trace-transparent) as a static one.
+    let mut sim = b.build();
+    sim.apply_scenario(
+        &cond
+            .scenario
+            .spec(bottleneck, cond.capacity, cond.queue_bytes()),
+    );
+
     Testbed {
-        sim: b.build(),
+        sim,
         game_flow,
         feedback_flow,
         iperf_flow,
