@@ -14,8 +14,11 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release"
 cargo build --release
 
-echo "== cargo test"
-cargo test -q
+echo "== cargo test (workspace)"
+cargo test -q --workspace
+
+echo "== CCA conformance kit (golden step-response fixtures)"
+cargo run --release -p gsrepro-bench --bin conformance
 
 echo "== smoke reproduction"
 cargo run --release -p gsrepro-bench --bin full_reproduction -- --smoke
@@ -31,5 +34,11 @@ scenario_dir="$(mktemp -d)"
 trap 'rm -rf "$trace_dir" "$scenario_dir"' EXIT
 cargo run --release -p gsrepro-bench --bin dynamic_paths -- --smoke --iters 1 --trace "$scenario_dir"
 cargo run --release -p gsrepro-bench --bin validate_trace -- "$scenario_dir" --require-scenario
+
+echo "== oracle-enabled smoke (figure2 grid with --checks)"
+cargo run --release -p gsrepro-bench --bin figure2 -- --smoke --iters 1 --checks
+
+echo "== scorecard snapshot (release, oracle-enabled grids)"
+cargo test --release -q -p gsrepro-testbed --test scorecard_snapshot -- --ignored
 
 echo "CI OK"

@@ -1,0 +1,52 @@
+//! Run the CCA conformance kit against the committed golden fixtures.
+//!
+//! Usage: `conformance [--bless]`. Drives every congestion controller
+//! (Reno, Cubic, BBR v1, Vegas) through its standard scripted-ack
+//! step-response and diffs the trajectory against the fixture under
+//! `crates/tcp/tests/fixtures/cca/`. Exits non-zero on the first
+//! divergence — CI runs this as the "are the control laws still the
+//! control laws" gate. With `--bless`, rewrites the fixtures from the
+//! current implementation instead (review the diff before committing).
+
+use std::path::PathBuf;
+use std::process::exit;
+
+use gsrepro_tcp::conformance::{check_fixture, ALL_KINDS};
+
+fn fixture_dir() -> PathBuf {
+    // bench and tcp are workspace siblings.
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../tcp/tests/fixtures/cca")
+}
+
+fn main() {
+    let mut bless = false;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "--bless" => bless = true,
+            "--help" | "-h" => {
+                eprintln!("usage: conformance [--bless]");
+                exit(0);
+            }
+            other => {
+                eprintln!("conformance: unexpected argument {other}; usage: conformance [--bless]");
+                exit(2);
+            }
+        }
+    }
+
+    let dir = fixture_dir();
+    for kind in ALL_KINDS {
+        match check_fixture(kind, &dir, bless) {
+            Ok(()) if bless => println!("conformance: {kind} fixture blessed"),
+            Ok(()) => println!("conformance: {kind} OK"),
+            Err(e) => {
+                eprintln!("conformance: {kind} FAILED\n{e}");
+                exit(1);
+            }
+        }
+    }
+    println!(
+        "conformance: {} controllers match their golden fixtures",
+        ALL_KINDS.len()
+    );
+}

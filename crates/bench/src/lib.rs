@@ -20,13 +20,15 @@
 //!
 //! Every binary accepts `--iters N` (default 5; the paper used 15),
 //! `--full` (15 iterations), `--smoke` (tiny scaled run for CI),
-//! `--csv PATH` to dump machine-readable data, and `--trace DIR` to
-//! export per-run flight-recorder traces (see EXPERIMENTS.md).
+//! `--csv PATH` to dump machine-readable data, `--trace DIR` to export
+//! per-run flight-recorder traces, and `--checks` to run with the
+//! invariant oracles enabled (see EXPERIMENTS.md).
 
 use gsrepro_testbed::experiments::ExperimentOpts;
 use gsrepro_testbed::runner::TraceSpec;
 
-const FLAGS: &str = "flags: --full | --smoke | --iters N | --threads N | --csv PATH | --trace DIR";
+const FLAGS: &str =
+    "flags: --full | --smoke | --iters N | --threads N | --csv PATH | --trace DIR | --checks";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -39,6 +41,7 @@ pub fn parse_args() -> (ExperimentOpts, Option<String>) {
     let mut opts = ExperimentOpts::quick();
     let mut csv = None;
     let mut trace = None;
+    let mut checks = false;
     let mut explicit_iters = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -87,6 +90,7 @@ pub fn parse_args() -> (ExperimentOpts, Option<String>) {
                 }
                 trace = Some(TraceSpec::new(dir));
             }
+            "--checks" => checks = true,
             "--help" | "-h" => {
                 eprintln!("{FLAGS}");
                 std::process::exit(0);
@@ -102,8 +106,10 @@ pub fn parse_args() -> (ExperimentOpts, Option<String>) {
     if let Some(n) = explicit_iters {
         opts.iterations = n;
     }
-    // --trace survives a later --smoke: it replaces the whole option set.
+    // --trace and --checks survive a later --smoke: it replaces the whole
+    // option set.
     opts.trace = trace;
+    opts.checks = checks;
     (opts, csv)
 }
 

@@ -1,0 +1,252 @@
+//! Network-domain invariant oracles.
+//!
+//! The [`gsrepro_simcore::checks::Checks`] handle owns the when-and-how of
+//! oracle evaluation (zero cost disabled, structured panic on violation);
+//! this module owns the *what*: the conservation laws a healthy network
+//! must satisfy at any quiescent point, audited over plain-data snapshots
+//! so the oracles themselves are unit-testable without building a network.
+//!
+//! * **Packet conservation** — every packet handed to the network is
+//!   delivered, dropped, or still in flight; duplicates (the one place the
+//!   simulator copies a packet) are counted at the clone site:
+//!   `sent + duplicated == delivered + dropped + in-flight`.
+//! * **Queue bounds** — no discipline ever holds more bytes than its
+//!   configured capacity, including across runtime limit changes.
+//! * **Token conservation** — no token bucket ever holds more than its
+//!   burst, including across scenario re-rates (`tc qdisc change`).
+//! * **Telemetry cross-check** — when the flight recorder is also on, its
+//!   drop counters must agree with the monitor's per-flow totals.
+//!
+//! The full audit runs at the end of every `Sim::run_until` when checks
+//! are enabled; the cheap per-event oracles (monotonic clock, queue bound
+//! at enqueue, token bound at re-rate) run inline in `net.rs`.
+
+use gsrepro_simcore::checks::Checks;
+use gsrepro_simcore::telemetry::Counters;
+use gsrepro_simcore::SimTime;
+
+/// Snapshot of one link's auditable state.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkAudit {
+    /// Link id (for the violation report).
+    pub id: u32,
+    /// Current queue occupancy in bytes.
+    pub backlog_bytes: u64,
+    /// Configured queue capacity in bytes, if byte-limited.
+    pub capacity_bytes: Option<u64>,
+    /// Token-bucket balance in bit-nanoseconds (0 when unshaped).
+    pub tokens_bitns: u128,
+    /// Token-bucket depth in bit-nanoseconds (0 when unshaped).
+    pub burst_bitns: u128,
+}
+
+/// Network-wide packet totals, summed over every flow.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetTotals {
+    /// Packets handed to the network by senders.
+    pub sent: u64,
+    /// Packets that reached their destination node.
+    pub delivered: u64,
+    /// Packets dropped at queues (tail drop, AQM, outage rejections,
+    /// shrink evictions).
+    pub queue_drops: u64,
+    /// Packets dropped by link fault injection.
+    pub link_drops: u64,
+    /// Extra copies minted by duplication fault injection.
+    pub duplicated: u64,
+    /// Packets currently parked in the pool (queued, on the wire, or
+    /// scheduled to arrive).
+    pub in_flight: u64,
+}
+
+/// Audit one link snapshot: queue occupancy within capacity, token balance
+/// within burst.
+pub fn audit_link(checks: &mut Checks, now: SimTime, l: &LinkAudit) {
+    if let Some(cap) = l.capacity_bytes {
+        checks.check(
+            l.backlog_bytes <= cap,
+            now,
+            "queue-bound",
+            || format!("link {}", l.id),
+            || format!("backlog {} B exceeds capacity {} B", l.backlog_bytes, cap),
+        );
+    }
+    checks.check(
+        l.tokens_bitns <= l.burst_bitns,
+        now,
+        "token-conservation",
+        || format!("link {}", l.id),
+        || {
+            format!(
+                "bucket holds {} bit-ns, burst is {} bit-ns",
+                l.tokens_bitns, l.burst_bitns
+            )
+        },
+    );
+}
+
+/// Audit global packet conservation:
+/// `sent + duplicated == delivered + dropped + in-flight`.
+pub fn audit_conservation(checks: &mut Checks, now: SimTime, t: &NetTotals) {
+    let injected = t.sent + t.duplicated;
+    let accounted = t.delivered + t.queue_drops + t.link_drops + t.in_flight;
+    checks.check(
+        injected == accounted,
+        now,
+        "packet-conservation",
+        || "network".into(),
+        || {
+            format!(
+                "sent {} + duplicated {} != delivered {} + queue-drops {} \
+                 + link-drops {} + in-flight {}",
+                t.sent, t.duplicated, t.delivered, t.queue_drops, t.link_drops, t.in_flight
+            )
+        },
+    );
+}
+
+/// Cross-check the flight recorder's drop counters against the monitor's
+/// totals (only meaningful when both subsystems are enabled).
+pub fn audit_telemetry(checks: &mut Checks, now: SimTime, counters: &Counters, t: &NetTotals) {
+    checks.check(
+        counters.queue_drops == t.queue_drops,
+        now,
+        "telemetry-cross-check",
+        || "queue drops".into(),
+        || {
+            format!(
+                "telemetry counted {} queue drops, monitor counted {}",
+                counters.queue_drops, t.queue_drops
+            )
+        },
+    );
+    checks.check(
+        counters.link_drops == t.link_drops,
+        now,
+        "telemetry-cross-check",
+        || "link drops".into(),
+        || {
+            format!(
+                "telemetry counted {} link drops, monitor counted {}",
+                counters.link_drops, t.link_drops
+            )
+        },
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clean_link() -> LinkAudit {
+        LinkAudit {
+            id: 0,
+            backlog_bytes: 500,
+            capacity_bytes: Some(1000),
+            tokens_bitns: 10,
+            burst_bitns: 20,
+        }
+    }
+
+    #[test]
+    fn clean_snapshots_pass() {
+        let mut c = Checks::enabled();
+        audit_link(&mut c, SimTime::ZERO, &clean_link());
+        audit_conservation(
+            &mut c,
+            SimTime::ZERO,
+            &NetTotals {
+                sent: 10,
+                delivered: 6,
+                queue_drops: 2,
+                link_drops: 1,
+                duplicated: 1,
+                in_flight: 2,
+            },
+        );
+        let counters = Counters {
+            queue_drops: 2,
+            link_drops: 1,
+            ..Counters::default()
+        };
+        audit_telemetry(
+            &mut c,
+            SimTime::ZERO,
+            &counters,
+            &NetTotals {
+                queue_drops: 2,
+                link_drops: 1,
+                ..NetTotals::default()
+            },
+        );
+        assert_eq!(c.performed(), 5);
+    }
+
+    #[test]
+    fn unlimited_queue_skips_bound() {
+        let mut c = Checks::enabled();
+        let l = LinkAudit {
+            capacity_bytes: None,
+            backlog_bytes: u64::MAX,
+            ..clean_link()
+        };
+        audit_link(&mut c, SimTime::ZERO, &l);
+        assert_eq!(c.performed(), 1, "only the token oracle ran");
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violation: queue-bound")]
+    fn overfull_queue_fires() {
+        let mut c = Checks::enabled();
+        let l = LinkAudit {
+            backlog_bytes: 1001,
+            ..clean_link()
+        };
+        audit_link(&mut c, SimTime::ZERO, &l);
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violation: token-conservation")]
+    fn minted_tokens_fire() {
+        let mut c = Checks::enabled();
+        let l = LinkAudit {
+            tokens_bitns: 21,
+            ..clean_link()
+        };
+        audit_link(&mut c, SimTime::ZERO, &l);
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violation: packet-conservation")]
+    fn leaked_packet_fires() {
+        let mut c = Checks::enabled();
+        audit_conservation(
+            &mut c,
+            SimTime::from_secs(1),
+            &NetTotals {
+                sent: 10,
+                delivered: 9,
+                ..NetTotals::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violation: telemetry-cross-check")]
+    fn counter_disagreement_fires() {
+        let mut c = Checks::enabled();
+        let counters = Counters {
+            queue_drops: 3,
+            ..Counters::default()
+        };
+        audit_telemetry(
+            &mut c,
+            SimTime::ZERO,
+            &counters,
+            &NetTotals {
+                queue_drops: 2,
+                ..NetTotals::default()
+            },
+        );
+    }
+}

@@ -21,13 +21,18 @@
 //! * [`monitor`] — per-flow delivered/dropped/sent accounting with the
 //!   paper's 0.5 s bitrate bins,
 //! * [`apps`] — simple agents: ping (RTT probe), echo responder, and a
-//!   constant-bitrate UDP source for tests and calibration.
+//!   constant-bitrate UDP source for tests and calibration,
+//! * [`checks`] — runtime invariant oracles (packet conservation, queue
+//!   bounds, token conservation, telemetry cross-checks); zero cost when
+//!   disabled, structured panic on the first violation when enabled via
+//!   [`net::NetworkBuilder::checks`].
 //!
 //! Protocol behaviour (TCP congestion control, game-stream rate adaptation)
 //! lives in the `gsrepro-tcp` and `gsrepro-gamestream` crates, which
 //! implement [`Agent`].
 
 pub mod apps;
+pub mod checks;
 pub mod link;
 pub mod monitor;
 pub mod net;

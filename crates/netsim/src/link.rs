@@ -320,6 +320,18 @@ impl Link {
         self.delivered_bytes
     }
 
+    /// Token-bucket balance in bit-nanoseconds (oracle input; 0 when
+    /// unshaped).
+    pub(crate) fn tokens_bitns(&self) -> u128 {
+        self.tokens_bitns
+    }
+
+    /// Token-bucket depth in bit-nanoseconds (oracle input; 0 when
+    /// unshaped).
+    pub(crate) fn burst_bitns(&self) -> u128 {
+        self.burst_bitns
+    }
+
     /// Offer a pooled packet to the link's queue. `Err` is a queue drop;
     /// the caller still owns the entry's pool slot and must release it.
     pub(crate) fn offer(&mut self, item: QueuedPkt, now: SimTime) -> Result<(), QueuedPkt> {

@@ -31,12 +31,14 @@
 
 use std::any::Any;
 
+use gsrepro_simcore::checks::Checks;
 use gsrepro_simcore::rng::rng_for;
 use gsrepro_simcore::telemetry::{Recorder, TelemetryConfig};
 use gsrepro_simcore::{BitRate, Bytes};
 use gsrepro_simcore::{Engine, Scheduler, SimDuration, SimRng, SimTime, World};
 use rand::Rng;
 
+use crate::checks::{self, LinkAudit, NetTotals};
 use crate::link::{Link, LinkId, LinkSpec, Service};
 use crate::monitor::{DropKind, Monitor};
 use crate::queue::QueuedPkt;
@@ -195,6 +197,7 @@ pub struct Network {
     monitor: Monitor,
     trace: Option<Trace>,
     telemetry: Recorder,
+    checks: Checks,
     rng: SimRng,
     /// Storage for every packet currently in flight (queued, on the wire,
     /// or scheduled to arrive). Queues, links, and events move [`PktRef`]
@@ -202,6 +205,10 @@ pub struct Network {
     /// delivery or drop.
     pool: PacketPool,
     next_pkt_id: u64,
+    /// Extra packet copies minted by duplication fault injection — the one
+    /// source of pool entries that is not a send, tracked so packet
+    /// conservation stays an equality.
+    duplicated: u64,
     cmd_buf: Vec<Command>,
     drop_buf: Vec<QueuedPkt>,
 }
@@ -242,6 +249,51 @@ impl Network {
     /// export).
     pub fn telemetry_mut(&mut self) -> &mut Recorder {
         &mut self.telemetry
+    }
+
+    /// The invariant-oracle handle (disabled unless enabled via
+    /// [`NetworkBuilder::checks`]); read it after a run to report how many
+    /// oracle evaluations the run survived.
+    pub fn checks(&self) -> &Checks {
+        &self.checks
+    }
+
+    /// Run the full invariant audit: packet conservation, per-link queue
+    /// bounds and token conservation, and the telemetry cross-check. A
+    /// no-op when checks are disabled; panics with a structured report on
+    /// the first violation. [`Sim::run_until`] calls this automatically at
+    /// the end of every enabled run segment; tests may call it directly at
+    /// any quiescent point.
+    pub fn audit(&mut self, now: SimTime) {
+        if !self.checks.is_enabled() {
+            return;
+        }
+        let mut totals = NetTotals {
+            duplicated: self.duplicated,
+            in_flight: self.pool.len() as u64,
+            ..NetTotals::default()
+        };
+        for (_, st) in self.monitor.flows() {
+            totals.sent += st.sent_pkts;
+            totals.delivered += st.delivered_pkts;
+            totals.queue_drops += st.queue_drop_pkts;
+            totals.link_drops += st.link_drop_pkts;
+        }
+        checks::audit_conservation(&mut self.checks, now, &totals);
+        for link in &self.links {
+            let snap = LinkAudit {
+                id: link.id().0,
+                backlog_bytes: link.backlog().as_u64(),
+                capacity_bytes: link.queue.capacity_bytes().map(|b| b.as_u64()),
+                tokens_bitns: link.tokens_bitns(),
+                burst_bitns: link.burst_bitns(),
+            };
+            checks::audit_link(&mut self.checks, now, &snap);
+        }
+        if let Some(tel) = self.telemetry.telemetry() {
+            let counters = tel.counters();
+            checks::audit_telemetry(&mut self.checks, now, &counters, &totals);
+        }
     }
 
     /// A link, for inspecting backlog or delivery counters.
@@ -386,6 +438,24 @@ impl Network {
                     let backlog = self.links[link_id.0 as usize].backlog().as_u64();
                     self.telemetry.queue_depth(now, link_id.0 as u64, backlog);
                 }
+                if self.checks.is_enabled() {
+                    let link = &self.links[link_id.0 as usize];
+                    let backlog = link.backlog().as_u64();
+                    let cap = link.queue.capacity_bytes().map(|b| b.as_u64());
+                    self.checks.check(
+                        cap.is_none_or(|c| backlog <= c),
+                        now,
+                        "queue-bound",
+                        || format!("link {}", link_id.0),
+                        || {
+                            format!(
+                                "backlog {} B exceeds capacity {} B after enqueue",
+                                backlog,
+                                cap.unwrap_or(0)
+                            )
+                        },
+                    );
+                }
                 self.pump_link(link_id, sched)
             }
             Err(dropped) => self.drop_pooled(dropped, DropKind::Queue, link_id, now),
@@ -419,6 +489,37 @@ impl Network {
                 }
                 self.drop_buf = dropped;
             }
+        }
+        if self.checks.is_enabled() {
+            let link = &self.links[id.0 as usize];
+            let (tokens, burst) = (link.tokens_bitns(), link.burst_bitns());
+            let backlog = link.backlog().as_u64();
+            let cap = link.queue.capacity_bytes().map(|b| b.as_u64());
+            self.checks.check(
+                tokens <= burst,
+                now,
+                "token-conservation",
+                || format!("link {}", id.0),
+                || {
+                    format!(
+                        "bucket holds {tokens} bit-ns, burst is {burst} bit-ns \
+                         after scenario step"
+                    )
+                },
+            );
+            self.checks.check(
+                cap.is_none_or(|c| backlog <= c),
+                now,
+                "queue-bound",
+                || format!("link {}", id.0),
+                || {
+                    format!(
+                        "backlog {} B exceeds capacity {} B after scenario step",
+                        backlog,
+                        cap.unwrap_or(0)
+                    )
+                },
+            );
         }
         self.pump_link(id, sched);
     }
@@ -464,7 +565,10 @@ impl Network {
                     if dup > 0.0 && self.rng.gen::<f64>() < dup {
                         // netem-style duplication: the copy follows the
                         // original immediately. Duplicates are not counted
-                        // as "sent" so loss accounting stays truthful.
+                        // as "sent" so loss accounting stays truthful; the
+                        // clone site tracks them so packet conservation
+                        // stays an equality.
+                        self.duplicated += 1;
                         let copy = self.pool.clone_of(item.pkt);
                         sched.schedule_at(
                             arrive_at,
@@ -509,6 +613,7 @@ impl World for Network {
     type Event = NetEvent;
 
     fn handle(&mut self, event: NetEvent, sched: &mut Scheduler<NetEvent>) {
+        self.checks.clock(sched.now());
         match event {
             NetEvent::AgentStart(id) => {
                 self.call_agent(id, sched, |a, ctx| a.on_start(ctx));
@@ -553,6 +658,7 @@ pub struct NetworkBuilder {
     bin: SimDuration,
     trace_capacity: usize,
     telemetry: Option<TelemetryConfig>,
+    checks: bool,
 }
 
 impl NetworkBuilder {
@@ -567,6 +673,7 @@ impl NetworkBuilder {
             bin: SimDuration::from_millis(500),
             trace_capacity: 0,
             telemetry: None,
+            checks: false,
         }
     }
 
@@ -590,6 +697,19 @@ impl NetworkBuilder {
     /// then compiles down to a null check on every hot-path site.
     pub fn telemetry(mut self, cfg: TelemetryConfig) -> Self {
         self.telemetry = Some(cfg);
+        self
+    }
+
+    /// Enable runtime invariant oracles (see [`crate::checks`]). Disabled
+    /// by default: the handle then compiles down to a null check on every
+    /// hot-path site, exactly like the telemetry recorder. Enabled, the
+    /// run panics with a structured report on the first violated
+    /// conservation law, and [`Sim::run_until`] audits the whole network
+    /// at the end of every run segment. Oracles observe only — they
+    /// consume no randomness and schedule nothing, so an enabled run is
+    /// bit-identical to a disabled one.
+    pub fn checks(mut self, on: bool) -> Self {
+        self.checks = on;
         self
     }
 
@@ -695,9 +815,15 @@ impl NetworkBuilder {
                 Some(cfg) => Recorder::enabled(cfg),
                 None => Recorder::disabled(),
             },
+            checks: if self.checks {
+                Checks::enabled()
+            } else {
+                Checks::disabled()
+            },
             rng: rng_for(self.seed, 0),
             pool: PacketPool::new(),
             next_pkt_id: 0,
+            duplicated: 0,
             cmd_buf: Vec::new(),
             drop_buf: Vec::new(),
         };
@@ -721,9 +847,14 @@ pub struct Sim {
 
 impl Sim {
     /// Advance simulated time to `until` (exclusive; see
-    /// [`Engine::run_until`]).
+    /// [`Engine::run_until`]). When invariant oracles are enabled
+    /// ([`NetworkBuilder::checks`]), the whole network is audited at the
+    /// end of the segment.
     pub fn run_until(&mut self, until: SimTime) {
         self.engine.run_until(&mut self.net, until);
+        if self.net.checks.is_enabled() {
+            self.net.audit(self.engine.now());
+        }
     }
 
     /// Advance simulated time by `dur`.
@@ -1357,6 +1488,92 @@ mod tests {
         assert!(!sim.net.telemetry().is_enabled());
         assert_eq!(sim.net.telemetry().counters().recorded, 0);
         assert_eq!(sim.past_clamps(), 0);
+    }
+
+    /// A sim exercising every oracle input: shaping, scenario re-rates,
+    /// loss, duplication, an outage, and a queue-limit shrink.
+    fn eventful_sim(checks: bool, telemetry: bool) -> (Sim, FlowId) {
+        let mut b = NetworkBuilder::new(19).checks(checks);
+        if telemetry {
+            b = b.telemetry(TelemetryConfig::default());
+        }
+        let s = b.add_node("s");
+        let c = b.add_node("c");
+        let l = b.link(
+            s,
+            c,
+            LinkSpec::bottleneck(
+                BitRate::from_mbps(10),
+                Bytes(50_000),
+                SimDuration::from_millis(2),
+            )
+            .with_duplication(0.05),
+        );
+        b.link(c, s, LinkSpec::lan(SimDuration::from_millis(2)));
+        let f = b.flow("x");
+        let sink = b.add_agent(c, Box::new(SinkAgent::new()));
+        b.add_agent(
+            s,
+            Box::new(CbrSource::new(
+                f,
+                c,
+                sink,
+                BitRate::from_mbps(12),
+                Bytes(1200),
+            )),
+        );
+        let mut sim = b.build();
+        sim.apply_scenario(
+            &ScenarioSpec::new()
+                .rate(SimTime::from_secs(2), l, BitRate::from_mbps(5))
+                .rate(SimTime::from_secs(4), l, BitRate::from_mbps(15))
+                .loss_window(SimTime::from_secs(5), SimTime::from_secs(6), l, 0.1)
+                .outage(SimTime::from_secs(6), SimTime::from_secs(7), l)
+                .queue_limit(SimTime::from_secs(8), l, Bytes(10_000)),
+        );
+        (sim, f)
+    }
+
+    #[test]
+    fn checks_enabled_eventful_run_is_clean() {
+        let (mut sim, f) = eventful_sim(true, true);
+        sim.run_until(SimTime::from_secs(10));
+        // Every drop cause and the duplication path actually fired, so the
+        // conservation identity was non-trivial...
+        let st = sim.net.monitor().stats(f);
+        assert!(st.queue_drop_pkts > 0);
+        assert!(st.link_drop_pkts > 0);
+        assert!(st.delivered_pkts > st.sent_pkts - st.dropped_pkts(), "dups");
+        // ...and the oracles ran (per-event clock checks alone are ~1/event).
+        assert!(sim.net.checks().performed() > 1000);
+    }
+
+    #[test]
+    fn checks_do_not_perturb_the_simulation() {
+        let digest = |checks: bool| {
+            let (mut sim, f) = eventful_sim(checks, false);
+            sim.run_until(SimTime::from_secs(10));
+            let st = sim.net.monitor().stats(f);
+            (
+                st.delivered_pkts,
+                st.dropped_pkts(),
+                st.sent_pkts,
+                sim.events_processed(),
+            )
+        };
+        assert_eq!(digest(false), digest(true));
+    }
+
+    #[test]
+    fn checks_disabled_by_default_and_inert() {
+        let (mut sim, _) = two_node_sim(10, 20, 2);
+        sim.run_until(SimTime::from_secs(1));
+        assert!(!sim.net.checks().is_enabled());
+        assert_eq!(sim.net.checks().performed(), 0);
+        // An explicit audit on a disabled handle is a no-op.
+        let now = sim.now();
+        sim.net.audit(now);
+        assert_eq!(sim.net.checks().performed(), 0);
     }
 
     #[test]

@@ -1,0 +1,139 @@
+//! Property-based conservation tests: randomized scenario schedules run
+//! against a checks-enabled sim, so the runtime invariant oracles — token
+//! conservation across re-rates, queue byte accounting across limit
+//! changes, packet conservation end to end — are exercised on inputs no
+//! hand-written fixture would pick. A violated oracle panics mid-run, so
+//! each property's "assertion" is mostly that the run completes at all;
+//! the explicit asserts then confirm the oracles actually gathered
+//! evidence and the endpoint accounting closes.
+
+use gsrepro_netsim::apps::{CbrSource, SinkAgent};
+use gsrepro_netsim::{FlowId, LinkSpec, NetworkBuilder, ScenarioSpec, Sim};
+use gsrepro_simcore::{BitRate, Bytes, SimDuration, SimTime};
+use proptest::prelude::*;
+
+const QUEUE_LIMIT: u64 = 50_000;
+
+/// An overloaded two-node bottleneck (12 Mb/s offered into 10 Mb/s
+/// shaped) with the invariant oracles armed — every scenario step lands
+/// on a link with banked tokens and standing queue.
+fn checked_sim(seed: u64, scenario: &ScenarioSpec) -> (Sim, FlowId) {
+    let mut b = NetworkBuilder::new(seed).checks(true);
+    let s = b.add_node("s");
+    let c = b.add_node("c");
+    let l = b.link(
+        s,
+        c,
+        LinkSpec::bottleneck(
+            BitRate::from_mbps(10),
+            Bytes(QUEUE_LIMIT),
+            SimDuration::from_millis(2),
+        ),
+    );
+    b.link(c, s, LinkSpec::lan(SimDuration::from_millis(2)));
+    let f = b.flow("x");
+    let sink = b.add_agent(c, Box::new(SinkAgent::new()));
+    b.add_agent(
+        s,
+        Box::new(CbrSource::new(
+            f,
+            c,
+            sink,
+            BitRate::from_mbps(12),
+            Bytes(1200),
+        )),
+    );
+    // The builder hands out LinkId(0) for the first link; rebuild the
+    // scenario against it rather than threading the id out of the closure.
+    let mut sim = b.build();
+    let spec = ScenarioSpec {
+        steps: scenario
+            .steps
+            .iter()
+            .map(|st| gsrepro_netsim::ScenarioStep { link: l, ..*st })
+            .collect(),
+    };
+    sim.apply_scenario(&spec);
+    (sim, f)
+}
+
+/// Run to 10 s and return the endpoint digest used by the properties.
+fn digest(seed: u64, scenario: &ScenarioSpec) -> (u64, u64, u64, u64, u64) {
+    let (mut sim, f) = checked_sim(seed, scenario);
+    sim.run_until(SimTime::from_secs(10));
+    let st = sim.net.monitor().stats(f);
+    let performed = sim.net.checks().performed();
+    (
+        st.sent_pkts,
+        st.delivered_pkts,
+        st.dropped_pkts(),
+        sim.events_processed(),
+        performed,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Token-bucket credit is conserved across arbitrary rate re-shapes:
+    /// a random schedule of rate steps (including repeats at the same
+    /// instant) never forges or destroys tokens — the token-conservation
+    /// oracle audits every step and panics on the first discrepancy.
+    #[test]
+    fn rate_steps_conserve_tokens(
+        steps in prop::collection::vec((100u64..9_000, 1u64..30), 1..8),
+        seed in 0u64..1_000,
+    ) {
+        let mut spec = ScenarioSpec::new();
+        for &(at_ms, mbps) in &steps {
+            spec = spec.rate(
+                SimTime::from_millis(at_ms),
+                gsrepro_netsim::LinkId(0),
+                BitRate::from_mbps(mbps),
+            );
+        }
+        let (sent, delivered, dropped, events, performed) = digest(seed, &spec);
+        // The oracles ran (clock checks alone are ~1/event) and the run
+        // did real work through every re-rate.
+        prop_assert!(performed > 1_000, "only {performed} checks ran");
+        prop_assert!(events > 0);
+        prop_assert!(delivered > 0, "no packets survived the schedule");
+        // Endpoint conservation: nothing materializes from nowhere. The
+        // strict identity (with in-flight) is the oracle's job per event;
+        // at the endpoint the inequality must close without duplication.
+        prop_assert!(
+            delivered + dropped <= sent,
+            "delivered {delivered} + dropped {dropped} > sent {sent}"
+        );
+        // Determinism: the same schedule and seed replays bit-identically.
+        prop_assert_eq!(digest(seed, &spec), (sent, delivered, dropped, events, performed));
+    }
+
+    /// Queue-limit shrinks evict newest-first without losing track of a
+    /// byte: random shrink/restore schedules keep the queue-bound oracle
+    /// (len_bytes ≤ limit, per event) and the packet-conservation oracle
+    /// (evictions counted as queue drops) satisfied throughout.
+    #[test]
+    fn queue_limit_steps_conserve_bytes(
+        steps in prop::collection::vec((100u64..9_000, 2_000u64..60_000), 1..8),
+        seed in 0u64..1_000,
+    ) {
+        let mut spec = ScenarioSpec::new();
+        for &(at_ms, limit) in &steps {
+            spec = spec.queue_limit(
+                SimTime::from_millis(at_ms),
+                gsrepro_netsim::LinkId(0),
+                Bytes(limit),
+            );
+        }
+        let (sent, delivered, dropped, _events, performed) = digest(seed, &spec);
+        prop_assert!(performed > 1_000, "only {performed} checks ran");
+        // 12 Mb/s into 10 Mb/s keeps a standing queue, so shrinks below
+        // the standing depth evict and overload drops occur regardless.
+        prop_assert!(dropped > 0, "overloaded bottleneck never dropped");
+        prop_assert!(
+            delivered + dropped <= sent,
+            "delivered {delivered} + dropped {dropped} > sent {sent}"
+        );
+    }
+}

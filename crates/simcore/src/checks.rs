@@ -1,0 +1,215 @@
+//! Runtime invariant oracles: always-compiled, zero-cost-when-disabled
+//! self-checks for simulation runs.
+//!
+//! Every number the testbed reports rests on conservation laws the
+//! simulator is supposed to uphold — packets are neither minted nor lost
+//! without accounting, token buckets never hold more than their burst, the
+//! event clock never runs backwards. This module provides the [`Checks`]
+//! handle those oracles run through. It follows the same discipline as the
+//! telemetry [`crate::telemetry::Recorder`]: a disabled handle is a null
+//! pointer and every check site is a single branch, so paper-scale grids
+//! keep their wire-speed event rates; an enabled handle evaluates each
+//! oracle and **panics with a structured [`Violation`] report on the first
+//! failure** — a violated invariant means every downstream number is
+//! untrustworthy, so there is nothing useful to do but stop loudly.
+//!
+//! Domain oracles (packet conservation, queue bounds, token conservation)
+//! live next to the state they audit — see `gsrepro-netsim`'s `checks`
+//! module; this module owns the handle, the report format, and the one
+//! domain-free oracle: the monotonic event clock.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// A failed invariant, as reported in the panic payload.
+///
+/// The `Display` rendering is the structured report users see:
+///
+/// ```text
+/// invariant violation: packet-conservation
+///   subject: network
+///   at     : 12.345678901 s
+///   detail : sent 100 + dup 2 != delivered 96 + dropped 3 + in-flight 2
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Simulated time at which the oracle fired.
+    pub at: SimTime,
+    /// Stable oracle name (e.g. `"packet-conservation"`).
+    pub oracle: &'static str,
+    /// What was being audited (a link, a flow, the whole network).
+    pub subject: String,
+    /// Human-readable account of the mismatch, with the numbers.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "invariant violation: {}", self.oracle)?;
+        writeln!(f, "  subject: {}", self.subject)?;
+        writeln!(f, "  at     : {:.9} s", self.at.as_secs_f64())?;
+        write!(f, "  detail : {}", self.detail)
+    }
+}
+
+/// Panic with a structured [`Violation`] report.
+pub fn fail(at: SimTime, oracle: &'static str, subject: String, detail: String) -> ! {
+    let v = Violation {
+        at,
+        oracle,
+        subject,
+        detail,
+    };
+    panic!("{v}");
+}
+
+#[derive(Debug, Default)]
+struct CheckState {
+    performed: u64,
+    last_event_at: Option<SimTime>,
+}
+
+/// The oracle handle threaded through hot paths. Disabled (the default) it
+/// is a null pointer: every check site is one branch and no work. Enabled,
+/// each oracle evaluation increments [`Checks::performed`] and panics with
+/// a [`Violation`] report on the first failure.
+#[derive(Debug, Default)]
+pub struct Checks(Option<Box<CheckState>>);
+
+impl Checks {
+    /// A no-op handle.
+    pub fn disabled() -> Self {
+        Checks(None)
+    }
+
+    /// An active handle.
+    pub fn enabled() -> Self {
+        Checks(Some(Box::default()))
+    }
+
+    /// Whether oracles run. Callers computing non-trivial audit inputs
+    /// should guard on this, exactly like `Recorder::is_enabled`.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Number of oracle evaluations performed so far (0 when disabled).
+    /// Exported per run so "checks were on" is itself checkable.
+    pub fn performed(&self) -> u64 {
+        self.0.as_ref().map_or(0, |s| s.performed)
+    }
+
+    /// Evaluate one oracle. `subject` and `detail` are only invoked on
+    /// failure, so check sites stay allocation-free on the happy path.
+    #[inline]
+    pub fn check(
+        &mut self,
+        ok: bool,
+        at: SimTime,
+        oracle: &'static str,
+        subject: impl FnOnce() -> String,
+        detail: impl FnOnce() -> String,
+    ) {
+        if let Some(s) = &mut self.0 {
+            s.performed += 1;
+            if !ok {
+                fail(at, oracle, subject(), detail());
+            }
+        }
+    }
+
+    /// The monotonic-clock oracle: event times handed to the world must
+    /// never decrease. Call once per dispatched event.
+    #[inline]
+    pub fn clock(&mut self, now: SimTime) {
+        if let Some(s) = &mut self.0 {
+            s.performed += 1;
+            if let Some(last) = s.last_event_at {
+                if now < last {
+                    fail(
+                        now,
+                        "monotonic-clock",
+                        "event loop".into(),
+                        format!(
+                            "event at {:.9} s dispatched after one at {:.9} s",
+                            now.as_secs_f64(),
+                            last.as_secs_f64()
+                        ),
+                    );
+                }
+            }
+            s.last_event_at = Some(now);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_checks_are_inert() {
+        let mut c = Checks::disabled();
+        assert!(!c.is_enabled());
+        // A failing condition must not fire when disabled.
+        c.check(
+            false,
+            SimTime::ZERO,
+            "test",
+            || unreachable!("subject built while disabled"),
+            || unreachable!("detail built while disabled"),
+        );
+        c.clock(SimTime::from_secs(2));
+        c.clock(SimTime::from_secs(1));
+        assert_eq!(c.performed(), 0);
+    }
+
+    #[test]
+    fn enabled_checks_count_and_pass() {
+        let mut c = Checks::enabled();
+        assert!(c.is_enabled());
+        c.check(true, SimTime::ZERO, "t", || "s".into(), || "d".into());
+        c.clock(SimTime::ZERO);
+        c.clock(SimTime::from_secs(1));
+        c.clock(SimTime::from_secs(1)); // equal times are fine
+        assert_eq!(c.performed(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violation: test-oracle")]
+    fn failing_check_panics_with_report() {
+        let mut c = Checks::enabled();
+        c.check(
+            false,
+            SimTime::from_millis(1500),
+            "test-oracle",
+            || "link 3".into(),
+            || "1 != 2".into(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violation: monotonic-clock")]
+    fn clock_regression_panics() {
+        let mut c = Checks::enabled();
+        c.clock(SimTime::from_secs(5));
+        c.clock(SimTime::from_secs(4));
+    }
+
+    #[test]
+    fn violation_report_is_structured() {
+        let v = Violation {
+            at: SimTime::from_millis(1500),
+            oracle: "packet-conservation",
+            subject: "network".into(),
+            detail: "sent 2 != delivered 1 + dropped 0 + in-flight 0".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("invariant violation: packet-conservation"));
+        assert!(s.contains("subject: network"));
+        assert!(s.contains("at     : 1.500000000 s"));
+        assert!(s.contains("detail : sent 2"));
+    }
+}

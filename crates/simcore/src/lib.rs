@@ -17,12 +17,16 @@
 //! * [`stats`] — online mean/variance, confidence intervals, time-binned
 //!   series,
 //! * [`telemetry`] — a flight-recorder trace bus: typed per-flow events,
-//!   bounded rings, counters, CSV/JSONL export; a no-op when disabled.
+//!   bounded rings, counters, CSV/JSONL export; a no-op when disabled,
+//! * [`checks`] — runtime invariant oracles behind the same
+//!   zero-cost-when-disabled discipline; an enabled run panics with a
+//!   structured report on the first violated conservation law.
 //!
 //! Determinism is a hard requirement: two runs with the same seed must
 //! produce bit-identical results. Events scheduled for the same instant are
 //! executed in scheduling order (FIFO), never in allocation or hash order.
 
+pub mod checks;
 pub mod engine;
 pub mod rng;
 pub mod stats;
@@ -30,6 +34,7 @@ pub mod telemetry;
 pub mod time;
 pub mod units;
 
+pub use checks::{Checks, Violation};
 pub use engine::{Engine, Scheduler, World};
 pub use rng::{derive_seed, SimRng};
 pub use telemetry::{Recorder, TelemetryConfig, TelemetryEvent};

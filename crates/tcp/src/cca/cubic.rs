@@ -27,6 +27,9 @@ pub struct Cubic {
     mss: u64,
     cwnd: u64,
     ssthresh: u64,
+    /// Multiplicative decrease factor (standard: [`BETA`]). See
+    /// [`Cubic::with_beta`].
+    beta: f64,
 
     /// Window (in segments) at the last congestion event, after fast
     /// convergence.
@@ -48,10 +51,19 @@ pub struct Cubic {
 impl Cubic {
     /// New controller with the Linux initial window.
     pub fn new(mss: u64) -> Self {
+        Self::with_beta(mss, BETA)
+    }
+
+    /// New controller with a custom multiplicative-decrease factor — a
+    /// conformance-kit perturbation knob: the golden step-response fixtures
+    /// must detect a wrong β, so the kit runs this constructor with e.g.
+    /// β = 0.5 and asserts the trace diverges from the committed fixture.
+    pub fn with_beta(mss: u64, beta: f64) -> Self {
         Cubic {
             mss,
             cwnd: INITIAL_WINDOW_SEGMENTS * mss,
             ssthresh: u64::MAX,
+            beta,
             w_last_max: 0.0,
             epoch_start: None,
             w_epoch: 0.0,
@@ -104,8 +116,8 @@ impl Cubic {
 
         // TCP-friendly region (average AIMD rate with β = 0.7):
         // W_tcp grows by 3(1−β)/(1+β) segments per RTT.
-        self.w_tcp +=
-            3.0 * (1.0 - BETA) / (1.0 + BETA) * (ack.bytes_acked as f64 / self.cwnd as f64);
+        self.w_tcp += 3.0 * (1.0 - self.beta) / (1.0 + self.beta)
+            * (ack.bytes_acked as f64 / self.cwnd as f64);
         let cnt = if self.w_tcp > w {
             cnt.min(w / (self.w_tcp - w))
         } else {
@@ -147,11 +159,11 @@ impl CongestionControl for Cubic {
         // Fast convergence: if this max is below the previous one, the
         // available capacity shrank — release more.
         self.w_last_max = if w < self.w_last_max {
-            w * (2.0 - BETA) / 2.0
+            w * (2.0 - self.beta) / 2.0
         } else {
             w
         };
-        self.cwnd = ((self.cwnd as f64 * BETA) as u64).max(2 * self.mss);
+        self.cwnd = ((self.cwnd as f64 * self.beta) as u64).max(2 * self.mss);
         self.ssthresh = self.cwnd;
         self.epoch_start = None;
         self.acked_accum = 0.0;
@@ -160,11 +172,11 @@ impl CongestionControl for Cubic {
     fn on_rto(&mut self, _now: SimTime) {
         let w = self.segments();
         self.w_last_max = if w < self.w_last_max {
-            w * (2.0 - BETA) / 2.0
+            w * (2.0 - self.beta) / 2.0
         } else {
             w
         };
-        self.ssthresh = ((self.cwnd as f64 * BETA) as u64).max(2 * self.mss);
+        self.ssthresh = ((self.cwnd as f64 * self.beta) as u64).max(2 * self.mss);
         self.cwnd = self.mss;
         self.epoch_start = None;
         self.acked_accum = 0.0;

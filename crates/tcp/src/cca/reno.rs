@@ -9,11 +9,17 @@ use gsrepro_simcore::{BitRate, SimTime};
 
 use super::{AckInfo, CongestionControl, INITIAL_WINDOW_SEGMENTS};
 
+/// Multiplicative decrease factor.
+const BETA: f64 = 0.5;
+
 /// NewReno congestion control.
 pub struct Reno {
     mss: u64,
     cwnd: u64,
     ssthresh: u64,
+    /// Multiplicative decrease factor (standard: [`BETA`]). See
+    /// [`Reno::with_beta`].
+    beta: f64,
     /// Byte accumulator for the one-MSS-per-RTT additive increase.
     acked_accum: u64,
 }
@@ -21,12 +27,24 @@ pub struct Reno {
 impl Reno {
     /// New controller with the Linux initial window.
     pub fn new(mss: u64) -> Self {
+        Self::with_beta(mss, BETA)
+    }
+
+    /// New controller with a custom multiplicative-decrease factor — a
+    /// conformance-kit perturbation knob (the golden AIMD fixtures must
+    /// detect a wrong β).
+    pub fn with_beta(mss: u64, beta: f64) -> Self {
         Reno {
             mss,
             cwnd: INITIAL_WINDOW_SEGMENTS * mss,
             ssthresh: u64::MAX,
+            beta,
             acked_accum: 0,
         }
+    }
+
+    fn decrease(&self) -> u64 {
+        ((self.cwnd as f64 * self.beta) as u64).max(2 * self.mss)
     }
 }
 
@@ -46,13 +64,13 @@ impl CongestionControl for Reno {
     }
 
     fn on_congestion_event(&mut self, _now: SimTime, _in_flight: u64) {
-        self.ssthresh = (self.cwnd / 2).max(2 * self.mss);
+        self.ssthresh = self.decrease();
         self.cwnd = self.ssthresh;
         self.acked_accum = 0;
     }
 
     fn on_rto(&mut self, _now: SimTime) {
-        self.ssthresh = (self.cwnd / 2).max(2 * self.mss);
+        self.ssthresh = self.decrease();
         self.cwnd = self.mss;
         self.acked_accum = 0;
     }

@@ -24,6 +24,11 @@ pub struct Vegas {
     mss: u64,
     cwnd: u64,
     ssthresh: u64,
+    /// Lower bound on queued segments (standard: [`ALPHA`]).
+    alpha: f64,
+    /// Upper bound on queued segments (standard: [`BETA`]). See
+    /// [`Vegas::with_band`].
+    beta: f64,
     base_rtt: SimDuration,
     /// Minimum RTT observed within the current round.
     round_min_rtt: SimDuration,
@@ -34,10 +39,19 @@ pub struct Vegas {
 impl Vegas {
     /// New controller with the Linux initial window.
     pub fn new(mss: u64) -> Self {
+        Self::with_band(mss, ALPHA, BETA)
+    }
+
+    /// New controller with a custom (α, β) queue-occupancy band — a
+    /// conformance-kit perturbation knob (the golden fixtures must detect
+    /// a shifted band).
+    pub fn with_band(mss: u64, alpha: f64, beta: f64) -> Self {
         Vegas {
             mss,
             cwnd: INITIAL_WINDOW_SEGMENTS * mss,
             ssthresh: u64::MAX,
+            alpha,
+            beta,
             base_rtt: SimDuration::MAX,
             round_min_rtt: SimDuration::MAX,
             round_start_time: SimTime::ZERO,
@@ -97,12 +111,12 @@ impl CongestionControl for Vegas {
             return;
         }
 
-        if diff < ALPHA {
+        if diff < self.alpha {
             self.cwnd += self.mss;
-        } else if diff > BETA {
+        } else if diff > self.beta {
             self.cwnd = self.cwnd.saturating_sub(self.mss).max(2 * self.mss);
         }
-        // ALPHA ≤ diff ≤ BETA: hold.
+        // alpha ≤ diff ≤ beta: hold.
     }
 
     fn on_congestion_event(&mut self, _now: SimTime, _in_flight: u64) {

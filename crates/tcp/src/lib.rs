@@ -27,10 +27,12 @@
 //! at a configured time, exactly like starting `iperf` mid-run.
 
 pub mod cca;
+pub mod conformance;
 pub mod dash;
 pub mod endpoint;
 
 pub use cca::{bbr::Bbr, cubic::Cubic, reno::Reno, vegas::Vegas};
 pub use cca::{AckInfo, CcaKind, CongestionControl};
+pub use conformance::{AckRun, AckScript, TracePoint};
 pub use dash::{DashConfig, DashServer};
 pub use endpoint::{TcpReceiver, TcpSender, TcpSenderConfig};

@@ -1,0 +1,96 @@
+//! CCA conformance suite: golden step-response fixtures plus
+//! bug-injection checks.
+//!
+//! Each controller is driven through its committed script
+//! ([`conformance::standard_script`]) and diffed against the fixture under
+//! `tests/fixtures/cca/`. Regenerate with:
+//!
+//! ```text
+//! GSREPRO_BLESS=1 cargo test -p gsrepro-tcp --test conformance
+//! ```
+//!
+//! The `detects_*` tests are the kit's own proof of power: they re-run the
+//! scripts with one constant perturbed (wrong Cubic/Reno β, shifted Vegas
+//! band, wrong BBR cwnd gain) and assert the fixture check *fails*. A
+//! fixture that can't catch a one-line bug is decoration, not a test.
+
+use std::path::PathBuf;
+
+use gsrepro_tcp::cca::CcaKind;
+use gsrepro_tcp::conformance::{
+    self, bless_requested, check_fixture, check_trace_against_fixture, standard_script, ALL_KINDS,
+    STANDARD_MSS,
+};
+use gsrepro_tcp::{Bbr, Cubic, Reno, Vegas};
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/cca")
+}
+
+#[test]
+fn golden_fixtures_match_all_controllers() {
+    let bless = bless_requested();
+    for kind in ALL_KINDS {
+        check_fixture(kind, &fixture_dir(), bless)
+            .unwrap_or_else(|e| panic!("{kind} conformance: {e}"));
+    }
+    assert!(!bless, "fixtures blessed — rerun without GSREPRO_BLESS");
+}
+
+/// Drive a perturbed controller through `kind`'s standard script and
+/// assert the fixture diff catches it.
+fn assert_detected(kind: CcaKind, cca: &mut dyn gsrepro_tcp::CongestionControl, what: &str) {
+    let trace = standard_script(kind).drive(cca);
+    let fixture = fixture_dir().join(format!("{}.txt", kind.label()));
+    let verdict = check_trace_against_fixture(kind, &trace, &fixture, false);
+    assert!(
+        verdict.is_err(),
+        "{what} slipped past the {kind} fixture undetected"
+    );
+}
+
+#[test]
+fn detects_wrong_cubic_beta() {
+    let mut c = Cubic::with_beta(STANDARD_MSS, 0.5);
+    assert_detected(CcaKind::Cubic, &mut c, "Cubic β = 0.5 (should be 0.7)");
+}
+
+#[test]
+fn detects_wrong_reno_beta() {
+    let mut r = Reno::with_beta(STANDARD_MSS, 0.8);
+    assert_detected(CcaKind::Reno, &mut r, "Reno β = 0.8 (should be 0.5)");
+}
+
+#[test]
+fn detects_shifted_vegas_band() {
+    let mut v = Vegas::with_band(STANDARD_MSS, 0.5, 1.5);
+    assert_detected(
+        CcaKind::Vegas,
+        &mut v,
+        "Vegas band (0.5, 1.5) (should be (2, 4))",
+    );
+}
+
+#[test]
+fn detects_wrong_bbr_cwnd_gain() {
+    let mut b = Bbr::with_cwnd_gain(STANDARD_MSS, 4.0);
+    assert_detected(CcaKind::Bbr, &mut b, "BBR cwnd gain 4 (should be 2)");
+}
+
+#[test]
+fn fixtures_are_freshly_rendered() {
+    // The committed text must be byte-for-byte what `render` produces for
+    // the parsed trace — guards against hand-edited fixtures drifting from
+    // the format (tolerances live in `compare`, not in the file).
+    for kind in ALL_KINDS {
+        let path = fixture_dir().join(format!("{}.txt", kind.label()));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("reading {}: {e}", path.display()));
+        let trace = conformance::parse(&text).expect("fixture must parse");
+        let rerendered = conformance::render(kind.label(), STANDARD_MSS, &trace);
+        assert_eq!(
+            text, rerendered,
+            "{kind} fixture is not canonically formatted"
+        );
+    }
+}

@@ -24,7 +24,7 @@ use gsrepro_tcp::CcaKind;
 use crate::config::{Grid, Timeline, CAPACITIES_MBPS, CCAS, QUEUE_MULTS};
 use crate::metrics;
 use crate::report::{heat_glyph, mean_sd, mean_sd2, Csv, TextTable};
-use crate::runner::{run_many_traced, ConditionResult, TraceSpec};
+use crate::runner::{run_many_full, ConditionResult, TraceSpec};
 
 /// How much work to spend: iteration count, parallelism, timeline.
 #[derive(Clone, Debug)]
@@ -37,6 +37,10 @@ pub struct ExperimentOpts {
     pub timeline: Timeline,
     /// Export per-run flight-recorder traces (`--trace <dir>`).
     pub trace: Option<TraceSpec>,
+    /// Run with invariant oracles enabled (`--checks`): every run audits
+    /// packet/token conservation, queue bounds and encoder-rate sanity,
+    /// panicking with a structured report on the first violation.
+    pub checks: bool,
 }
 
 impl Default for ExperimentOpts {
@@ -46,6 +50,7 @@ impl Default for ExperimentOpts {
             threads: crate::runner::default_threads(),
             timeline: Timeline::paper(),
             trace: None,
+            checks: false,
         }
     }
 }
@@ -58,6 +63,7 @@ impl ExperimentOpts {
             threads: crate::runner::default_threads(),
             timeline: Timeline::scaled(0.08),
             trace: None,
+            checks: false,
         }
     }
 
@@ -68,6 +74,7 @@ impl ExperimentOpts {
             threads: crate::runner::default_threads(),
             timeline: Timeline::paper(),
             trace: None,
+            checks: false,
         }
     }
 }
@@ -85,11 +92,12 @@ pub struct GridResults {
 pub fn run_full_grid(opts: ExperimentOpts) -> GridResults {
     let conditions = Grid::full(opts.timeline);
     GridResults {
-        results: run_many_traced(
+        results: run_many_full(
             &conditions,
             opts.iterations,
             opts.threads,
             opts.trace.as_ref(),
+            opts.checks,
         ),
         opts,
     }
@@ -99,11 +107,12 @@ pub fn run_full_grid(opts: ExperimentOpts) -> GridResults {
 pub fn run_solo_grid(opts: ExperimentOpts) -> GridResults {
     let conditions = Grid::solo(opts.timeline);
     GridResults {
-        results: run_many_traced(
+        results: run_many_full(
             &conditions,
             opts.iterations,
             opts.threads,
             opts.trace.as_ref(),
+            opts.checks,
         ),
         opts,
     }
@@ -140,11 +149,12 @@ pub struct Table1 {
 /// Run Table 1: each system on a 1 Gb/s link, no competitor.
 pub fn table1(opts: ExperimentOpts) -> Table1 {
     let conditions = Grid::table1(opts.timeline);
-    let results = run_many_traced(
+    let results = run_many_full(
         &conditions,
         opts.iterations,
         opts.threads,
         opts.trace.as_ref(),
+        opts.checks,
     );
     let tl = opts.timeline;
     let rows = results
@@ -203,11 +213,12 @@ pub struct Figure2 {
 /// Run Figure 2's slice of the grid.
 pub fn figure2(opts: ExperimentOpts) -> Figure2 {
     let conditions = Grid::figure2(opts.timeline);
-    let results = run_many_traced(
+    let results = run_many_full(
         &conditions,
         opts.iterations,
         opts.threads,
         opts.trace.as_ref(),
+        opts.checks,
     );
     let mut panels = Vec::new();
     for &cca in &CCAS {

@@ -55,6 +55,11 @@ pub struct RunResult {
     pub events_processed: u64,
     /// Events scheduled in the past and clamped to "now" by the engine.
     pub past_clamps: u64,
+    /// Invariant-oracle evaluations performed (0 when checks are off). A
+    /// run that returns at all had zero violations — a violated oracle
+    /// panics with a structured report instead of completing — so this
+    /// counts evidence, not failures.
+    pub checks_performed: u64,
     /// Telemetry counters for this run (all zero when tracing is off).
     pub telemetry: Counters,
     /// Wall-clock seconds the simulation took (NOT deterministic; excluded
@@ -254,14 +259,31 @@ pub fn run_condition(cond: &Condition, iter: u32) -> RunResult {
 /// per-flow rings are flushed to `<trace.dir>/<label>-i<iter>.{csv,jsonl}`
 /// before returning.
 pub fn run_condition_traced(cond: &Condition, iter: u32, trace: Option<&TraceSpec>) -> RunResult {
+    run_condition_full(cond, iter, trace, false)
+}
+
+/// [`run_condition_traced`], optionally with runtime invariant oracles.
+/// With `checks` on, the network audits packet/token conservation, queue
+/// bounds and telemetry agreement throughout the run, and the runner adds
+/// a testbed-level oracle on top: every encoder rate the streaming server
+/// ever targeted must lie within the system profile's advertised band. A
+/// violated oracle panics with a structured report; checked runs are
+/// otherwise bit-identical to unchecked ones.
+pub fn run_condition_full(
+    cond: &Condition,
+    iter: u32,
+    trace: Option<&TraceSpec>,
+    checks: bool,
+) -> RunResult {
     let started = std::time::Instant::now();
-    let mut tb = topology::build_with(cond, iter, trace.map(|t| t.config));
+    let mut tb = topology::build_full(cond, iter, trace.map(|t| t.config), checks);
     // Run slightly past the end so the final bins fill.
     tb.sim
         .run_until(cond.timeline.end + SimDuration::from_secs(1));
     let wall_secs = started.elapsed().as_secs_f64();
     let events_processed = tb.sim.events_processed();
     let past_clamps = tb.sim.past_clamps();
+    let checks_performed = tb.sim.net.checks().performed();
 
     let monitor = tb.sim.net.monitor();
     let bin_width = monitor.stats(tb.game_flow).delivered_bins.width();
@@ -300,6 +322,26 @@ pub fn run_condition_traced(cond: &Condition, iter: u32, trace: Option<&TraceSpe
 
     let server: &StreamServer = tb.sim.net.agent(tb.server);
     let encoder_rate_mean = server.rate_trace().mean();
+    if checks {
+        // Controller-sanity oracle: whatever the rate controller did under
+        // congestion, every target it set must stay inside the profile's
+        // advertised band (the clamp every controller is supposed to
+        // apply). Small epsilon for the Mb/s float conversion.
+        let profile = cond.system.profile();
+        let lo = profile.min_rate.as_mbps();
+        let hi = profile.max_rate.as_mbps();
+        let now = tb.sim.now();
+        for &mbps in server.rate_trace().values() {
+            if mbps < lo - 1e-6 || mbps > hi + 1e-6 {
+                gsrepro_simcore::checks::fail(
+                    now,
+                    "encoder-bounds",
+                    format!("{} encoder", cond.system.label()),
+                    format!("rate {mbps:.3} Mb/s outside profile band [{lo:.3}, {hi:.3}] Mb/s"),
+                );
+            }
+        }
+    }
 
     let (tcp_retransmissions, tcp_delivered_bytes) = match tb.tcp_sender {
         Some(id) => {
@@ -344,6 +386,7 @@ pub fn run_condition_traced(cond: &Condition, iter: u32, trace: Option<&TraceSpe
         encoder_rate_mean,
         events_processed,
         past_clamps,
+        checks_performed,
         telemetry,
         wall_secs,
     }
@@ -412,6 +455,18 @@ pub fn run_many_traced(
     threads: usize,
     trace: Option<&TraceSpec>,
 ) -> Vec<ConditionResult> {
+    run_many_full(conditions, iterations, threads, trace, false)
+}
+
+/// [`run_many_traced`], optionally with runtime invariant oracles enabled
+/// in every run (see [`run_condition_full`]).
+pub fn run_many_full(
+    conditions: &[Condition],
+    iterations: u32,
+    threads: usize,
+    trace: Option<&TraceSpec>,
+    checks: bool,
+) -> Vec<ConditionResult> {
     if let Some(spec) = trace {
         std::fs::create_dir_all(&spec.dir)
             .unwrap_or_else(|e| panic!("creating trace dir {}: {e}", spec.dir.display()));
@@ -432,7 +487,7 @@ pub fn run_many_traced(
             scope.spawn(|| loop {
                 let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 let Some(&(c, i)) = jobs.get(j) else { break };
-                let run = run_condition_traced(&conditions[c], i, trace);
+                let run = run_condition_full(&conditions[c], i, trace, checks);
                 results[c].lock().expect("runner mutex poisoned")[i as usize] = Some(run);
             });
         }

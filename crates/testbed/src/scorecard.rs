@@ -28,7 +28,8 @@ pub enum Verdict {
 }
 
 impl Verdict {
-    fn label(self) -> &'static str {
+    /// Rendered name ("PASS", "PARTIAL", "FAIL").
+    pub fn label(self) -> &'static str {
         match self {
             Verdict::Pass => "PASS",
             Verdict::Partial => "PARTIAL",
@@ -56,6 +57,21 @@ pub struct Scorecard {
 }
 
 impl Scorecard {
+    /// The claim-id → verdict matrix as stable, diffable text — the part
+    /// of the scorecard worth pinning as a golden snapshot. Verdicts are
+    /// already threshold-graded, so unlike the float evidence strings they
+    /// only change when a finding genuinely flips.
+    pub fn verdict_matrix(&self) -> String {
+        let mut out = String::new();
+        for c in &self.claims {
+            out.push_str(c.id);
+            out.push(' ');
+            out.push_str(c.verdict.label());
+            out.push('\n');
+        }
+        out
+    }
+
     /// Count of (pass, partial, fail).
     pub fn tally(&self) -> (usize, usize, usize) {
         let mut t = (0, 0, 0);

@@ -68,8 +68,22 @@ pub fn build(cond: &Condition, iter: u32) -> Testbed {
 /// not perturb the simulation: the recorder only observes, so a traced and
 /// an untraced run of the same seed produce identical results.
 pub fn build_with(cond: &Condition, iter: u32, telemetry: Option<TelemetryConfig>) -> Testbed {
+    build_full(cond, iter, telemetry, false)
+}
+
+/// [`build_with`], optionally with runtime invariant oracles enabled. Like
+/// tracing, the oracles only observe (they consume no randomness and
+/// schedule nothing), so a checked run is bit-identical to an unchecked
+/// one — it just panics with a structured report if a conservation law
+/// breaks mid-run.
+pub fn build_full(
+    cond: &Condition,
+    iter: u32,
+    telemetry: Option<TelemetryConfig>,
+    checks: bool,
+) -> Testbed {
     let seed = cond.seed(iter);
-    let mut b = NetworkBuilder::new(seed);
+    let mut b = NetworkBuilder::new(seed).checks(checks);
     if let Some(cfg) = telemetry {
         b = b.telemetry(cfg);
     }

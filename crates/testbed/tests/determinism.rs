@@ -6,9 +6,12 @@
 //! here as a diff.
 
 use gsrepro_gamestream::SystemKind;
+use gsrepro_simcore::{BitRate, SimTime};
 use gsrepro_tcp::CcaKind;
-use gsrepro_testbed::config::{Condition, Timeline};
-use gsrepro_testbed::runner::{run_condition, run_many, RunResult};
+use gsrepro_testbed::config::{Condition, PathScenario, Timeline};
+use gsrepro_testbed::runner::{
+    run_condition, run_condition_full, run_many, run_many_full, RunResult,
+};
 
 fn quick_cond(system: SystemKind, cca: CcaKind) -> Condition {
     Condition::new(system, Some(cca), 15, 2.0).with_timeline(Timeline::scaled(0.06))
@@ -74,6 +77,71 @@ fn thread_count_never_changes_results() {
         for (sr, pr) in s.runs.iter().zip(&p.runs) {
             let what = format!("{} iter {}", sr.label, sr.iter);
             assert_runs_identical(sr, pr, &what);
+        }
+    }
+}
+
+/// A scenario condition for the matrix below: Stadia vs BBR on a path
+/// that steps down to 10 Mb/s across the middle of the (scaled) run.
+fn scenario_cond() -> Condition {
+    let tl = Timeline::scaled(0.06);
+    let frac = |f: f64| SimTime::from_millis((tl.end.as_secs_f64() * f * 1000.0) as u64);
+    Condition::new(SystemKind::Stadia, Some(CcaKind::Bbr), 25, 2.0)
+        .with_timeline(tl)
+        .with_scenario(PathScenario::RateStep {
+            rate: BitRate::from_mbps(10),
+            from: frac(0.35),
+            to: frac(0.70),
+        })
+}
+
+/// The full determinism matrix: {static, scenario} × {checks off, on} ×
+/// {1, 4 worker threads}. The invariant oracles only observe — they
+/// consume no randomness and schedule no events — so a checked run must
+/// be bit-identical to an unchecked one; the only permitted difference
+/// is the audit-evidence counter. Likewise the thread count used to
+/// execute a grid must never leak into the numbers, with or without the
+/// oracles watching.
+#[test]
+fn checks_and_threads_never_change_results() {
+    // Per-run axis: checks on vs off, static and scenario paths.
+    for cond in [
+        quick_cond(SystemKind::Luna, CcaKind::Cubic),
+        scenario_cond(),
+    ] {
+        let plain = run_condition_full(&cond, 0, None, false);
+        let checked = run_condition_full(&cond, 0, None, true);
+        let what = format!("{} checks on/off", cond.label());
+        assert_runs_identical(&plain, &checked, &what);
+        assert_eq!(
+            plain.checks_performed, 0,
+            "{what}: unchecked run must not audit"
+        );
+        assert!(
+            checked.checks_performed > 0,
+            "{what}: checked run gathered no audit evidence"
+        );
+    }
+
+    // Grid axis: every (threads, checks) cell matches the serial
+    // unchecked baseline, run for run.
+    let conditions = vec![
+        quick_cond(SystemKind::Luna, CcaKind::Cubic),
+        scenario_cond(),
+    ];
+    let baseline = run_many_full(&conditions, 2, 1, None, false);
+    for (threads, checks) in [(1, true), (4, false), (4, true)] {
+        let cell = run_many_full(&conditions, 2, threads, None, checks);
+        assert_eq!(baseline.len(), cell.len());
+        for (b, o) in baseline.iter().zip(&cell) {
+            assert_eq!(b.condition.label(), o.condition.label());
+            for (br, or) in b.runs.iter().zip(&o.runs) {
+                let what = format!(
+                    "{} iter {} ({threads} threads, checks={checks})",
+                    br.label, br.iter
+                );
+                assert_runs_identical(br, or, &what);
+            }
         }
     }
 }

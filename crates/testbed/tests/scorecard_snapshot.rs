@@ -1,0 +1,67 @@
+//! Golden scorecard snapshot: the verdict matrix of the smoke-scale
+//! reproduction, pinned as a committed fixture.
+//!
+//! The scorecard is the repo's "does this still reproduce the paper"
+//! summary; this test freezes its claim-id → verdict matrix for a fixed
+//! smoke configuration so a regression in any experiment shows up as a
+//! readable diff (`F3-luna-bbr PASS` → `FAIL`) instead of a silent drift.
+//! Float evidence strings are deliberately not pinned — verdicts are
+//! threshold-graded and only flip when a finding genuinely changes.
+//!
+//! The grids run with the invariant oracles enabled, so this test doubles
+//! as an oracle-clean smoke of the full condition grid.
+//!
+//! Regenerate after an intentional behaviour change with:
+//!
+//! ```text
+//! GSREPRO_BLESS=1 cargo test --release -p gsrepro-testbed \
+//!     --test scorecard_snapshot -- --ignored
+//! ```
+//!
+//! and review the fixture diff like any other code change. The test is
+//! `#[ignore]`d because it runs two full smoke grids (~all conditions);
+//! ci.sh runs it in release.
+
+use std::path::PathBuf;
+
+use gsrepro_tcp::conformance::bless_requested;
+use gsrepro_testbed::config::Timeline;
+use gsrepro_testbed::experiments::{run_full_grid, run_solo_grid, ExperimentOpts};
+use gsrepro_testbed::scorecard::scorecard;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/scorecard.txt")
+}
+
+#[test]
+#[ignore = "runs two smoke grids; ci.sh runs it in release"]
+fn scorecard_verdicts_match_snapshot() {
+    let mut opts = ExperimentOpts::smoke();
+    opts.iterations = 1;
+    opts.timeline = Timeline::scaled(0.06);
+    opts.checks = true;
+    let solo = run_solo_grid(opts.clone());
+    let grid = run_full_grid(opts);
+    let sc = scorecard(&solo, &grid);
+    let matrix = sc.verdict_matrix();
+    assert!(!matrix.is_empty(), "scorecard produced no claims");
+
+    let path = fixture_path();
+    if bless_requested() {
+        std::fs::write(&path, &matrix)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        panic!("scorecard snapshot blessed — rerun without GSREPRO_BLESS");
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "reading {}: {e} (bless the snapshot with GSREPRO_BLESS=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, matrix,
+        "scorecard verdicts drifted from the committed snapshot; if the \
+         change is intentional, re-bless with GSREPRO_BLESS=1 and review \
+         the fixture diff"
+    );
+}
