@@ -41,4 +41,21 @@ cargo run --release -p gsrepro-bench --bin figure2 -- --smoke --iters 1 --checks
 echo "== scorecard snapshot (release, oracle-enabled grids)"
 cargo test --release -q -p gsrepro-testbed --test scorecard_snapshot -- --ignored
 
+echo "== perf smoke gate (>30% below committed BENCH_hotpath.json fails)"
+# Short full-timeline run of the headline condition only (3 iterations,
+# plus the binary's built-in warm-up). The 30% margin absorbs shared-host
+# noise (±10% per run is routine); a real hot-path regression — an
+# accidental de-batching, a scheduler slow path — overshoots it.
+committed="$(sed -n 's/^  "events_per_sec": \([0-9]*\),$/\1/p' BENCH_hotpath.json | head -n1)"
+perf_out="$(mktemp)"
+trap 'rm -rf "$trace_dir" "$scenario_dir" "$perf_out"' EXIT
+cargo run --release -p gsrepro-bench --bin perf -- --iters 3 --csv "$perf_out"
+measured="$(sed -n 's/^  "events_per_sec": \([0-9]*\),$/\1/p' "$perf_out" | head -n1)"
+floor=$(( committed * 7 / 10 ))
+echo "perf gate: measured ${measured} events/s, committed ${committed}, floor ${floor}"
+if [ "$measured" -lt "$floor" ]; then
+    echo "perf gate FAILED: hot path is >30% below the committed baseline" >&2
+    exit 1
+fi
+
 echo "CI OK"

@@ -44,7 +44,7 @@ pub mod wire;
 pub use link::{LinkId, LinkSpec, Shaper};
 pub use monitor::{FlowStats, Monitor};
 pub use net::{Agent, AgentId, Ctx, Network, NetworkBuilder, NodeId, PacketSpec, Sim};
-pub use queue::{CoDelQueue, DropTailQueue, FqCoDelQueue, Queue, QueueSpec};
+pub use queue::{CoDelQueue, Discipline, DropTailQueue, FqCoDelQueue, Queue, QueueSpec};
 pub use scenario::{ScenarioAction, ScenarioSpec, ScenarioStep};
 pub use trace::{Trace, TraceEvent, TraceKind};
 pub use wire::{FlowId, MediaChunk, Packet, Payload, PingEcho, StreamFeedback, TcpSegment};

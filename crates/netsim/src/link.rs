@@ -15,7 +15,7 @@
 use gsrepro_simcore::{BitRate, Bytes, SimDuration, SimTime};
 
 use crate::net::NodeId;
-use crate::queue::{Queue, QueueSpec, QueuedPkt};
+use crate::queue::{Discipline, QueueSpec, QueuedPkt};
 
 /// Identifies a link within a [`crate::net::Network`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -128,7 +128,10 @@ impl LinkSpec {
         self
     }
 
-    pub(crate) fn build(&self, id: LinkId, from: NodeId, to: NodeId) -> Link {
+    /// Build a standalone [`Link`]. [`crate::net::NetworkBuilder`] calls
+    /// this for every topology edge; benches call it directly to measure
+    /// the shaper without a network around it.
+    pub fn build(&self, id: LinkId, from: NodeId, to: NodeId) -> Link {
         let (rate, burst) = match self.shaper {
             Shaper::Unshaped => (None, Bytes::ZERO),
             Shaper::TokenBucket { rate, burst } => {
@@ -163,18 +166,6 @@ fn bitns(b: Bytes) -> u128 {
     b.bits() as u128 * 1_000_000_000u128
 }
 
-/// Outcome of asking a link for its next departure.
-#[derive(Debug)]
-pub(crate) enum Service {
-    /// A packet departs now; it arrives at the far node after the link's
-    /// propagation delay (plus jitter, applied by the network).
-    Deliver(QueuedPkt),
-    /// The head packet must wait for tokens until the given time.
-    Wait(SimTime),
-    /// The queue is empty.
-    Idle,
-}
-
 /// A built link, created from a [`LinkSpec`] inside
 /// [`crate::net::NetworkBuilder`].
 pub struct Link {
@@ -189,7 +180,7 @@ pub struct Link {
     pub(crate) jitter: SimDuration,
     pub(crate) loss_prob: f64,
     pub(crate) dup_prob: f64,
-    pub(crate) queue: Box<dyn Queue>,
+    pub(crate) queue: Discipline,
     /// True while a `LinkWakeup` event is in flight, to avoid duplicates.
     pub(crate) wakeup_scheduled: bool,
     /// Latest scheduled arrival time, so jitter never reorders a flow:
@@ -334,7 +325,7 @@ impl Link {
 
     /// Offer a pooled packet to the link's queue. `Err` is a queue drop;
     /// the caller still owns the entry's pool slot and must release it.
-    pub(crate) fn offer(&mut self, item: QueuedPkt, now: SimTime) -> Result<(), QueuedPkt> {
+    pub fn offer(&mut self, item: QueuedPkt, now: SimTime) -> Result<(), QueuedPkt> {
         if !self.up {
             return Err(item);
         }
@@ -349,31 +340,60 @@ impl Link {
             .min(self.burst_bitns);
     }
 
-    /// Try to release the next packet. AQM drops encountered along the way
-    /// are appended to `dropped`.
-    pub(crate) fn service(&mut self, now: SimTime, dropped: &mut Vec<QueuedPkt>) -> Service {
-        if !self.up {
+    /// Release every packet the bank covers (up to `max`) in one activation.
+    ///
+    /// Delivered packets are appended to `out`; AQM drops encountered along
+    /// the way go to `dropped` (caller owns both sets' pool slots). One
+    /// token refill settles the bucket for the whole batch — arithmetically
+    /// identical to refilling per packet at a fixed `now`, since the
+    /// intra-batch elapsed time is zero.
+    ///
+    /// Returns `Some(t)` when a head packet remains and the earliest it can
+    /// depart is `t` (`t == now` only when `max` capped the drain with
+    /// tokens still banked); `None` when the queue drained, the link is
+    /// down, or the link is unshaped (an unshaped head never waits).
+    pub fn service_batch(
+        &mut self,
+        now: SimTime,
+        max: usize,
+        out: &mut Vec<QueuedPkt>,
+        dropped: &mut Vec<QueuedPkt>,
+    ) -> Option<SimTime> {
+        if !self.up || max == 0 {
             // Down: queued packets stay parked until the link returns.
-            return Service::Idle;
+            return None;
         }
         let Some(rate) = self.rate else {
             // Unshaped: everything queued departs immediately.
-            return match self.queue.dequeue(now, dropped) {
-                Some(p) => {
-                    self.delivered_pkts += 1;
-                    self.delivered_bytes += p.size;
-                    Service::Deliver(p)
+            let mut n = 0;
+            while n < max {
+                match self.queue.dequeue(now, dropped) {
+                    Some(p) => {
+                        self.delivered_pkts += 1;
+                        self.delivered_bytes += p.size;
+                        out.push(p);
+                        n += 1;
+                    }
+                    None => break,
                 }
-                None => Service::Idle,
-            };
+            }
+            return None;
         };
 
         self.refill(now);
-        let Some(head) = self.queue.peek_size() else {
-            return Service::Idle;
-        };
-        let need = bitns(head);
-        if self.tokens_bitns >= need {
+        let mut n = 0;
+        loop {
+            let head = self.queue.peek_size()?;
+            let need = bitns(head);
+            if self.tokens_bitns < need {
+                let deficit = need - self.tokens_bitns;
+                let ns = deficit.div_ceil(rate.as_bps() as u128);
+                return Some(now + SimDuration::from_nanos(ns.min(u64::MAX as u128) as u64));
+            }
+            if n >= max {
+                // Capped with tokens still banked: ready again immediately.
+                return Some(now);
+            }
             match self.queue.dequeue(now, dropped) {
                 Some(p) => {
                     // AQM may have dropped the peeked head and returned a
@@ -382,14 +402,11 @@ impl Link {
                     self.tokens_bitns = self.tokens_bitns.saturating_sub(actual);
                     self.delivered_pkts += 1;
                     self.delivered_bytes += p.size;
-                    Service::Deliver(p)
+                    out.push(p);
+                    n += 1;
                 }
-                None => Service::Idle,
+                None => return None,
             }
-        } else {
-            let deficit = need - self.tokens_bitns;
-            let ns = deficit.div_ceil(rate.as_bps() as u128);
-            Service::Wait(now + SimDuration::from_nanos(ns.min(u64::MAX as u128) as u64))
         }
     }
 }
@@ -398,6 +415,27 @@ impl Link {
 mod tests {
     use super::*;
     use crate::wire::{FlowId, PktRef};
+
+    /// One-packet view of [`Link::service_batch`], so the pacing tests can
+    /// still observe each departure/wait decision individually.
+    #[derive(Debug)]
+    enum Service {
+        Deliver(QueuedPkt),
+        Wait(SimTime),
+        Idle,
+    }
+
+    fn service(l: &mut Link, now: SimTime, dropped: &mut Vec<QueuedPkt>) -> Service {
+        let mut out = Vec::new();
+        let wait = l.service_batch(now, 1, &mut out, dropped);
+        if let Some(p) = out.pop() {
+            return Service::Deliver(p);
+        }
+        match wait {
+            Some(t) => Service::Wait(t),
+            None => Service::Idle,
+        }
+    }
 
     fn pkt(size: u64) -> QueuedPkt {
         QueuedPkt {
@@ -431,12 +469,12 @@ mod tests {
             LinkSpec::lan(SimDuration::from_millis(2)).build(LinkId(0), NodeId(0), NodeId(1));
         l.offer(pkt(1500), SimTime::ZERO).unwrap();
         let mut dropped = vec![];
-        match l.service(SimTime::ZERO, &mut dropped) {
+        match service(&mut l, SimTime::ZERO, &mut dropped) {
             Service::Deliver(p) => assert_eq!(p.size, Bytes(1500)),
             other => panic!("expected Deliver, got {other:?}"),
         }
         assert!(matches!(
-            l.service(SimTime::ZERO, &mut dropped),
+            service(&mut l, SimTime::ZERO, &mut dropped),
             Service::Idle
         ));
     }
@@ -453,7 +491,7 @@ mod tests {
         let mut now = SimTime::ZERO;
         let mut departures = vec![];
         loop {
-            match l.service(now, &mut dropped) {
+            match service(&mut l, now, &mut dropped) {
                 Service::Deliver(_) => departures.push(now),
                 Service::Wait(t) => now = t,
                 Service::Idle => break,
@@ -481,7 +519,7 @@ mod tests {
         let mut last = SimTime::ZERO;
         let mut count = 0u64;
         loop {
-            match l.service(now, &mut dropped) {
+            match service(&mut l, now, &mut dropped) {
                 Service::Deliver(_) => {
                     count += 1;
                     last = now;
@@ -510,7 +548,7 @@ mod tests {
             l.offer(pkt(1500), SimTime::ZERO).unwrap();
         }
         let mut instant = 0;
-        while let Service::Deliver(_) = l.service(SimTime::ZERO, &mut dropped) {
+        while let Service::Deliver(_) = service(&mut l, SimTime::ZERO, &mut dropped) {
             instant += 1;
         }
         assert_eq!(instant, 6);
@@ -532,7 +570,7 @@ mod tests {
         // Drain the initial bucket.
         l.offer(pkt(2000), SimTime::ZERO).unwrap();
         assert!(matches!(
-            l.service(SimTime::ZERO, &mut dropped),
+            service(&mut l, SimTime::ZERO, &mut dropped),
             Service::Deliver(_)
         ));
         // Wait a long time: bucket refills but caps at burst, so only one
@@ -541,10 +579,10 @@ mod tests {
         l.offer(pkt(2000), later).unwrap();
         l.offer(pkt(2000), later).unwrap();
         assert!(matches!(
-            l.service(later, &mut dropped),
+            service(&mut l, later, &mut dropped),
             Service::Deliver(_)
         ));
-        match l.service(later, &mut dropped) {
+        match service(&mut l, later, &mut dropped) {
             Service::Wait(t) => {
                 // 2000 B = 16 kbit at 10 Mb/s = 1.6 ms.
                 assert_eq!(t - later, SimDuration::from_micros(1600));
@@ -583,13 +621,13 @@ mod tests {
         let mut dropped = vec![];
         l.offer(pkt(2000), SimTime::ZERO).unwrap();
         assert!(matches!(
-            l.service(SimTime::ZERO, &mut dropped),
+            service(&mut l, SimTime::ZERO, &mut dropped),
             Service::Deliver(_)
         ));
         let step = SimTime::from_nanos(800_000);
         l.set_rate(Some(BitRate::from_mbps(20)), step);
         l.offer(pkt(1500), step).unwrap();
-        match l.service(step, &mut dropped) {
+        match service(&mut l, step, &mut dropped) {
             Service::Wait(t) => {
                 // 1500 B needs 12000 bits; 8000 were banked at the old rate
                 // and must survive the change; the 4000-bit deficit at the
@@ -607,14 +645,14 @@ mod tests {
         let mut dropped = vec![];
         l.offer(pkt(2000), SimTime::ZERO).unwrap();
         assert!(matches!(
-            l.service(SimTime::ZERO, &mut dropped),
+            service(&mut l, SimTime::ZERO, &mut dropped),
             Service::Deliver(_)
         ));
         // Bucket is empty; raising the rate at the same instant must not
         // mint credit out of thin air.
         l.set_rate(Some(BitRate::from_mbps(100)), SimTime::ZERO);
         l.offer(pkt(1500), SimTime::ZERO).unwrap();
-        match l.service(SimTime::ZERO, &mut dropped) {
+        match service(&mut l, SimTime::ZERO, &mut dropped) {
             Service::Wait(t) => {
                 // 12000 bits at 100 Mb/s = 120 us from an empty bucket.
                 assert_eq!(t.as_nanos(), 120_000);
@@ -635,7 +673,7 @@ mod tests {
         l.set_rate(Some(BitRate::from_mbps(10)), now);
         l.offer(pkt(1500), now).unwrap();
         let mut dropped = vec![];
-        match l.service(now, &mut dropped) {
+        match service(&mut l, now, &mut dropped) {
             Service::Wait(t) => assert_eq!(t - now, SimDuration::from_micros(1200)),
             other => panic!("expected Wait, got {other:?}"),
         }
@@ -651,7 +689,7 @@ mod tests {
         // New arrivals bounce; the parked packet stays put.
         assert!(l.offer(pkt(500), SimTime::ZERO).is_err());
         assert!(matches!(
-            l.service(SimTime::ZERO, &mut dropped),
+            service(&mut l, SimTime::ZERO, &mut dropped),
             Service::Idle
         ));
         assert_eq!(l.backlog(), Bytes(1000));
@@ -661,14 +699,14 @@ mod tests {
         let later = SimTime::from_secs(10);
         l.set_up(true, later);
         assert!(l.is_up());
-        match l.service(later, &mut dropped) {
+        match service(&mut l, later, &mut dropped) {
             Service::Deliver(p) => assert_eq!(p.size, Bytes(1000)),
             other => panic!("expected Deliver, got {other:?}"),
         }
         // 2000 B burst minus the 1000 B just spent leaves 1000 B: a
         // 1500-B packet must wait 500 B x 8 / 10 Mb/s = 400 us.
         l.offer(pkt(1500), later).unwrap();
-        match l.service(later, &mut dropped) {
+        match service(&mut l, later, &mut dropped) {
             Service::Wait(t) => assert_eq!(t - later, SimDuration::from_micros(400)),
             other => panic!("expected Wait, got {other:?}"),
         }
@@ -680,16 +718,19 @@ mod tests {
         let mut dropped = vec![];
         l.offer(pkt(2000), SimTime::ZERO).unwrap();
         assert!(matches!(
-            l.service(SimTime::ZERO, &mut dropped),
+            service(&mut l, SimTime::ZERO, &mut dropped),
             Service::Deliver(_)
         ));
         l.offer(pkt(1500), SimTime::ZERO).unwrap();
-        match l.service(SimTime::ZERO, &mut dropped) {
+        match service(&mut l, SimTime::ZERO, &mut dropped) {
             Service::Wait(t) => {
                 // Need 1500*8 = 12000 bits at 15 Mb/s = 800 us exactly.
                 assert_eq!(t.as_nanos(), 800_000);
                 // Serving again at exactly t must deliver.
-                assert!(matches!(l.service(t, &mut dropped), Service::Deliver(_)));
+                assert!(matches!(
+                    service(&mut l, t, &mut dropped),
+                    Service::Deliver(_)
+                ));
             }
             other => panic!("expected Wait, got {other:?}"),
         }

@@ -39,7 +39,7 @@ use gsrepro_simcore::{Engine, Scheduler, SimDuration, SimRng, SimTime, World};
 use rand::Rng;
 
 use crate::checks::{self, LinkAudit, NetTotals};
-use crate::link::{Link, LinkId, LinkSpec, Service};
+use crate::link::{Link, LinkId, LinkSpec};
 use crate::monitor::{DropKind, Monitor};
 use crate::queue::QueuedPkt;
 use crate::scenario::{ScenarioAction, ScenarioSpec};
@@ -211,6 +211,8 @@ pub struct Network {
     duplicated: u64,
     cmd_buf: Vec<Command>,
     drop_buf: Vec<QueuedPkt>,
+    /// Scratch for batched link drains, recycled across activations.
+    deliver_buf: Vec<QueuedPkt>,
 }
 
 impl Network {
@@ -456,7 +458,14 @@ impl Network {
                         },
                     );
                 }
-                self.pump_link(link_id, sched)
+                // A pending LinkWakeup means the head packet is waiting on
+                // tokens; the packet just queued sits behind it, so pumping
+                // now would deliver nothing (token accrual is linear and
+                // path-independent, so deferring the refill to the wakeup
+                // yields a bit-identical balance). Skip the no-op pump.
+                if !self.links[link_id.0 as usize].wakeup_scheduled {
+                    self.pump_link(link_id, sched)
+                }
             }
             Err(dropped) => self.drop_pooled(dropped, DropKind::Queue, link_id, now),
         }
@@ -526,86 +535,84 @@ impl Network {
 
     fn pump_link(&mut self, id: LinkId, sched: &mut Scheduler<NetEvent>) {
         let mut dropped = std::mem::take(&mut self.drop_buf);
-        loop {
-            let link = &mut self.links[id.0 as usize];
-            match link.service(sched.now(), &mut dropped) {
-                Service::Deliver(item) => {
-                    let to = link.to();
-                    let base = link.delay();
-                    let jitter = link.jitter;
-                    let loss = link.loss_prob;
-                    let dup = link.dup_prob;
-                    if loss > 0.0 && self.rng.gen::<f64>() < loss {
-                        self.drop_pooled(item, DropKind::Link, id, sched.now());
-                        continue;
-                    }
-                    if self.telemetry.is_enabled() {
-                        let sojourn = sched.now().saturating_since(item.enqueued_at);
-                        self.telemetry.queue_sojourn(
-                            sched.now(),
-                            item.flow.0,
-                            id.0 as u64,
-                            sojourn,
-                        );
-                    }
-                    let extra = if jitter.is_zero() {
-                        SimDuration::ZERO
-                    } else {
-                        SimDuration::from_nanos(self.rng.gen_range(0..=jitter.as_nanos()))
-                    };
-                    // FIFO-preserving arrival: path jitter is queue-induced
-                    // in reality and never reorders a flow; artificial
-                    // reordering would trip TCP's loss detection.
-                    let mut arrive_at = sched.now() + base + extra;
-                    let link = &mut self.links[id.0 as usize];
-                    if arrive_at < link.last_arrival {
-                        arrive_at = link.last_arrival;
-                    }
-                    link.last_arrival = arrive_at;
-                    if dup > 0.0 && self.rng.gen::<f64>() < dup {
-                        // netem-style duplication: the copy follows the
-                        // original immediately. Duplicates are not counted
-                        // as "sent" so loss accounting stays truthful; the
-                        // clone site tracks them so packet conservation
-                        // stays an equality.
-                        self.duplicated += 1;
-                        let copy = self.pool.clone_of(item.pkt);
-                        sched.schedule_at(
-                            arrive_at,
-                            NetEvent::Arrive {
-                                node: to,
-                                pkt: copy,
-                            },
-                        );
-                    }
-                    sched.schedule_at(
-                        arrive_at,
-                        NetEvent::Arrive {
-                            node: to,
-                            pkt: item.pkt,
-                        },
-                    );
-                }
-                Service::Wait(at) => {
-                    if !link.wakeup_scheduled {
-                        link.wakeup_scheduled = true;
-                        self.telemetry.link_busy(
-                            sched.now(),
-                            id.0 as u64,
-                            at.saturating_since(sched.now()),
-                        );
-                        sched.schedule_at(at, NetEvent::LinkWakeup(id));
-                    }
-                    break;
-                }
-                Service::Idle => break,
+        let mut out = std::mem::take(&mut self.deliver_buf);
+        let now = sched.now();
+
+        // One activation drains everything the token bank covers; the
+        // post-drain processing below is per packet and identical in order
+        // and randomness to draining one packet per activation.
+        let link = &mut self.links[id.0 as usize];
+        let wait = link.service_batch(now, usize::MAX, &mut out, &mut dropped);
+        let to = link.to();
+        let base = link.delay();
+        let jitter = link.jitter;
+        let loss = link.loss_prob;
+        let dup = link.dup_prob;
+        let mut last_arrival = link.last_arrival;
+
+        for item in out.drain(..) {
+            if loss > 0.0 && self.rng.gen::<f64>() < loss {
+                self.drop_pooled(item, DropKind::Link, id, now);
+                continue;
+            }
+            if self.telemetry.is_enabled() {
+                let sojourn = now.saturating_since(item.enqueued_at);
+                self.telemetry
+                    .queue_sojourn(now, item.flow.0, id.0 as u64, sojourn);
+            }
+            let extra = if jitter.is_zero() {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_nanos(self.rng.gen_range(0..=jitter.as_nanos()))
+            };
+            // FIFO-preserving arrival: path jitter is queue-induced
+            // in reality and never reorders a flow; artificial
+            // reordering would trip TCP's loss detection.
+            let mut arrive_at = now + base + extra;
+            if arrive_at < last_arrival {
+                arrive_at = last_arrival;
+            }
+            last_arrival = arrive_at;
+            if dup > 0.0 && self.rng.gen::<f64>() < dup {
+                // netem-style duplication: the copy follows the
+                // original immediately. Duplicates are not counted
+                // as "sent" so loss accounting stays truthful; the
+                // clone site tracks them so packet conservation
+                // stays an equality.
+                self.duplicated += 1;
+                let copy = self.pool.clone_of(item.pkt);
+                sched.schedule_at(
+                    arrive_at,
+                    NetEvent::Arrive {
+                        node: to,
+                        pkt: copy,
+                    },
+                );
+            }
+            sched.schedule_at(
+                arrive_at,
+                NetEvent::Arrive {
+                    node: to,
+                    pkt: item.pkt,
+                },
+            );
+        }
+
+        let link = &mut self.links[id.0 as usize];
+        link.last_arrival = last_arrival;
+        if let Some(at) = wait {
+            if !link.wakeup_scheduled {
+                link.wakeup_scheduled = true;
+                self.telemetry
+                    .link_busy(now, id.0 as u64, at.saturating_since(now));
+                sched.schedule_at(at, NetEvent::LinkWakeup(id));
             }
         }
-        let now = sched.now();
         for d in dropped.drain(..) {
             self.drop_pooled(d, DropKind::Queue, id, now);
         }
         self.drop_buf = dropped;
+        self.deliver_buf = out;
     }
 }
 
@@ -826,6 +833,7 @@ impl NetworkBuilder {
             duplicated: 0,
             cmd_buf: Vec::new(),
             drop_buf: Vec::new(),
+            deliver_buf: Vec::new(),
         };
 
         let mut engine = Engine::new();
@@ -877,6 +885,12 @@ impl Sim {
     /// (zero in a well-behaved run; surfaced per run instead of stderr).
     pub fn past_clamps(&self) -> u64 {
         self.engine.past_schedules()
+    }
+
+    /// Scheduler occupancy counters for this run (lane/cur/wheel/overflow
+    /// placement, cascades, cancels, slab high-watermark).
+    pub fn sched_stats(&self) -> gsrepro_simcore::SchedStats {
+        self.engine.sched_stats()
     }
 
     /// Utilization helper: overall goodput of `flow` across `[from, to)`.

@@ -128,22 +128,123 @@ impl QueueSpec {
     }
 
     /// Instantiate the queue.
-    pub fn build(&self) -> Box<dyn Queue> {
+    pub fn build(&self) -> Discipline {
         match *self {
-            QueueSpec::DropTail { limit } => Box::new(DropTailQueue::bytes(limit)),
-            QueueSpec::DropTailPkts { limit } => Box::new(DropTailQueue::packets(limit)),
+            QueueSpec::DropTail { limit } => Discipline::DropTail(DropTailQueue::bytes(limit)),
+            QueueSpec::DropTailPkts { limit } => {
+                Discipline::DropTail(DropTailQueue::packets(limit))
+            }
             QueueSpec::CoDel {
                 limit,
                 target,
                 interval,
-            } => Box::new(CoDelQueue::new(limit, target, interval)),
+            } => Discipline::CoDel(CoDelQueue::new(limit, target, interval)),
             QueueSpec::FqCoDel {
                 limit,
                 target,
                 interval,
                 quantum,
-            } => Box::new(FqCoDelQueue::new(limit, target, interval, quantum)),
+            } => Discipline::FqCoDel(FqCoDelQueue::new(limit, target, interval, quantum)),
         }
+    }
+}
+
+/// A concrete queue discipline, dispatched by `match` instead of vtable.
+///
+/// Links hold this enum rather than a `Box<dyn Queue>`: every packet pays
+/// the enqueue/dequeue call, and with a closed set of disciplines a direct
+/// branch (almost always predicted — a link's discipline never changes)
+/// beats an indirect call the CPU cannot see through. The [`Queue`] trait
+/// remains for generic test harnesses; `Discipline` implements it too.
+pub enum Discipline {
+    /// Byte- or packet-limited FIFO tail-drop.
+    DropTail(DropTailQueue),
+    /// CoDel (RFC 8289).
+    CoDel(CoDelQueue),
+    /// FQ-CoDel (RFC 8290).
+    FqCoDel(FqCoDelQueue),
+}
+
+macro_rules! dispatch {
+    ($self:ident, $q:ident => $body:expr) => {
+        match $self {
+            Discipline::DropTail($q) => $body,
+            Discipline::CoDel($q) => $body,
+            Discipline::FqCoDel($q) => $body,
+        }
+    };
+}
+
+impl Discipline {
+    /// See [`Queue::enqueue`].
+    #[inline]
+    pub fn enqueue(&mut self, item: QueuedPkt, now: SimTime) -> Result<(), QueuedPkt> {
+        dispatch!(self, q => q.enqueue(item, now))
+    }
+
+    /// See [`Queue::dequeue`].
+    #[inline]
+    pub fn dequeue(&mut self, now: SimTime, dropped: &mut Vec<QueuedPkt>) -> Option<QueuedPkt> {
+        dispatch!(self, q => q.dequeue(now, dropped))
+    }
+
+    /// See [`Queue::peek_size`].
+    #[inline]
+    pub fn peek_size(&self) -> Option<Bytes> {
+        dispatch!(self, q => q.peek_size())
+    }
+
+    /// See [`Queue::len_bytes`].
+    #[inline]
+    pub fn len_bytes(&self) -> Bytes {
+        dispatch!(self, q => q.len_bytes())
+    }
+
+    /// See [`Queue::len_pkts`].
+    #[inline]
+    pub fn len_pkts(&self) -> usize {
+        dispatch!(self, q => q.len_pkts())
+    }
+
+    /// See [`Queue::capacity_bytes`].
+    #[inline]
+    pub fn capacity_bytes(&self) -> Option<Bytes> {
+        dispatch!(self, q => q.capacity_bytes())
+    }
+
+    /// See [`Queue::set_byte_limit`].
+    pub fn set_byte_limit(&mut self, limit: Bytes, dropped: &mut Vec<QueuedPkt>) {
+        dispatch!(self, q => q.set_byte_limit(limit, dropped))
+    }
+}
+
+impl Queue for Discipline {
+    fn enqueue(&mut self, item: QueuedPkt, now: SimTime) -> Result<(), QueuedPkt> {
+        Discipline::enqueue(self, item, now)
+    }
+
+    fn dequeue(&mut self, now: SimTime, dropped: &mut Vec<QueuedPkt>) -> Option<QueuedPkt> {
+        Discipline::dequeue(self, now, dropped)
+    }
+
+    fn peek_size(&self) -> Option<Bytes> {
+        Discipline::peek_size(self)
+    }
+
+    fn len_bytes(&self) -> Bytes {
+        Discipline::len_bytes(self)
+    }
+
+    fn len_pkts(&self) -> usize {
+        Discipline::len_pkts(self)
+    }
+
+    fn capacity_bytes(&self) -> Option<Bytes> {
+        Discipline::capacity_bytes(self)
+    }
+
+    fn set_byte_limit(&mut self, limit: Bytes, dropped: &mut Vec<QueuedPkt>) {
+        Discipline::set_byte_limit(self, limit, dropped)
     }
 }
 
@@ -152,11 +253,16 @@ impl QueueSpec {
 // ---------------------------------------------------------------------------
 
 /// FIFO tail-drop queue, limited by bytes (like `tbf limit`) or by packets.
+///
+/// Absent limits are stored as `u64::MAX` / `usize::MAX` sentinels rather
+/// than `Option`s: the admission test on the per-packet hot path is then two
+/// unconditional compares instead of two discriminant branches.
 pub struct DropTailQueue {
     q: VecDeque<QueuedPkt>,
     bytes: Bytes,
-    byte_limit: Option<Bytes>,
-    pkt_limit: Option<usize>,
+    byte_limit: Bytes,
+    pkt_limit: usize,
+    byte_limited: bool,
 }
 
 impl DropTailQueue {
@@ -167,8 +273,9 @@ impl DropTailQueue {
         DropTailQueue {
             q: VecDeque::new(),
             bytes: Bytes::ZERO,
-            byte_limit: Some(limit),
-            pkt_limit: None,
+            byte_limit: limit,
+            pkt_limit: usize::MAX,
+            byte_limited: true,
         }
     }
 
@@ -177,23 +284,19 @@ impl DropTailQueue {
         DropTailQueue {
             q: VecDeque::new(),
             bytes: Bytes::ZERO,
-            byte_limit: None,
-            pkt_limit: Some(limit),
+            byte_limit: Bytes(u64::MAX),
+            pkt_limit: limit,
+            byte_limited: false,
         }
     }
 }
 
 impl Queue for DropTailQueue {
     fn enqueue(&mut self, mut item: QueuedPkt, now: SimTime) -> Result<(), QueuedPkt> {
-        if let Some(lim) = self.byte_limit {
-            if self.bytes + item.size > lim {
-                return Err(item);
-            }
-        }
-        if let Some(lim) = self.pkt_limit {
-            if self.q.len() >= lim {
-                return Err(item);
-            }
+        if self.bytes.as_u64().saturating_add(item.size.as_u64()) > self.byte_limit.as_u64()
+            || self.q.len() >= self.pkt_limit
+        {
+            return Err(item);
         }
         item.enqueued_at = now;
         self.bytes += item.size;
@@ -220,11 +323,12 @@ impl Queue for DropTailQueue {
     }
 
     fn capacity_bytes(&self) -> Option<Bytes> {
-        self.byte_limit
+        self.byte_limited.then_some(self.byte_limit)
     }
 
     fn set_byte_limit(&mut self, limit: Bytes, dropped: &mut Vec<QueuedPkt>) {
-        self.byte_limit = Some(limit);
+        self.byte_limit = limit;
+        self.byte_limited = true;
         while self.bytes > limit {
             let item = self.q.pop_back().expect("backlog implies entries");
             self.bytes -= item.size;
@@ -391,6 +495,11 @@ struct FqFlow {
     deficit: i64,
 }
 
+/// Bit `b` set ⇔ bucket `b` is on the corresponding DRR list. With exactly
+/// 64 buckets the membership test the dequeue loop runs per packet is one
+/// AND against a register instead of two `Vec<bool>` loads.
+type BucketMask = u64;
+
 /// Flow-queuing CoDel (RFC 8290): packets are hashed by flow into one of 64
 /// sub-queues, serviced by deficit round-robin with new flows prioritized,
 /// each sub-queue running its own CoDel.
@@ -398,8 +507,8 @@ pub struct FqCoDelQueue {
     flows: Vec<FqFlow>,
     new_flows: VecDeque<usize>,
     old_flows: VecDeque<usize>,
-    in_new: Vec<bool>,
-    in_old: Vec<bool>,
+    in_new: BucketMask,
+    in_old: BucketMask,
     bytes: Bytes,
     limit: Bytes,
     quantum: Bytes,
@@ -419,8 +528,8 @@ impl FqCoDelQueue {
             flows,
             new_flows: VecDeque::new(),
             old_flows: VecDeque::new(),
-            in_new: vec![false; FQ_BUCKETS],
-            in_old: vec![false; FQ_BUCKETS],
+            in_new: 0,
+            in_old: 0,
             bytes: Bytes::ZERO,
             limit,
             quantum,
@@ -445,8 +554,8 @@ impl Queue for FqCoDelQueue {
         self.flows[b].codel.enqueue(item, now)?;
         self.bytes += size;
         self.pkts += 1;
-        if !self.in_new[b] && !self.in_old[b] {
-            self.in_new[b] = true;
+        if (self.in_new | self.in_old) & (1 << b) == 0 {
+            self.in_new |= 1 << b;
             self.flows[b].deficit = self.quantum.as_u64() as i64;
             self.new_flows.push_back(b);
         }
@@ -469,13 +578,13 @@ impl Queue for FqCoDelQueue {
                 self.flows[b].deficit += self.quantum.as_u64() as i64;
                 if from_new {
                     self.new_flows.pop_front();
-                    self.in_new[b] = false;
+                    self.in_new &= !(1 << b);
                 } else {
                     self.old_flows.pop_front();
-                    self.in_old[b] = false;
+                    self.in_old &= !(1 << b);
                 }
                 self.old_flows.push_back(b);
-                self.in_old[b] = true;
+                self.in_old |= 1 << b;
                 continue;
             }
 
@@ -502,10 +611,10 @@ impl Queue for FqCoDelQueue {
                     // but with no backlog removal is the common shortcut).
                     if from_new {
                         self.new_flows.pop_front();
-                        self.in_new[b] = false;
+                        self.in_new &= !(1 << b);
                     } else {
                         self.old_flows.pop_front();
-                        self.in_old[b] = false;
+                        self.in_old &= !(1 << b);
                     }
                 }
             }

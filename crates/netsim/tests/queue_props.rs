@@ -79,7 +79,7 @@ proptest! {
     ) {
         let spec = QueueSpec::codel_default(Bytes(30_000));
         let mut q = spec.build();
-        let (accepted, accounted, _, out_ids) = churn(q.as_mut(), &ops);
+        let (accepted, accounted, _, out_ids) = churn(&mut q, &ops);
         prop_assert_eq!(accepted, accounted);
         prop_assert!(q.len_bytes().as_u64() <= 30_000);
         prop_assert!(out_ids.windows(2).all(|w| w[0] < w[1]), "CoDel must stay FIFO");
@@ -92,7 +92,7 @@ proptest! {
     ) {
         let spec = QueueSpec::fq_codel_default(Bytes(50_000));
         let mut q = spec.build();
-        let (accepted, accounted, _, _) = churn(q.as_mut(), &ops);
+        let (accepted, accounted, _, _) = churn(&mut q, &ops);
         prop_assert_eq!(accepted, accounted);
         prop_assert!(q.len_bytes().as_u64() <= 50_000);
         // Draining fully zeroes the accounting.

@@ -10,24 +10,57 @@
 //! Two events scheduled for the same instant are delivered in the order they
 //! were scheduled (FIFO), enforced by a monotonically increasing sequence
 //! number used as a tie-breaker. Event ordering therefore never depends on
-//! heap internals, allocation order, or hashing.
+//! wheel internals, allocation order, or hashing.
 //!
 //! # Data layout (the hot path)
 //!
-//! Events are parked in a slab (`Vec<Option<E>>` plus a free list) and the
-//! binary heap orders only fixed-size [`Key`]s — `(SimTime, seq, slot)`,
-//! 24 bytes regardless of how large the event type is. Heap sifts therefore
-//! memcpy 24 bytes per comparison instead of the whole event; a paper-scale
-//! run moves millions of events, so this is the difference between the heap
-//! dominating the profile and disappearing into it.
+//! Events are parked in a slab of [`Entry`]s (payload + timestamp + seq +
+//! intrusive chain links, plus a free list); the ordering structures move
+//! only fixed-size [`Key`]s — `(SimTime, seq, slot)`, 24 bytes regardless of
+//! how large the event type is.
+//!
+//! The queue itself is a **hierarchical timing wheel** rather than a single
+//! binary heap:
+//!
+//! * Time is bucketed into ticks of `2^TICK_SHIFT` ns (1.024 µs). Each wheel
+//!   level has 64 slots covering 64x the span of the level below, so
+//!   [`LEVELS`] levels span `64^LEVELS` ticks (~19.5 hours). A per-level
+//!   `u64` occupancy bitmap makes "find the next non-empty slot" one
+//!   `trailing_zeros` instruction.
+//! * Scheduling an in-horizon event is O(1): compute the level from the
+//!   highest differing bit between the event's tick and the wheel cursor,
+//!   then chain the slab entry onto that slot's intrusive list, set the bit.
+//!   Slots are bare `u32` chain heads (the whole wheel is 1.5 kB and stays
+//!   L1-resident) and the chain links live in the slab entry that was just
+//!   written — placement touches no cold memory. This is the layout Linux
+//!   kernel timers use, for the same reason.
+//! * Events beyond the horizon (including `SimTime::MAX` "armed but never
+//!   firing" timers) go to a small overflow binary heap and are folded back
+//!   into the wheel as the cursor approaches them.
+//! * Keys whose tick has been reached move to a tiny *current heap* that
+//!   yields exact `(time, seq)` order within the tick. In paper-scale runs
+//!   this heap holds a handful of entries, so its sifts are trivial — the
+//!   O(log n) cost of a single monolithic heap over every pending event is
+//!   what this structure removes.
 //!
 //! Events scheduled at exactly the current instant (common: a network's
-//! zero-delay loopback delivery) skip the heap entirely and ride a FIFO
+//! zero-delay loopback delivery) skip all of that and ride a FIFO
 //! *fast lane*. The lane is drained in sequence order interleaved with
-//! same-timestamp heap entries, so the FIFO-at-same-instant contract holds
-//! across both paths: any heap entry with the current timestamp was
+//! same-timestamp queued entries, so the FIFO-at-same-instant contract holds
+//! across both paths: any queued entry with the current timestamp was
 //! necessarily scheduled at an earlier instant (same-instant schedules go
 //! to the lane) and thus carries a smaller sequence number.
+//!
+//! # Cancellation
+//!
+//! [`Scheduler::schedule_cancellable_at`] returns a [`TimerHandle`];
+//! [`Scheduler::cancel`] removes the event in O(1). A wheel-chained timer is
+//! unlinked from its slot's doubly-linked chain and its slab entry freed on
+//! the spot (the dominant pattern — RTO timers re-armed on every ack — never
+//! accumulates garbage). A timer whose key currently rides `cur` or the
+//! overflow heap is tombstoned instead and reclaimed when the key surfaces;
+//! its slab slot is not reused until then, so a key in those structures
+//! always refers to its own entry.
 
 use crate::time::{SimDuration, SimTime};
 use std::cmp::Reverse;
@@ -43,7 +76,28 @@ pub trait World {
     fn handle(&mut self, event: Self::Event, sched: &mut Scheduler<Self::Event>);
 }
 
-/// Fixed-size heap entry: total order by `(time, seq)`; `slot` locates the
+/// Granularity of one wheel tick: `2^16` ns ≈ 65.5 µs. Sub-tick timers ride
+/// the current bucket, so precision is never lost — the tick only bounds how
+/// much sorting the current bucket does (at paper-scale event density it
+/// holds ~1 entry). Chosen empirically: finer ticks make every ms-scale
+/// propagation delay cascade through an extra level (cascade `place` calls
+/// dominated the profile at `2^10`); coarser ticks push the sorting work
+/// into the current bucket and stop paying off past ~`2^16`.
+const TICK_SHIFT: u32 = 16;
+/// log2 of slots per level.
+const LEVEL_BITS: u32 = 6;
+/// Slots per wheel level.
+const SLOTS: usize = 1 << LEVEL_BITS;
+/// Wheel levels. `64^6` ticks x 65.5 µs/tick ≈ 52 days of horizon; anything
+/// further out (notably `SimTime::MAX` sentinels) waits in the overflow heap.
+const LEVELS: usize = 6;
+
+#[inline]
+const fn tick_of(t: SimTime) -> u64 {
+    t.as_nanos() >> TICK_SHIFT
+}
+
+/// Fixed-size queue entry: total order by `(time, seq)`; `slot` locates the
 /// event in the slab and never participates in ordering.
 #[derive(Clone, Copy)]
 struct Key {
@@ -69,22 +123,101 @@ impl Ord for Key {
     }
 }
 
+/// Chain-link sentinel: no next/prev entry, or an empty slot head.
+const NIL: u32 = u32::MAX;
+/// `Entry::bucket` value while the entry's key rides `cur` or the overflow
+/// heap (no wheel chain to unlink from).
+const NOT_CHAINED: u32 = u32::MAX;
+/// `Entry::bucket` value for a vacated slab slot (on the free list).
+const FREE: u32 = u32::MAX - 1;
+
+/// One slab slot: the event payload plus everything the wheel needs to
+/// chain, identify, and re-file it. Keys carry `(time, seq)` too, purely so
+/// `cur`/overflow ordering never touches the slab.
+struct Entry<E> {
+    seq: u64,
+    time: SimTime,
+    /// Next entry in this wheel slot's chain (`NIL` at the tail).
+    next: u32,
+    /// Previous entry in the chain (`NIL` at the head) — makes `cancel` an
+    /// O(1) unlink instead of a lazy tombstone.
+    prev: u32,
+    /// Wheel bucket (`level * SLOTS + slot`) this entry is chained in, or
+    /// [`NOT_CHAINED`] / [`FREE`].
+    bucket: u32,
+    /// `None` = tombstone: cancelled while riding `cur`/overflow, reclaimed
+    /// when the key surfaces.
+    event: Option<E>,
+}
+
+/// Handle returned by [`Scheduler::schedule_cancellable_at`]; pass to
+/// [`Scheduler::cancel`]. Stale handles (already fired or cancelled) are
+/// detected by sequence-number mismatch and rejected safely.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimerHandle {
+    slot: u32,
+    seq: u64,
+}
+
+/// Where scheduled events landed and how the slab behaved — the scheduler's
+/// occupancy counters, surfaced per run so fleet-scale memory flatness and
+/// wheel-vs-overflow hit rates are observable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Events that rode the same-instant fast lane.
+    pub lane_scheduled: u64,
+    /// Events that went straight to the current heap (sub-tick horizon).
+    pub cur_scheduled: u64,
+    /// Events placed into a wheel slot (the O(1) fast path).
+    pub wheel_scheduled: u64,
+    /// Events beyond the wheel horizon, parked in the overflow heap.
+    pub overflow_scheduled: u64,
+    /// Keys moved during cascades (slot redistribution as the cursor jumps).
+    pub cascaded: u64,
+    /// Timers removed via [`Scheduler::cancel`].
+    pub cancelled: u64,
+    /// Largest slab size (slots) reached during the run.
+    pub slab_high_watermark: u64,
+}
+
 /// The event queue. Handed to [`World::handle`] so handlers can schedule
 /// follow-up events.
 pub struct Scheduler<E> {
     now: SimTime,
     seq: u64,
-    heap: BinaryHeap<Reverse<Key>>,
-    /// Slab backing the heap: `heap` keys index into here. `None` slots are
-    /// free and listed in `free`.
-    slab: Vec<Option<E>>,
+    /// Wheel cursor, in ticks. Every key in the wheel has `tick > cur_tick`
+    /// and sits at the level of the highest differing 6-bit digit between
+    /// its tick and `cur_tick`; everything at or before `cur_tick` has been
+    /// moved to `cur`.
+    cur_tick: u64,
+    /// Keys whose tick has been reached (plus same-instant cancellable
+    /// schedules), sorted descending so the minimum pops from the end.
+    /// Tiny in practice (~1 entry at paper-scale density), which makes a
+    /// sorted vec strictly cheaper than a heap: push is usually an append,
+    /// pop is `Vec::pop`, peek is `last()`.
+    cur: Vec<Key>,
+    /// `LEVELS x SLOTS` wheel slots, flattened: each is the head of an
+    /// intrusive chain through the slab (`NIL` = empty).
+    heads: Vec<u32>,
+    /// Per-level occupancy bitmap: bit `s` set iff the chain at
+    /// `heads[level*SLOTS+s]` is non-empty.
+    occupied: [u64; LEVELS],
+    /// Keys beyond the wheel horizon, ordered by `(time, seq)`.
+    overflow: BinaryHeap<Reverse<Key>>,
+    /// Slab backing the queue: keys and chains index into here. Free slots
+    /// are marked [`FREE`] and listed in `free`; trailing free entries are
+    /// truncated so bursts don't pin memory.
+    slab: Vec<Entry<E>>,
     free: Vec<u32>,
+    /// Live (not cancelled) slab entries; `pending()` = this + lane length.
+    live: usize,
     /// Fast lane for events scheduled at exactly `now`; entries are
     /// `(seq, event)` and their timestamp is implicitly `now`.
     lane: VecDeque<(u64, E)>,
     /// Number of `schedule_at` calls that targeted the past (see the
     /// [`Scheduler::schedule_at`] contract).
     past_schedules: u64,
+    stats: SchedStats,
 }
 
 impl<E> Scheduler<E> {
@@ -92,11 +225,17 @@ impl<E> Scheduler<E> {
         Scheduler {
             now: SimTime::ZERO,
             seq: 0,
-            heap: BinaryHeap::new(),
+            cur_tick: 0,
+            cur: Vec::new(),
+            heads: vec![NIL; LEVELS * SLOTS],
+            occupied: [0; LEVELS],
+            overflow: BinaryHeap::new(),
             slab: Vec::new(),
             free: Vec::new(),
+            live: 0,
             lane: VecDeque::new(),
             past_schedules: 0,
+            stats: SchedStats::default(),
         }
     }
 
@@ -104,6 +243,19 @@ impl<E> Scheduler<E> {
     #[inline]
     pub fn now(&self) -> SimTime {
         self.now
+    }
+
+    /// Occupancy counters for this run.
+    #[inline]
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// Current slab size in slots (shrinks after bursts; the peak is
+    /// [`SchedStats::slab_high_watermark`]).
+    #[inline]
+    pub fn slab_len(&self) -> usize {
+        self.slab.len()
     }
 
     /// Schedule `event` at absolute time `at`.
@@ -128,26 +280,18 @@ impl<E> Scheduler<E> {
         let seq = self.seq;
         self.seq += 1;
         if at == self.now {
-            // Fast lane: no heap traffic for same-instant delivery.
+            // Fast lane: no wheel traffic for same-instant delivery.
+            self.stats.lane_scheduled += 1;
             self.lane.push_back((seq, event));
             return;
         }
-        let slot = match self.free.pop() {
-            Some(s) => {
-                self.slab[s as usize] = Some(event);
-                s
-            }
-            None => {
-                let s = self.slab.len() as u32;
-                self.slab.push(Some(event));
-                s
-            }
-        };
-        self.heap.push(Reverse(Key {
+        let slot = self.alloc_slot(seq, at, event);
+        self.live += 1;
+        self.place_counted(Key {
             time: at,
             seq,
             slot,
-        }));
+        });
     }
 
     /// Schedule `event` after `delay`.
@@ -161,18 +305,79 @@ impl<E> Scheduler<E> {
     }
 
     /// Schedule `event` at exactly the current instant. It fires after all
-    /// already-scheduled events at `now` (FIFO), without touching the heap.
+    /// already-scheduled events at `now` (FIFO), without touching the wheel.
     #[inline]
     pub fn schedule_now(&mut self, event: E) {
         let seq = self.seq;
         self.seq += 1;
+        self.stats.lane_scheduled += 1;
         self.lane.push_back((seq, event));
+    }
+
+    /// Like [`Scheduler::schedule_at`], but returns a [`TimerHandle`] that
+    /// can later be passed to [`Scheduler::cancel`]. Past timestamps clamp
+    /// to `now` under the same contract as `schedule_at`. Cancellable
+    /// same-instant events keep their FIFO position relative to other
+    /// schedules (they order by sequence number like everything else).
+    pub fn schedule_cancellable_at(&mut self, at: SimTime, event: E) -> TimerHandle {
+        let at = if at < self.now {
+            self.past_schedules += 1;
+            self.now
+        } else {
+            at
+        };
+        let seq = self.seq;
+        self.seq += 1;
+        let slot = self.alloc_slot(seq, at, event);
+        self.live += 1;
+        let key = Key {
+            time: at,
+            seq,
+            slot,
+        };
+        if at == self.now {
+            // Must stay poppable this instant: the lane is append-only FIFO
+            // and cannot host a removable entry, so ride the current bucket.
+            // `time == now` is ≤ every other pending event, so the bucket
+            // invariant (cur minimum ≤ wheel minimum) is preserved.
+            self.stats.cur_scheduled += 1;
+            Self::cur_push(&mut self.cur, key);
+        } else {
+            self.place_counted(key);
+        }
+        TimerHandle { slot, seq }
+    }
+
+    /// Cancellable version of [`Scheduler::schedule_in`].
+    #[inline]
+    pub fn schedule_cancellable_in(&mut self, delay: SimDuration, event: E) -> TimerHandle {
+        self.schedule_cancellable_at(self.now + delay, event)
+    }
+
+    /// Cancel a pending timer, returning its event. Returns `None` if the
+    /// timer already fired or was already cancelled. O(1): a wheel-chained
+    /// timer is unlinked and its slot freed immediately; one riding
+    /// `cur`/overflow is tombstoned and reclaimed when its key surfaces.
+    pub fn cancel(&mut self, handle: TimerHandle) -> Option<E> {
+        let entry = self.slab.get_mut(handle.slot as usize)?;
+        if entry.seq != handle.seq || entry.event.is_none() {
+            return None; // already fired, cancelled, or slot recycled
+        }
+        let event = entry.event.take().unwrap();
+        let bucket = entry.bucket;
+        self.live -= 1;
+        self.stats.cancelled += 1;
+        if bucket != NOT_CHAINED {
+            self.unlink(handle.slot, bucket);
+            self.release_slot(handle.slot);
+        }
+        Some(event)
     }
 
     /// Number of pending events.
     #[inline]
     pub fn pending(&self) -> usize {
-        self.lane.len() + self.heap.len()
+        self.lane.len() + self.live
     }
 
     /// How many times an event was scheduled into the past (and clamped to
@@ -183,41 +388,319 @@ impl<E> Scheduler<E> {
         self.past_schedules
     }
 
-    /// Timestamp of the next pending event, if any.
+    /// Timestamp of the next pending event, if any. Takes `&mut self`
+    /// because peeking may advance the wheel cursor and discard cancelled
+    /// keys; the answer is exact (never a bucket approximation).
     #[inline]
-    pub fn peek_time(&self) -> Option<SimTime> {
-        // Lane entries are at `now`, which never exceeds any heap entry's
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        if !self.prepare() {
+            return None;
+        }
+        // Lane entries are at `now`, which never exceeds any queued entry's
         // timestamp, so a non-empty lane decides.
         if !self.lane.is_empty() {
-            Some(self.now)
-        } else {
-            self.heap.peek().map(|&Reverse(k)| k.time)
+            return Some(self.now);
         }
+        self.cur.last().map(|k| k.time)
     }
 
     /// Remove and return the next event in `(time, seq)` order.
     fn pop(&mut self) -> Option<(SimTime, E)> {
-        let from_lane = match (self.lane.front(), self.heap.peek()) {
-            (Some(&(lane_seq, _)), Some(&Reverse(k))) => {
-                // Same-timestamp heap entries were scheduled at an earlier
-                // instant and carry smaller seqs; later heap entries lose
+        self.pop_next_before(None)
+    }
+
+    /// Fused peek+pop: remove and return the next event in `(time, seq)`
+    /// order, or `None` (leaving it pending) if its timestamp is at or past
+    /// `until`. One `prepare` serves both the bound check and the pop —
+    /// this is the engine's per-event fast path.
+    fn pop_next_before(&mut self, until: Option<SimTime>) -> Option<(SimTime, E)> {
+        if !self.prepare() {
+            return None;
+        }
+        let from_lane = match (self.lane.front(), self.cur.last()) {
+            (Some(&(lane_seq, _)), Some(k)) => {
+                // Same-timestamp queued entries were scheduled at an earlier
+                // instant and carry smaller seqs; later queued entries lose
                 // on time. The comparison keeps ordering airtight even so.
                 k.time > self.now || k.seq > lane_seq
             }
             (Some(_), None) => true,
             (None, Some(_)) => false,
-            (None, None) => return None,
+            (None, None) => unreachable!("prepare() returned true on empty queue"),
         };
         if from_lane {
+            if until.is_some_and(|u| self.now >= u) {
+                return None;
+            }
             let (_, event) = self.lane.pop_front().expect("lane front vanished");
             Some((self.now, event))
         } else {
-            let Reverse(k) = self.heap.pop().expect("heap top vanished");
-            let event = self.slab[k.slot as usize].take().expect("slab slot empty");
-            self.free.push(k.slot);
+            let k = *self.cur.last().expect("cur minimum vanished");
+            if until.is_some_and(|u| k.time >= u) {
+                return None;
+            }
+            self.cur.pop();
+            let event = self.slab[k.slot as usize]
+                .event
+                .take()
+                .expect("slab slot empty");
+            self.live -= 1;
+            self.release_slot(k.slot);
             Some((k.time, event))
         }
     }
+
+    /// Ensure the earliest *non-lane* pending event is live at the end of
+    /// `cur` (the lane cannot be short-circuited: a wheel entry may share
+    /// `time == now` with a larger-seq lane entry and must fire first).
+    /// Returns `false` iff nothing at all is pending.
+    fn prepare(&mut self) -> bool {
+        loop {
+            // Reclaim tombstones (cancelled while riding `cur`) as they
+            // surface. A key in `cur` always references its own entry — the
+            // slot cannot have been recycled while the key was live here.
+            while let Some(k) = self.cur.last() {
+                let entry = &self.slab[k.slot as usize];
+                debug_assert_eq!(entry.seq, k.seq, "cur key references recycled slot");
+                if entry.event.is_some() {
+                    break;
+                }
+                let slot = k.slot;
+                self.cur.pop();
+                self.release_slot(slot);
+            }
+            if !self.cur.is_empty() {
+                return true;
+            }
+            if !self.advance() {
+                return !self.lane.is_empty();
+            }
+        }
+    }
+
+    /// Jump the wheel cursor to the earliest pending tick and move that
+    /// tick's keys into `cur`. Returns `false` iff wheel and overflow are
+    /// both empty. May deposit cancelled keys into `cur`; `prepare` filters.
+    fn advance(&mut self) -> bool {
+        loop {
+            let Some(level) = (0..LEVELS).find(|&l| self.occupied[l] != 0) else {
+                // Wheel empty: jump straight to the overflow's earliest tick
+                // and collect every overflow key sharing it.
+                let Some(&Reverse(first)) = self.overflow.peek() else {
+                    return false;
+                };
+                let t = tick_of(first.time);
+                self.cur_tick = t;
+                while let Some(&Reverse(k)) = self.overflow.peek() {
+                    if tick_of(k.time) != t {
+                        break;
+                    }
+                    let Reverse(k) = self.overflow.pop().unwrap();
+                    if self.slab[k.slot as usize].event.is_none() {
+                        // Tombstone (cancelled while in overflow): reclaim.
+                        self.release_slot(k.slot);
+                    } else {
+                        Self::cur_push(&mut self.cur, k);
+                    }
+                }
+                return true;
+            };
+            let shift = level as u32 * LEVEL_BITS;
+            let pos = ((self.cur_tick >> shift) & (SLOTS as u64 - 1)) as u32;
+            let rel = self.occupied[level] >> pos;
+            // The cursor's own slot is empty at every level (a key there
+            // would have tick == cur_tick's digit, i.e. a lower level).
+            debug_assert!(rel & 1 == 0, "key parked at the wheel cursor");
+            let slot = pos + rel.trailing_zeros();
+            // Base tick of that slot: cursor digits above `level`, `slot` at
+            // `level`, zero below.
+            let base = (self.cur_tick & !(((1u64) << (shift + LEVEL_BITS)) - 1))
+                | ((slot as u64) << shift);
+            // An overflow key may precede the wheel's candidate when the
+            // cursor has moved close enough for it to fit in the horizon;
+            // fold it in first and re-run the search.
+            if let Some(&Reverse(k)) = self.overflow.peek() {
+                if tick_of(k.time) <= base {
+                    let Reverse(k) = self.overflow.pop().unwrap();
+                    if self.slab[k.slot as usize].event.is_none() {
+                        self.release_slot(k.slot); // tombstone
+                    } else {
+                        self.place(k);
+                    }
+                    continue;
+                }
+            }
+            self.occupied[level] &= !(1u64 << slot);
+            self.cur_tick = base;
+            let idx = level * SLOTS + slot as usize;
+            // Walk the chain. Every chained entry is live (cancel unlinks
+            // wheel entries eagerly), and `place`/`cur_push` rewrite the
+            // links, so the successor is read before re-filing each node.
+            let mut s = self.heads[idx];
+            self.heads[idx] = NIL;
+            if level == 0 {
+                // Every entry in a level-0 slot shares the slot's exact tick.
+                while s != NIL {
+                    let e = &mut self.slab[s as usize];
+                    let nxt = e.next;
+                    e.bucket = NOT_CHAINED;
+                    let k = Key {
+                        time: e.time,
+                        seq: e.seq,
+                        slot: s,
+                    };
+                    Self::cur_push(&mut self.cur, k);
+                    s = nxt;
+                }
+                return true;
+            }
+            // Cascade: redistribute the chain to lower levels (or to `cur`
+            // for entries landing exactly on the new cursor tick).
+            while s != NIL {
+                let e = &self.slab[s as usize];
+                let nxt = e.next;
+                let k = Key {
+                    time: e.time,
+                    seq: e.seq,
+                    slot: s,
+                };
+                self.place(k);
+                self.stats.cascaded += 1;
+                s = nxt;
+            }
+            if !self.cur.is_empty() {
+                return true;
+            }
+        }
+    }
+
+    /// Insert into the descending-sorted `cur` bucket. New keys are usually
+    /// the new minimum (appended); ties and stragglers binary-search.
+    #[inline]
+    fn cur_push(cur: &mut Vec<Key>, k: Key) {
+        match cur.last() {
+            Some(&last) if k > last => {
+                let idx = cur.partition_point(|x| *x > k);
+                cur.insert(idx, k);
+            }
+            _ => cur.push(k),
+        }
+    }
+
+    /// File a key by its tick relative to the cursor: reached ticks go to
+    /// `cur`, in-horizon ticks onto the chain of the level of the highest
+    /// differing digit, the rest to overflow.
+    #[inline]
+    fn place(&mut self, k: Key) -> Placed {
+        let t = tick_of(k.time);
+        if t <= self.cur_tick {
+            self.slab[k.slot as usize].bucket = NOT_CHAINED;
+            Self::cur_push(&mut self.cur, k);
+            return Placed::Cur;
+        }
+        let diff = t ^ self.cur_tick;
+        let level = ((63 - diff.leading_zeros()) / LEVEL_BITS) as usize;
+        if level >= LEVELS {
+            self.slab[k.slot as usize].bucket = NOT_CHAINED;
+            self.overflow.push(Reverse(k));
+            return Placed::Overflow;
+        }
+        let slot = ((t >> (level as u32 * LEVEL_BITS)) & (SLOTS as u64 - 1)) as usize;
+        let idx = level * SLOTS + slot;
+        let head = self.heads[idx];
+        let e = &mut self.slab[k.slot as usize];
+        e.next = head;
+        e.prev = NIL;
+        e.bucket = idx as u32;
+        if head != NIL {
+            self.slab[head as usize].prev = k.slot;
+        }
+        self.heads[idx] = k.slot;
+        self.occupied[level] |= 1u64 << slot;
+        Placed::Wheel
+    }
+
+    /// Remove a wheel-chained entry from its slot chain in O(1), clearing
+    /// the occupancy bit when the chain empties.
+    fn unlink(&mut self, slot: u32, bucket: u32) {
+        let (prev, next) = {
+            let e = &self.slab[slot as usize];
+            (e.prev, e.next)
+        };
+        if prev != NIL {
+            self.slab[prev as usize].next = next;
+        } else {
+            self.heads[bucket as usize] = next;
+            if next == NIL {
+                let level = bucket as usize / SLOTS;
+                self.occupied[level] &= !(1u64 << (bucket as usize % SLOTS));
+            }
+        }
+        if next != NIL {
+            self.slab[next as usize].prev = prev;
+        }
+    }
+
+    #[inline]
+    fn place_counted(&mut self, k: Key) {
+        match self.place(k) {
+            Placed::Cur => self.stats.cur_scheduled += 1,
+            Placed::Wheel => self.stats.wheel_scheduled += 1,
+            Placed::Overflow => self.stats.overflow_scheduled += 1,
+        }
+    }
+
+    fn alloc_slot(&mut self, seq: u64, time: SimTime, event: E) -> u32 {
+        let entry = Entry {
+            seq,
+            time,
+            next: NIL,
+            prev: NIL,
+            bucket: NOT_CHAINED,
+            event: Some(event),
+        };
+        while let Some(s) = self.free.pop() {
+            // Truncation may have orphaned free-list entries; `release_slot`
+            // purges them, so this guard is belt-and-braces.
+            if (s as usize) < self.slab.len() {
+                debug_assert_eq!(self.slab[s as usize].bucket, FREE);
+                self.slab[s as usize] = entry;
+                return s;
+            }
+        }
+        let s = self.slab.len() as u32;
+        self.slab.push(entry);
+        if self.slab.len() as u64 > self.stats.slab_high_watermark {
+            self.stats.slab_high_watermark = self.slab.len() as u64;
+        }
+        s
+    }
+
+    /// Return a slab slot to the pool. When the slab is large and mostly
+    /// dead (a drained burst), the trailing `None` run is truncated so the
+    /// peak size is not pinned forever; free-list indices past the new
+    /// length are purged (they would otherwise alias re-grown slots). The
+    /// occupancy gate keeps compaction off the steady-state hot path.
+    fn release_slot(&mut self, slot: u32) {
+        self.slab[slot as usize].bucket = FREE;
+        self.free.push(slot);
+        if self.slab.len() >= 64
+            && self.live * 2 <= self.slab.len()
+            && self.slab.last().is_some_and(|e| e.bucket == FREE)
+        {
+            while self.slab.last().is_some_and(|e| e.bucket == FREE) {
+                self.slab.pop();
+            }
+            let len = self.slab.len();
+            self.free.retain(|&s| (s as usize) < len);
+        }
+    }
+}
+
+enum Placed {
+    Cur,
+    Wheel,
+    Overflow,
 }
 
 /// Drives a [`World`] through simulated time.
@@ -256,6 +739,11 @@ impl<W: World> Engine<W> {
         self.sched.past_schedules
     }
 
+    /// Scheduler occupancy counters (see [`SchedStats`]).
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched.stats
+    }
+
     /// Run until the queue is empty or simulated time would exceed `until`.
     ///
     /// Events with timestamp exactly `until` are **not** delivered, so
@@ -263,11 +751,7 @@ impl<W: World> Engine<W> {
     /// `[start, until)`. On return the clock rests at `until` (or at the last
     /// event time if the queue drained first).
     pub fn run_until(&mut self, world: &mut W, until: SimTime) {
-        while let Some(t) = self.sched.peek_time() {
-            if t >= until {
-                break;
-            }
-            let (time, event) = self.sched.pop().expect("peeked entry vanished");
+        while let Some((time, event)) = self.sched.pop_next_before(Some(until)) {
             self.sched.now = time;
             self.events_processed += 1;
             world.handle(event, &mut self.sched);
@@ -316,7 +800,7 @@ mod tests {
         /// Schedules `Tag(n)` `k` more times at 1 ms intervals.
         Repeat(u32, u32),
         /// Schedules `Tag(n)` at the current instant (fast lane), then
-        /// `Tag(n + 1)` 1 ms out (heap).
+        /// `Tag(n + 1)` 1 ms out (wheel).
         NowAndLater(u32),
     }
 
@@ -370,13 +854,13 @@ mod tests {
 
     #[test]
     fn fast_lane_interleaves_fifo_with_heap_entries() {
-        // Heap entries at the same timestamp (scheduled earlier) must fire
+        // Queued entries at the same timestamp (scheduled earlier) must fire
         // before lane entries (scheduled during that instant's handling).
         let mut w = Recorder { log: vec![] };
         let mut eng = Engine::new();
         let t = SimTime::from_millis(5);
         eng.scheduler().schedule_at(t, Ev::NowAndLater(10)); // fires first at t
-        eng.scheduler().schedule_at(t, Ev::Tag(20)); // heap peer at t
+        eng.scheduler().schedule_at(t, Ev::Tag(20)); // queued peer at t
         eng.run_to_completion(&mut w);
         let tags: Vec<u32> = w.log.iter().map(|&(_, n)| n).collect();
         // NowAndLater(10) logs 10, schedules Tag(10) in the lane; Tag(20)
@@ -394,8 +878,13 @@ mod tests {
         eng.run_to_completion(&mut w);
         let tags: Vec<u32> = w.log.iter().map(|&(_, n)| n).collect();
         assert_eq!(tags, (0..50).collect::<Vec<_>>());
-        // All lane traffic: the heap was never touched.
-        assert_eq!(eng.scheduler().heap.len(), 0);
+        // All lane traffic: the wheel was never touched.
+        let stats = eng.scheduler().stats();
+        assert_eq!(stats.lane_scheduled, 50);
+        assert_eq!(
+            stats.cur_scheduled + stats.wheel_scheduled + stats.overflow_scheduled,
+            0
+        );
     }
 
     #[test]
@@ -500,9 +989,152 @@ mod tests {
         }
         assert_eq!(w.log.len(), 1000);
         assert!(
-            eng.scheduler().slab.len() <= 2,
+            eng.scheduler().slab_len() <= 2,
             "slab grew to {} slots for serial traffic",
-            eng.scheduler().slab.len()
+            eng.scheduler().slab_len()
         );
+    }
+
+    #[test]
+    fn slab_shrinks_after_a_burst() {
+        let mut w = Recorder { log: vec![] };
+        let mut eng = Engine::new();
+        // A 10k-event burst inflates the slab; after delivery it must
+        // contract instead of pinning the peak forever.
+        for i in 0..10_000u64 {
+            eng.scheduler()
+                .schedule_at(SimTime::from_millis(1 + i), Ev::Tag(i as u32));
+        }
+        eng.run_to_completion(&mut w);
+        assert_eq!(w.log.len(), 10_000);
+        assert_eq!(eng.sched_stats().slab_high_watermark, 10_000);
+        assert!(
+            eng.scheduler().slab_len() <= 2,
+            "slab stayed at {} slots after the burst drained",
+            eng.scheduler().slab_len()
+        );
+        // Post-burst traffic reuses low slots without re-inflating.
+        for i in 0..100u64 {
+            eng.scheduler()
+                .schedule_at(SimTime::from_secs(20 + i), Ev::Tag(i as u32));
+            eng.run_until(&mut w, SimTime::from_secs(21 + i));
+        }
+        assert!(eng.scheduler().slab_len() <= 2);
+    }
+
+    #[test]
+    fn far_future_events_ride_the_overflow_heap() {
+        let mut w = Recorder { log: vec![] };
+        let mut eng = Engine::new();
+        // Beyond the ~52-day wheel horizon (2^52 ns ≈ 4.5e6 s).
+        eng.scheduler()
+            .schedule_at(SimTime::from_secs(5_000_000), Ev::Tag(2));
+        eng.scheduler()
+            .schedule_at(SimTime::from_secs(10_000_000), Ev::Tag(3));
+        eng.scheduler()
+            .schedule_at(SimTime::from_secs(1), Ev::Tag(1));
+        let stats = eng.scheduler().stats();
+        assert_eq!(stats.overflow_scheduled, 2);
+        assert_eq!(stats.wheel_scheduled, 1);
+        eng.run_to_completion(&mut w);
+        let tags: Vec<u32> = w.log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(tags, vec![1, 2, 3]);
+        assert_eq!(w.log[2].0, SimTime::from_secs(10_000_000));
+    }
+
+    #[test]
+    fn max_timers_park_without_firing_before_real_events() {
+        let mut w = Recorder { log: vec![] };
+        let mut eng = Engine::new();
+        eng.scheduler().schedule_at(SimTime::MAX, Ev::Tag(99));
+        eng.scheduler()
+            .schedule_at(SimTime::from_millis(1), Ev::Tag(1));
+        eng.run_until(&mut w, SimTime::from_secs(1));
+        assert_eq!(w.log.len(), 1);
+        assert_eq!(eng.scheduler().pending(), 1); // the MAX sentinel waits
+    }
+
+    #[test]
+    fn cancel_removes_a_pending_timer() {
+        let mut w = Recorder { log: vec![] };
+        let mut eng = Engine::new();
+        let h = eng
+            .scheduler()
+            .schedule_cancellable_at(SimTime::from_millis(10), Ev::Tag(1));
+        eng.scheduler()
+            .schedule_at(SimTime::from_millis(20), Ev::Tag(2));
+        assert_eq!(eng.scheduler().pending(), 2);
+        assert!(matches!(eng.scheduler().cancel(h), Some(Ev::Tag(1))));
+        assert_eq!(eng.scheduler().pending(), 1);
+        // Double-cancel is a safe no-op.
+        assert!(eng.scheduler().cancel(h).is_none());
+        eng.run_to_completion(&mut w);
+        let tags: Vec<u32> = w.log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(tags, vec![2]);
+        assert_eq!(eng.sched_stats().cancelled, 1);
+    }
+
+    #[test]
+    fn stale_handle_does_not_cancel_a_recycled_slot() {
+        let mut w = Recorder { log: vec![] };
+        let mut eng = Engine::new();
+        let h = eng
+            .scheduler()
+            .schedule_cancellable_at(SimTime::from_millis(1), Ev::Tag(1));
+        eng.run_until(&mut w, SimTime::from_millis(5)); // fires; slot freed
+                                                        // A new timer re-uses the slot; the old handle must not kill it.
+        let _h2 = eng
+            .scheduler()
+            .schedule_cancellable_at(SimTime::from_millis(10), Ev::Tag(2));
+        assert!(eng.scheduler().cancel(h).is_none());
+        eng.run_to_completion(&mut w);
+        let tags: Vec<u32> = w.log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(tags, vec![1, 2]);
+    }
+
+    #[test]
+    fn cancellable_same_instant_keeps_fifo_order() {
+        // A cancellable event scheduled at `now` rides the current heap, not
+        // the lane — its seq must still interleave FIFO with lane entries.
+        struct W2 {
+            log: Vec<u32>,
+        }
+        impl World for W2 {
+            type Event = u32;
+            fn handle(&mut self, event: u32, sched: &mut Scheduler<u32>) {
+                self.log.push(event);
+                if event == 1 {
+                    let _ = sched.schedule_cancellable_at(sched.now(), 2); // seq before 3
+                    sched.schedule_now(3);
+                }
+            }
+        }
+        let mut w = W2 { log: vec![] };
+        let mut eng = Engine::new();
+        eng.scheduler().schedule_at(SimTime::from_millis(1), 1u32);
+        eng.run_to_completion(&mut w);
+        assert_eq!(w.log, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn wheel_preserves_order_across_tick_boundaries() {
+        // Sub-tick spacing (a tick is 1.024 µs): events landing in the same
+        // tick and adjacent ticks must still deliver in exact time order.
+        let mut w = Recorder { log: vec![] };
+        let mut eng = Engine::new();
+        let times = [
+            1u64, 1023, 1024, 1025, 2047, 2048, 5000, 100_000, 1_000_000, 1_000_001,
+        ];
+        // Schedule in reverse to rule out insertion-order luck.
+        for (i, &ns) in times.iter().enumerate().rev() {
+            eng.scheduler()
+                .schedule_at(SimTime::from_nanos(ns), Ev::Tag(i as u32));
+        }
+        eng.run_to_completion(&mut w);
+        let tags: Vec<u32> = w.log.iter().map(|&(_, n)| n).collect();
+        assert_eq!(tags, (0..times.len() as u32).collect::<Vec<_>>());
+        for (i, &ns) in times.iter().enumerate() {
+            assert_eq!(w.log[i].0, SimTime::from_nanos(ns));
+        }
     }
 }

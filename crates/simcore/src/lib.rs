@@ -35,7 +35,7 @@ pub mod time;
 pub mod units;
 
 pub use checks::{Checks, Violation};
-pub use engine::{Engine, Scheduler, World};
+pub use engine::{Engine, SchedStats, Scheduler, TimerHandle, World};
 pub use rng::{derive_seed, SimRng};
 pub use telemetry::{Recorder, TelemetryConfig, TelemetryEvent};
 pub use time::{SimDuration, SimTime};

@@ -112,6 +112,12 @@ pub fn mean_ci95(samples: &[f64]) -> (f64, f64) {
 pub struct TimeBinned {
     width: SimDuration,
     bins: Vec<f64>,
+    /// Start of the bin the last `add` landed in. Simulation time is nearly
+    /// monotone, so almost every `add` hits the same bin as its predecessor
+    /// and the range test below replaces a 64-bit division on a path that
+    /// runs for every sent and delivered packet.
+    cached_start: u64,
+    cached_idx: usize,
 }
 
 impl TimeBinned {
@@ -124,6 +130,8 @@ impl TimeBinned {
         TimeBinned {
             width,
             bins: Vec::new(),
+            cached_start: 0,
+            cached_idx: 0,
         }
     }
 
@@ -134,7 +142,18 @@ impl TimeBinned {
 
     /// Add `amount` to the bin containing `at`.
     pub fn add(&mut self, at: SimTime, amount: f64) {
-        let idx = (at.as_nanos() / self.width.as_nanos()) as usize;
+        let t = at.as_nanos();
+        let w = self.width.as_nanos();
+        // The cached bin covers `[cached_start, cached_start + width)`;
+        // dividing only on a bin change keeps the result bit-identical.
+        let idx = if t.wrapping_sub(self.cached_start) < w {
+            self.cached_idx
+        } else {
+            let idx = (t / w) as usize;
+            self.cached_start = idx as u64 * w;
+            self.cached_idx = idx;
+            idx
+        };
         if idx >= self.bins.len() {
             self.bins.resize(idx + 1, 0.0);
         }

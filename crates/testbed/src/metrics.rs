@@ -188,6 +188,7 @@ mod tests {
             encoder_rate_mean: 0.0,
             events_processed: 0,
             past_clamps: 0,
+            sched: Default::default(),
             checks_performed: 0,
             telemetry: Default::default(),
             wall_secs: 0.0,

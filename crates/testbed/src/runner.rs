@@ -14,7 +14,7 @@ use gsrepro_gamestream::server::StreamServer;
 use gsrepro_netsim::apps::PingAgent;
 use gsrepro_simcore::stats::Samples;
 use gsrepro_simcore::telemetry::Counters;
-use gsrepro_simcore::{SimDuration, SimTime, TelemetryConfig};
+use gsrepro_simcore::{SchedStats, SimDuration, SimTime, TelemetryConfig};
 use gsrepro_tcp::TcpSender;
 
 use crate::config::Condition;
@@ -55,6 +55,10 @@ pub struct RunResult {
     pub events_processed: u64,
     /// Events scheduled in the past and clamped to "now" by the engine.
     pub past_clamps: u64,
+    /// Scheduler occupancy counters (deterministic per seed): where events
+    /// landed (lane/cur/wheel/overflow), cascade volume, cancels, and the
+    /// event-slab high-watermark.
+    pub sched: SchedStats,
     /// Invariant-oracle evaluations performed (0 when checks are off). A
     /// run that returns at all had zero violations — a violated oracle
     /// panics with a structured report instead of completing — so this
@@ -283,6 +287,7 @@ pub fn run_condition_full(
     let wall_secs = started.elapsed().as_secs_f64();
     let events_processed = tb.sim.events_processed();
     let past_clamps = tb.sim.past_clamps();
+    let sched = tb.sim.sched_stats();
     let checks_performed = tb.sim.net.checks().performed();
 
     let monitor = tb.sim.net.monitor();
@@ -386,6 +391,7 @@ pub fn run_condition_full(
         encoder_rate_mean,
         events_processed,
         past_clamps,
+        sched,
         checks_performed,
         telemetry,
         wall_secs,
