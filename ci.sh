@@ -58,4 +58,47 @@ if [ "$measured" -lt "$floor" ]; then
     exit 1
 fi
 
+echo "== fleet smoke gate (forced kill/resume must be bit-identical)"
+# A tiny campaign run three ways: (a) straight through, (b) halted after 2
+# shards with a checkpoint manifest, (c) resumed from that manifest. The
+# aggregate digest — an exact hash over every per-condition sketch — must
+# match between (a) and (c), which is the fleet engine's whole contract.
+fleet_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$scenario_dir" "$perf_out" "$fleet_dir"' EXIT
+fleet() { cargo run --release -q -p gsrepro-bench --bin fleet -- --smoke --threads 2 "$@"; }
+fleet --csv "$fleet_dir/straight.json"
+if fleet --csv "$fleet_dir/halted.json" --manifest "$fleet_dir/fleet.manifest" \
+    --halt-after-shards 2; then
+    echo "halted fleet run must exit non-zero" >&2; exit 1
+fi
+fleet --csv "$fleet_dir/resumed.json" --manifest "$fleet_dir/fleet.manifest"
+digest() { sed -n 's/^  "digest": "\([0-9a-f]*\)",$/\1/p' "$1"; }
+d_straight="$(digest "$fleet_dir/straight.json")"
+d_resumed="$(digest "$fleet_dir/resumed.json")"
+echo "fleet gate: straight ${d_straight}, resumed ${d_resumed}"
+if [ -z "$d_straight" ] || [ "$d_straight" != "$d_resumed" ]; then
+    echo "fleet gate FAILED: resumed aggregates differ from uninterrupted run" >&2
+    exit 1
+fi
+# Schema sanity: the resumed JSON must carry the headline keys ci and the
+# README document.
+for key in '"schema": 1' '"sessions_per_sec"' '"p99"' '"never_response_frac"'; do
+    grep -q "$key" "$fleet_dir/resumed.json" || {
+        echo "fleet gate FAILED: BENCH_fleet.json is missing $key" >&2; exit 1; }
+done
+# Throughput floor vs the committed fleet headline, with the same generous
+# margin logic as the perf gate (smoke sessions are shorter than the
+# committed 100k-session sweep's, so only guard against collapse: >70%
+# below the committed sessions/s fails).
+if [ -f BENCH_fleet.json ]; then
+    committed_sps="$(sed -n 's/^  "sessions_per_sec": \([0-9]*\)\..*,$/\1/p' BENCH_fleet.json | head -n1)"
+    measured_sps="$(sed -n 's/^  "sessions_per_sec": \([0-9]*\)\..*,$/\1/p' "$fleet_dir/resumed.json" | head -n1)"
+    floor_sps=$(( committed_sps * 3 / 10 ))
+    echo "fleet gate: measured ${measured_sps} sessions/s, committed ${committed_sps}, floor ${floor_sps}"
+    if [ "$measured_sps" -lt "$floor_sps" ]; then
+        echo "fleet gate FAILED: campaign throughput collapsed vs committed BENCH_fleet.json" >&2
+        exit 1
+    fi
+fi
+
 echo "CI OK"

@@ -1,0 +1,268 @@
+//! Fleet-scale campaign bench: sweep ≥ 100k seeded streaming sessions
+//! through the simulator with flat memory, streaming every session into
+//! bounded per-condition percentile sketches, and checkpointing shard
+//! progress to a resumable manifest.
+//!
+//! The sweep covers the paper's central contested bottleneck (25 Mb/s,
+//! 2× BDP queue) for all three systems against both competitor CCAs —
+//! 6 conditions, `sessions / 6` seeded iterations each — on a scaled
+//! timeline so a single machine can push through fleet-sized session
+//! counts. Emits schema-versioned `BENCH_fleet.json` with per-condition
+//! mean/σ/p50/p95/p99 for encoder rate, goodput, RTT, fps, loss and
+//! settle times, plus the `sessions_per_sec` headline `ci.sh`'s fleet
+//! gate tracks, and prints an `aggregate digest` line the resume gate
+//! compares across kill/resume splits.
+//!
+//! Usage: `cargo run --release -p gsrepro-bench --bin fleet --
+//!   [--sessions N] [--smoke] [--scale F] [--shard-size N] [--threads N]
+//!   [--manifest PATH] [--halt-after-shards K] [--checks] [--csv PATH]`
+//!
+//! `--manifest` enables checkpoint/resume: re-running the same command
+//! after a kill continues where the sweep stopped and produces aggregates
+//! bit-identical to an uninterrupted run. `--halt-after-shards` stops
+//! early on purpose (CI uses it to force a resume). `--csv` overrides the
+//! JSON output path.
+
+use std::path::PathBuf;
+
+use gsrepro_bench::maybe_write_csv;
+use gsrepro_gamestream::SystemKind;
+use gsrepro_tcp::CcaKind;
+use gsrepro_testbed::campaign::{run_campaign, CampaignSpec, CondAggregate, METRICS};
+use gsrepro_testbed::config::{Condition, Timeline};
+use gsrepro_testbed::report::percentile_table;
+
+/// Bump when the JSON layout changes shape (consumers: ci.sh).
+const SCHEMA: u32 = 1;
+
+const FLAGS: &str = "flags: --sessions N | --smoke | --scale F | --shard-size N | --threads N | \
+                     --manifest PATH | --halt-after-shards K | --checks | --csv PATH";
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("{FLAGS}");
+    std::process::exit(2);
+}
+
+struct FleetArgs {
+    sessions: u64,
+    scale: f64,
+    shard_size: u32,
+    threads: usize,
+    manifest: Option<PathBuf>,
+    halt_after_shards: Option<usize>,
+    checks: bool,
+    csv: Option<String>,
+}
+
+fn parse_fleet_args() -> FleetArgs {
+    let mut fa = FleetArgs {
+        sessions: 100_002, // divisible by the 6 conditions
+        scale: 0.02,
+        shard_size: 64,
+        threads: gsrepro_testbed::runner::default_threads(),
+        manifest: None,
+        halt_after_shards: None,
+        checks: false,
+        csv: None,
+    };
+    let mut args = std::env::args().skip(1);
+    let next = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next()
+            .unwrap_or_else(|| usage_error(&format!("{flag} needs a value")))
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--sessions" => {
+                fa.sessions = next(&mut args, "--sessions")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--sessions must be a positive integer"));
+                if fa.sessions == 0 {
+                    usage_error("--sessions must be at least 1");
+                }
+            }
+            "--smoke" => {
+                fa.sessions = 60;
+                fa.shard_size = 4;
+            }
+            "--scale" => {
+                fa.scale = next(&mut args, "--scale")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--scale must be a float in (0, 1]"));
+                if !(fa.scale > 0.0 && fa.scale <= 1.0) {
+                    usage_error("--scale must be in (0, 1]");
+                }
+            }
+            "--shard-size" => {
+                fa.shard_size = next(&mut args, "--shard-size")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--shard-size must be a positive integer"));
+            }
+            "--threads" => {
+                fa.threads = next(&mut args, "--threads")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--threads must be a positive integer"));
+            }
+            "--manifest" => fa.manifest = Some(PathBuf::from(next(&mut args, "--manifest"))),
+            "--halt-after-shards" => {
+                fa.halt_after_shards = Some(
+                    next(&mut args, "--halt-after-shards")
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--halt-after-shards must be an integer")),
+                );
+            }
+            "--checks" => fa.checks = true,
+            "--csv" => {
+                let path = next(&mut args, "--csv");
+                if let Err(e) = std::fs::write(&path, "") {
+                    usage_error(&format!("cannot write --csv path {path}: {e}"));
+                }
+                fa.csv = Some(path);
+            }
+            "--help" | "-h" => {
+                eprintln!("{FLAGS}");
+                std::process::exit(0);
+            }
+            other => usage_error(&format!("unknown flag {other}")),
+        }
+    }
+    fa
+}
+
+fn json_metric(agg: &CondAggregate, i: usize) -> String {
+    let s = agg.metric(i);
+    format!(
+        "\"{}\": {{ \"n\": {}, \"mean\": {:.4}, \"sd\": {:.4}, \
+         \"p50\": {:.4}, \"p95\": {:.4}, \"p99\": {:.4}, \"min\": {:.4}, \"max\": {:.4} }}",
+        METRICS[i],
+        s.count(),
+        s.mean(),
+        s.stddev(),
+        s.quantile(0.50),
+        s.quantile(0.95),
+        s.quantile(0.99),
+        s.min(),
+        s.max(),
+    )
+}
+
+fn json_condition(label: &str, agg: &CondAggregate) -> String {
+    let metrics: Vec<String> = (0..METRICS.len()).map(|i| json_metric(agg, i)).collect();
+    let frac = |n: u64| {
+        if agg.runs == 0 {
+            0.0
+        } else {
+            n as f64 / agg.runs as f64
+        }
+    };
+    format!(
+        "    {{\n      \"condition\": \"{label}\",\n      \"sessions\": {},\n      \
+         \"never_response_frac\": {:.4},\n      \"never_recovery_frac\": {:.4},\n      {}\n    }}",
+        agg.runs,
+        frac(agg.never_response),
+        frac(agg.never_recovery),
+        metrics.join(",\n      "),
+    )
+}
+
+fn main() {
+    let fa = parse_fleet_args();
+    gsrepro_testbed::runner::set_grid_log(false);
+
+    // The paper's central contested bottleneck, all systems × both CCAs.
+    let tl = Timeline::scaled(fa.scale);
+    let conditions: Vec<Condition> = [SystemKind::Stadia, SystemKind::GeForce, SystemKind::Luna]
+        .into_iter()
+        .flat_map(|sys| {
+            [CcaKind::Cubic, CcaKind::Bbr]
+                .into_iter()
+                .map(move |cca| Condition::new(sys, Some(cca), 25, 2.0).with_timeline(tl))
+        })
+        .collect();
+    let iterations = (fa.sessions as usize).div_ceil(conditions.len()) as u32;
+
+    let mut spec = CampaignSpec::new(conditions, iterations);
+    spec.shard_size = fa.shard_size;
+    spec.threads = fa.threads;
+    spec.checks = fa.checks;
+    spec.manifest = fa.manifest.clone();
+    spec.halt_after_shards = fa.halt_after_shards;
+
+    eprintln!(
+        "fleet: {} conditions × {} sessions (scale {}, shards of {}, {} thread(s))",
+        spec.conditions.len(),
+        iterations,
+        fa.scale,
+        spec.shard_size,
+        spec.threads,
+    );
+
+    let result = match run_campaign(&spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    eprintln!(
+        "fleet: {} sessions this run ({} resumed shard(s), {} pending) in {:.1} s — {:.1} sessions/s",
+        result.sessions_this_run,
+        result.resumed_shards,
+        result.pending_shards,
+        result.wall_secs,
+        result.sessions_per_sec(),
+    );
+
+    // Percentile tables for the metrics the paper discusses most.
+    for (i, &name) in METRICS.iter().enumerate() {
+        if !matches!(name, "encoder_rate_mbps" | "rtt_ms" | "response_s") {
+            continue;
+        }
+        let rows: Vec<(String, &gsrepro_testbed::MetricSketch)> = result
+            .conditions
+            .iter()
+            .map(|(c, a)| (c.label(), a.metric(i)))
+            .collect();
+        println!("{}", percentile_table(name, &rows));
+    }
+    println!("aggregate digest: {:016x}", result.digest());
+
+    let body: Vec<String> = result
+        .conditions
+        .iter()
+        .map(|(c, a)| json_condition(&c.label(), a))
+        .collect();
+    let json = format!(
+        "{{\n  \"schema\": {SCHEMA},\n  \
+         \"sessions_total\": {},\n  \
+         \"sessions_this_run\": {},\n  \
+         \"complete\": {},\n  \
+         \"scale\": {},\n  \
+         \"shard_size\": {},\n  \
+         \"resumed_shards\": {},\n  \
+         \"sessions_per_sec\": {:.2},\n  \
+         \"wall_secs\": {:.1},\n  \
+         \"digest\": \"{:016x}\",\n  \
+         \"conditions\": [\n{}\n  ]\n}}\n",
+        result.sessions_total(),
+        result.sessions_this_run,
+        result.complete(),
+        fa.scale,
+        spec.shard_size,
+        result.resumed_shards,
+        result.sessions_per_sec(),
+        result.wall_secs,
+        result.digest(),
+        body.join(",\n"),
+    );
+
+    let path = fa.csv.unwrap_or_else(|| "BENCH_fleet.json".to_string());
+    maybe_write_csv(&Some(path), &json);
+
+    if !result.complete() {
+        // Deliberate halts (CI's forced-resume gate) exit non-zero so a
+        // truncated sweep can't be mistaken for a finished one.
+        std::process::exit(3);
+    }
+}

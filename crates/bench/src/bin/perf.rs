@@ -22,7 +22,7 @@
 //! Usage: `cargo run --release -p gsrepro-bench --bin perf [--smoke]
 //! [--iters N] [--csv PATH]` — `--csv` overrides the JSON output path.
 
-use gsrepro_bench::{maybe_write_csv, parse_args};
+use gsrepro_bench::{maybe_write_csv, median, parse_args};
 use gsrepro_gamestream::SystemKind;
 use gsrepro_simcore::{SchedStats, SimDuration};
 use gsrepro_tcp::CcaKind;
@@ -41,15 +41,6 @@ struct CondReport {
     wall_total: f64,
     sim_secs_per_run: f64,
     sched: SchedStats,
-}
-
-fn median(sorted: &[f64]) -> f64 {
-    let n = sorted.len();
-    if n % 2 == 1 {
-        sorted[n / 2]
-    } else {
-        (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
-    }
 }
 
 fn accumulate(total: &mut SchedStats, s: &SchedStats) {
@@ -120,7 +111,7 @@ fn json_condition(r: &CondReport) -> String {
          \"slab_high_watermark\": {}\n      }}\n    }}",
         r.label,
         r.rates[0],
-        median(&r.rates),
+        median(&r.rates).expect("at least one timed iteration"),
         r.rates[r.rates.len() - 1],
         r.sim_secs_per_run * r.rates.len() as f64 / r.wall_total,
         share(s.lane_scheduled),
@@ -157,7 +148,7 @@ fn main() {
         .iter()
         .find(|r| r.label == HEADLINE)
         .unwrap_or(&reports[0]);
-    let headline_rate = median(&headline.rates);
+    let headline_rate = median(&headline.rates).expect("at least one timed iteration");
     let headline_ratio =
         headline.sim_secs_per_run * headline.rates.len() as f64 / headline.wall_total;
 

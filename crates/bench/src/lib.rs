@@ -27,8 +27,21 @@
 use gsrepro_testbed::experiments::ExperimentOpts;
 use gsrepro_testbed::runner::TraceSpec;
 
+/// Checked median of an already-sorted slice: `None` when empty (the old
+/// perf-harness local helper indexed `sorted[n/2 - 1]` and panicked on an
+/// empty slice).
+pub fn median(sorted: &[f64]) -> Option<f64> {
+    gsrepro_simcore::stats::median_sorted(sorted)
+}
+
+/// Checked percentile (`0 ≤ q ≤ 1`, linear interpolation) of an
+/// already-sorted slice: `None` when empty.
+pub fn percentile(sorted: &[f64], q: f64) -> Option<f64> {
+    gsrepro_simcore::stats::percentile_sorted(sorted, q)
+}
+
 const FLAGS: &str =
-    "flags: --full | --smoke | --iters N | --threads N | --csv PATH | --trace DIR | --checks";
+    "flags: --full | --smoke | --iters N | --threads N | --csv PATH | --trace DIR | --checks | --quiet";
 
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
@@ -42,6 +55,7 @@ pub fn parse_args() -> (ExperimentOpts, Option<String>) {
     let mut csv = None;
     let mut trace = None;
     let mut checks = false;
+    let mut quiet = false;
     let mut explicit_iters = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -91,6 +105,7 @@ pub fn parse_args() -> (ExperimentOpts, Option<String>) {
                 trace = Some(TraceSpec::new(dir));
             }
             "--checks" => checks = true,
+            "--quiet" => quiet = true,
             "--help" | "-h" => {
                 eprintln!("{FLAGS}");
                 std::process::exit(0);
@@ -110,6 +125,9 @@ pub fn parse_args() -> (ExperimentOpts, Option<String>) {
     // option set.
     opts.trace = trace;
     opts.checks = checks;
+    // Bench binaries keep the historical per-grid throughput line on
+    // stderr; library users (tests, the fleet engine) default to silence.
+    gsrepro_testbed::runner::set_grid_log(!quiet);
     (opts, csv)
 }
 

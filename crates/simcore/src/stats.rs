@@ -55,6 +55,18 @@ impl Welford {
         self.variance().sqrt()
     }
 
+    /// The raw `(count, mean, m2)` state, for exact serialization
+    /// (checkpoint manifests store `mean`/`m2` as IEEE-754 bit patterns so
+    /// a resumed aggregate is bit-identical to the original).
+    pub fn parts(&self) -> (u64, f64, f64) {
+        (self.n, self.mean, self.m2)
+    }
+
+    /// Rebuild an accumulator from [`Welford::parts`] output.
+    pub fn from_parts(n: u64, mean: f64, m2: f64) -> Self {
+        Welford { n, mean, m2 }
+    }
+
     /// Merge another accumulator into this one (parallel Welford).
     pub fn merge(&mut self, other: &Welford) {
         if other.n == 0 {
@@ -87,6 +99,31 @@ pub fn t_crit_95(df: u64) -> f64 {
         d if d <= 60 => 2.00,
         _ => 1.96,
     }
+}
+
+/// Median of an already-sorted slice; `None` when empty.
+///
+/// The checked sibling of the old ad-hoc `sorted[n/2 - 1]` benchmarks
+/// helper, whose even branch underflowed on an empty slice. Shared by the
+/// bench binaries (via `gsrepro-bench`) and the fleet sketches.
+pub fn median_sorted(sorted: &[f64]) -> Option<f64> {
+    percentile_sorted(sorted, 0.5)
+}
+
+/// The `q`-quantile (`0 ≤ q ≤ 1`) of an already-sorted slice by linear
+/// interpolation; `None` when empty.
+pub fn percentile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
+    if sorted.is_empty() {
+        return None;
+    }
+    let pos = q.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    Some(if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (sorted[hi] - sorted[lo]) * (pos - lo as f64)
+    })
 }
 
 /// Mean and 95% confidence half-width of a sample.
@@ -189,6 +226,14 @@ impl TimeBinned {
     /// Mean of the bins whose *midpoints* fall in `[from, to)`, after
     /// applying `scale` to each bin (e.g. bytes-per-bin → Mb/s).
     pub fn mean_over(&self, from: SimTime, to: SimTime, scale: f64) -> f64 {
+        self.welford_over(from, to, scale).mean()
+    }
+
+    /// Full online statistics (count/mean/variance) over the bins whose
+    /// midpoints fall in `[from, to)`, scaled. Borrows the series — the
+    /// streaming-aggregation path (fleet campaigns) reads windowed stats
+    /// per run without cloning any bin vector.
+    pub fn welford_over(&self, from: SimTime, to: SimTime, scale: f64) -> Welford {
         let mut w = Welford::new();
         for idx in 0..self.len() {
             let mid = SimDuration::from_secs_f64(self.bin_mid_secs(idx));
@@ -197,7 +242,7 @@ impl TimeBinned {
                 w.add(self.bins[idx] * scale);
             }
         }
-        w.mean()
+        w
     }
 }
 
@@ -253,19 +298,9 @@ impl Samples {
 
     /// The `q`-quantile (0 ≤ q ≤ 1) by linear interpolation; 0 if empty.
     pub fn quantile(&self, q: f64) -> f64 {
-        if self.values.is_empty() {
-            return 0.0;
-        }
         let mut v = self.values.clone();
         v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in samples"));
-        let pos = q.clamp(0.0, 1.0) * (v.len() - 1) as f64;
-        let lo = pos.floor() as usize;
-        let hi = pos.ceil() as usize;
-        if lo == hi {
-            v[lo]
-        } else {
-            v[lo] + (v[hi] - v[lo]) * (pos - lo as f64)
-        }
+        percentile_sorted(&v, q).unwrap_or(0.0)
     }
 }
 
@@ -408,6 +443,52 @@ mod tests {
         assert_eq!(t_crit_95(1), 12.706);
         assert_eq!(t_crit_95(1_000), 1.96);
         assert!(t_crit_95(0).is_infinite());
+    }
+
+    #[test]
+    fn checked_median_and_percentile() {
+        // Empty: the old unchecked helper underflowed `n/2 - 1` here.
+        assert_eq!(median_sorted(&[]), None);
+        assert_eq!(percentile_sorted(&[], 0.5), None);
+        // Single.
+        assert_eq!(median_sorted(&[7.0]), Some(7.0));
+        assert_eq!(percentile_sorted(&[7.0], 0.99), Some(7.0));
+        // Even: mean of the middle pair.
+        assert_eq!(median_sorted(&[1.0, 2.0, 3.0, 4.0]), Some(2.5));
+        // Odd: the middle element.
+        assert_eq!(median_sorted(&[1.0, 2.0, 4.0]), Some(2.0));
+        // Percentile interpolates and clamps q.
+        assert_eq!(percentile_sorted(&[0.0, 10.0], 0.25), Some(2.5));
+        assert_eq!(percentile_sorted(&[0.0, 10.0], -1.0), Some(0.0));
+        assert_eq!(percentile_sorted(&[0.0, 10.0], 2.0), Some(10.0));
+    }
+
+    #[test]
+    fn welford_parts_round_trip() {
+        let mut w = Welford::new();
+        for x in [1.5, 2.5, -3.25] {
+            w.add(x);
+        }
+        let (n, mean, m2) = w.parts();
+        let back = Welford::from_parts(n, mean, m2);
+        assert_eq!(back.count(), w.count());
+        assert_eq!(back.mean().to_bits(), w.mean().to_bits());
+        assert_eq!(back.variance().to_bits(), w.variance().to_bits());
+    }
+
+    #[test]
+    fn welford_over_matches_mean_over() {
+        let mut tb = TimeBinned::new(SimDuration::from_secs(1));
+        for i in 0..10 {
+            tb.add(SimTime::from_secs(i), (i + 1) as f64);
+        }
+        let w = tb.welford_over(SimTime::from_secs(2), SimTime::from_secs(5), 2.0);
+        assert_eq!(w.count(), 3);
+        assert_eq!(
+            w.mean(),
+            tb.mean_over(SimTime::from_secs(2), SimTime::from_secs(5), 2.0)
+        );
+        assert!(w.stddev() > 0.0);
     }
 
     #[test]

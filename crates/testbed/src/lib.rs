@@ -21,18 +21,27 @@
 //!   2, Figure 3, Figure 4, Tables 3-5, the tech-report loss tables);
 //! * [`ablation`] — the DESIGN.md ablations: controller-archetype swap,
 //!   BBR in-flight-cap sweep, AQM sweep;
-//! * [`report`] — ASCII tables/heatmaps and CSV emission.
+//! * [`report`] — ASCII tables/heatmaps and CSV emission;
+//! * [`sketch`] — bounded log-linear percentile sketches for streaming
+//!   aggregation;
+//! * [`campaign`] — the fleet engine: shard 100k-session sweeps across
+//!   cores, stream metrics into sketches (flat memory), and checkpoint
+//!   shards to a resumable manifest with bit-identical aggregates.
 
 pub mod ablation;
+pub mod campaign;
 pub mod config;
 pub mod experiments;
 pub mod metrics;
 pub mod report;
 pub mod runner;
 pub mod scorecard;
+pub mod sketch;
 pub mod topology;
 
+pub use campaign::{run_campaign, CampaignResult, CampaignSpec, CondAggregate, FleetSample};
 pub use config::{Aqm, Condition, Grid, Timeline};
 pub use gsrepro_gamestream::SystemKind;
 pub use gsrepro_tcp::CcaKind;
 pub use runner::{run_condition, run_many, ConditionResult, RunResult};
+pub use sketch::MetricSketch;

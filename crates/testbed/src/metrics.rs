@@ -51,6 +51,14 @@ pub struct SettleTime {
 /// absolute 0.25. This is the paper's response/recovery rule lifted off
 /// the game-bitrate series so dynamic-path analyses can apply it to RTT
 /// and frame-rate series too.
+///
+/// Contract: `secs` is always ≥ 0 and at most the scan-window length.
+/// A degenerate window (`scan_to <= scan_from`, e.g. a disturbance at the
+/// very end of a trace) contains no bins to settle in, so it returns
+/// `never: true` with `secs: 0.0` — it used to leak the *negative*
+/// window length instead, which poisoned downstream adaptiveness means.
+/// A window narrower than one bin may likewise contain no bin midpoint
+/// and then reports `never` with the (sub-bin) window length.
 pub fn settle_after(
     bins: &[f64],
     bin_width: SimDuration,
@@ -59,10 +67,16 @@ pub fn settle_after(
     target_mean: f64,
     target_sd: f64,
 ) -> SettleTime {
+    let (f, t) = (scan_from.as_secs_f64(), scan_to.as_secs_f64());
+    if t <= f {
+        return SettleTime {
+            secs: 0.0,
+            never: true,
+        };
+    }
     let w = bin_width.as_secs_f64();
     let smoothed = smooth(bins, (5.0 / w).round() as usize);
     let tol = target_sd.max(0.1 * target_mean.abs()).max(0.25);
-    let (f, t) = (scan_from.as_secs_f64(), scan_to.as_secs_f64());
     for (i, &v) in smoothed.iter().enumerate() {
         let mid = (i as f64 + 0.5) * w;
         if mid < f || mid >= t {
@@ -81,33 +95,42 @@ pub fn settle_after(
     }
 }
 
-fn settle_time(
-    run: &RunResult,
-    scan_from: SimTime,
-    scan_to: SimTime,
-    target_mean: f64,
-    target_sd: f64,
-) -> SettleTime {
-    settle_after(
-        &run.game_bins_mbps,
-        run.bin_width,
-        scan_from,
-        scan_to,
-        target_mean,
-        target_sd,
-    )
+/// Target mean and σ of a binned series over `[from, to)`, using the same
+/// bin-midpoint windowing rule as [`RunResult::game_window`].
+fn window_target(bins: &[f64], width: SimDuration, from: SimTime, to: SimTime) -> (f64, f64) {
+    let w = width.as_secs_f64();
+    let mut s = gsrepro_simcore::stats::Samples::new();
+    for (i, &v) in bins.iter().enumerate() {
+        let mid = (i as f64 + 0.5) * w;
+        if mid >= from.as_secs_f64() && mid < to.as_secs_f64() {
+            s.add(v);
+        }
+    }
+    (s.mean(), s.stddev())
+}
+
+/// Response time *C* from a borrowed bitrate series (Mb/s per bin) — the
+/// allocation-light form the fleet campaign sink uses; identical math to
+/// [`response_time`].
+pub fn response_time_bins(bins: &[f64], width: SimDuration, tl: &Timeline) -> SettleTime {
+    let (mean, sd) = window_target(bins, width, tl.adjusted_window.0, tl.adjusted_window.1);
+    settle_after(bins, width, tl.iperf_start, tl.iperf_stop, mean, sd)
+}
+
+/// Recovery time *E* from a borrowed bitrate series (Mb/s per bin).
+pub fn recovery_time_bins(bins: &[f64], width: SimDuration, tl: &Timeline) -> SettleTime {
+    let (mean, sd) = window_target(bins, width, tl.original_window.0, tl.original_window.1);
+    settle_after(bins, width, tl.iperf_stop, tl.end, mean, sd)
 }
 
 /// Response time *C* for one run.
 pub fn response_time(run: &RunResult, tl: &Timeline) -> SettleTime {
-    let adj = run.game_window(tl.adjusted_window.0, tl.adjusted_window.1);
-    settle_time(run, tl.iperf_start, tl.iperf_stop, adj.mean(), adj.stddev())
+    response_time_bins(&run.game_bins_mbps, run.bin_width, tl)
 }
 
 /// Recovery time *E* for one run.
 pub fn recovery_time(run: &RunResult, tl: &Timeline) -> SettleTime {
-    let orig = run.game_window(tl.original_window.0, tl.original_window.1);
-    settle_time(run, tl.iperf_stop, tl.end, orig.mean(), orig.stddev())
+    recovery_time_bins(&run.game_bins_mbps, run.bin_width, tl)
 }
 
 /// Adaptiveness `A` from response/recovery times and their maxima.
@@ -275,6 +298,60 @@ mod tests {
         );
         assert!(st.never);
         assert!((st.secs - 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn settle_after_clamps_inverted_windows() {
+        let bins = vec![10.0; 40];
+        // Inverted window (scan_to < scan_from): no time to settle in.
+        // Pre-fix this returned secs = -20 with never = true.
+        let st = settle_after(
+            &bins,
+            SimDuration::from_secs(1),
+            SimTime::from_secs(30),
+            SimTime::from_secs(10),
+            10.0,
+            1.0,
+        );
+        assert!(st.never);
+        assert_eq!(st.secs, 0.0, "inverted window must clamp to zero");
+
+        // Empty window (scan_to == scan_from) is equally degenerate.
+        let st = settle_after(
+            &bins,
+            SimDuration::from_secs(1),
+            SimTime::from_secs(10),
+            SimTime::from_secs(10),
+            10.0,
+            1.0,
+        );
+        assert!(st.never && st.secs == 0.0);
+
+        // Sub-bin-width window that straddles no bin midpoint: nothing to
+        // scan, so it never settles, with the (tiny, positive) window
+        // length as the cap.
+        let st = settle_after(
+            &bins,
+            SimDuration::from_secs(1),
+            SimTime::from_millis(10_600),
+            SimTime::from_millis(10_900),
+            10.0,
+            1.0,
+        );
+        assert!(st.never);
+        assert!((st.secs - 0.3).abs() < 1e-9 && st.secs >= 0.0);
+    }
+
+    #[test]
+    fn bins_settle_helpers_match_run_result_path() {
+        let run = synthetic(4.0, 6.0);
+        let tl = tl();
+        let c = response_time(&run, &tl);
+        let cb = response_time_bins(&run.game_bins_mbps, run.bin_width, &tl);
+        assert_eq!(c, cb);
+        let e = recovery_time(&run, &tl);
+        let eb = recovery_time_bins(&run.game_bins_mbps, run.bin_width, &tl);
+        assert_eq!(e, eb);
     }
 
     #[test]

@@ -8,11 +8,13 @@
 //! run can be reproduced in isolation.
 
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 use gsrepro_gamestream::client::StreamClient;
 use gsrepro_gamestream::server::StreamServer;
 use gsrepro_netsim::apps::PingAgent;
-use gsrepro_simcore::stats::Samples;
+use gsrepro_netsim::monitor::FlowStats;
+use gsrepro_simcore::stats::{Samples, TimeBinned};
 use gsrepro_simcore::telemetry::Counters;
 use gsrepro_simcore::{SchedStats, SimDuration, SimTime, TelemetryConfig};
 use gsrepro_tcp::TcpSender;
@@ -279,6 +281,151 @@ pub fn run_condition_full(
     trace: Option<&TraceSpec>,
     checks: bool,
 ) -> RunResult {
+    run_condition_with(cond, iter, trace, checks, |view| view.to_result())
+}
+
+/// Borrowed view over a finished run: everything a metrics consumer needs,
+/// still inside the live testbed, with **no per-bin vector cloned**.
+///
+/// [`run_condition_full`] materializes a full [`RunResult`] from it (and
+/// pays the clones); the fleet campaign layer ([`crate::campaign`])
+/// instead reduces the view to a handful of per-session scalars and lets
+/// the whole simulation drop — that is what keeps a 100k-session sweep
+/// memory-flat.
+pub struct RunView<'a> {
+    /// The condition that ran.
+    pub cond: &'a Condition,
+    /// Iteration index (selects the seed).
+    pub iter: u32,
+    tb: &'a topology::Testbed,
+    /// Engine events handled by this run (deterministic per seed).
+    pub events_processed: u64,
+    /// Events scheduled in the past and clamped to "now".
+    pub past_clamps: u64,
+    /// Scheduler occupancy counters.
+    pub sched: SchedStats,
+    /// Invariant-oracle evaluations performed (0 when checks are off).
+    pub checks_performed: u64,
+    /// Telemetry counters (all zero when tracing is off).
+    pub telemetry: Counters,
+    /// Wall-clock seconds the simulation took (not deterministic).
+    pub wall_secs: f64,
+}
+
+impl RunView<'_> {
+    /// Monitor statistics of the game media flow (borrow; includes the
+    /// delivered/sent/dropped [`TimeBinned`] series).
+    pub fn game_stats(&self) -> &FlowStats {
+        self.tb.sim.net.monitor().stats(self.tb.game_flow)
+    }
+
+    /// Monitor statistics of the competing TCP flow, when one ran.
+    pub fn iperf_stats(&self) -> Option<&FlowStats> {
+        self.tb
+            .iperf_flow
+            .map(|f| self.tb.sim.net.monitor().stats(f))
+    }
+
+    /// The ping agent (borrow; RTT samples in milliseconds).
+    pub fn ping(&self) -> &PingAgent {
+        self.tb.sim.net.agent(self.tb.ping)
+    }
+
+    /// The client's displayed-frames-per-second bins (borrow).
+    pub fn fps_bins(&self) -> &TimeBinned {
+        let client: &StreamClient = self.tb.sim.net.agent(self.tb.client);
+        client.fps_bins()
+    }
+
+    /// The server's encoder target-rate trace, Mb/s (borrow).
+    pub fn encoder_trace(&self) -> &Samples {
+        let server: &StreamServer = self.tb.sim.net.agent(self.tb.server);
+        server.rate_trace()
+    }
+
+    /// `(retransmissions, delivered bytes)` of the competing TCP sender
+    /// (zeros for solo runs).
+    pub fn tcp_counters(&self) -> (u64, u64) {
+        match self.tb.tcp_sender {
+            Some(id) => {
+                let s: &TcpSender = self.tb.sim.net.agent(id);
+                (s.retransmissions(), s.delivered_bytes())
+            }
+            None => (0, 0),
+        }
+    }
+
+    /// Materialize the full per-run record (clones every per-bin series).
+    pub fn to_result(&self) -> RunResult {
+        let game_stats = self.game_stats();
+        let bin_width = game_stats.delivered_bins.width();
+        let to_mbps = 8.0 / bin_width.as_secs_f64() / 1e6;
+
+        let game_bins_mbps: Vec<f64> = game_stats
+            .delivered_bins
+            .bins()
+            .iter()
+            .map(|b| b * to_mbps)
+            .collect();
+        let game_sent_bins = game_stats.sent_bins.bins().to_vec();
+        let game_dropped_bins = game_stats.dropped_bins.bins().to_vec();
+        let game_loss_rate = game_stats.loss_rate();
+
+        let iperf_bins_mbps: Vec<f64> = self
+            .iperf_stats()
+            .map(|s| {
+                s.delivered_bins
+                    .bins()
+                    .iter()
+                    .map(|b| b * to_mbps)
+                    .collect()
+            })
+            .unwrap_or_default();
+
+        let rtt: Vec<(f64, f64)> = self.ping().rtt_with_times();
+        let fps_bin_width = self.fps_bins().width();
+        let fps_bins = self.fps_bins().bins().to_vec();
+        let encoder_rate_mean = self.encoder_trace().mean();
+        let (tcp_retransmissions, tcp_delivered_bytes) = self.tcp_counters();
+
+        RunResult {
+            label: self.cond.label(),
+            iter: self.iter,
+            bin_width,
+            game_bins_mbps,
+            iperf_bins_mbps,
+            rtt,
+            fps_bin_width,
+            fps_bins,
+            game_sent_bins,
+            game_dropped_bins,
+            game_loss_rate,
+            tcp_retransmissions,
+            tcp_delivered_bytes,
+            encoder_rate_mean,
+            events_processed: self.events_processed,
+            past_clamps: self.past_clamps,
+            sched: self.sched,
+            checks_performed: self.checks_performed,
+            telemetry: self.telemetry,
+            wall_secs: self.wall_secs,
+        }
+    }
+}
+
+/// Run one iteration of a condition and reduce it through `sink` while the
+/// testbed is still alive. The sink receives a [`RunView`] borrowing the
+/// simulation state; whatever it returns is the run's only retained
+/// output. This is the primitive both [`run_condition_full`] (sink =
+/// "clone everything into a [`RunResult`]") and the fleet campaign layer
+/// (sink = "stream a few scalars into bounded sketches") build on.
+pub fn run_condition_with<R>(
+    cond: &Condition,
+    iter: u32,
+    trace: Option<&TraceSpec>,
+    checks: bool,
+    sink: impl FnOnce(&RunView) -> R,
+) -> R {
     let started = std::time::Instant::now();
     let mut tb = topology::build_full(cond, iter, trace.map(|t| t.config), checks);
     // Run slightly past the end so the final bins fill.
@@ -290,48 +437,23 @@ pub fn run_condition_full(
     let sched = tb.sim.sched_stats();
     let checks_performed = tb.sim.net.checks().performed();
 
-    let monitor = tb.sim.net.monitor();
-    let bin_width = monitor.stats(tb.game_flow).delivered_bins.width();
-    let to_mbps = 8.0 / bin_width.as_secs_f64() / 1e6;
+    // Stamp `past_clamps` into the recorder's counters *before* the sink
+    // takes its immutable borrows; the export files are written after the
+    // sink returns, so the recorder never races a read.
+    let mut telemetry = Counters::default();
+    if trace.is_some() {
+        if let Some(tel) = tb.sim.net.telemetry_mut().telemetry_mut() {
+            tel.counters_mut().past_clamps = past_clamps;
+            telemetry = tel.counters();
+        }
+    }
 
-    let game_stats = monitor.stats(tb.game_flow);
-    let game_bins_mbps: Vec<f64> = game_stats
-        .delivered_bins
-        .bins()
-        .iter()
-        .map(|b| b * to_mbps)
-        .collect();
-    let game_sent_bins = game_stats.sent_bins.bins().to_vec();
-    let game_dropped_bins = game_stats.dropped_bins.bins().to_vec();
-    let game_loss_rate = game_stats.loss_rate();
-
-    let iperf_bins_mbps: Vec<f64> = tb
-        .iperf_flow
-        .map(|f| {
-            monitor
-                .stats(f)
-                .delivered_bins
-                .bins()
-                .iter()
-                .map(|b| b * to_mbps)
-                .collect()
-        })
-        .unwrap_or_default();
-
-    let ping: &PingAgent = tb.sim.net.agent(tb.ping);
-    let rtt: Vec<(f64, f64)> = ping.rtt_with_times();
-
-    let client: &StreamClient = tb.sim.net.agent(tb.client);
-    let fps_bin_width = client.fps_bins().width();
-    let fps_bins = client.fps_bins().bins().to_vec();
-
-    let server: &StreamServer = tb.sim.net.agent(tb.server);
-    let encoder_rate_mean = server.rate_trace().mean();
     if checks {
         // Controller-sanity oracle: whatever the rate controller did under
         // congestion, every target it set must stay inside the profile's
         // advertised band (the clamp every controller is supposed to
         // apply). Small epsilon for the Mb/s float conversion.
+        let server: &StreamServer = tb.sim.net.agent(tb.server);
         let profile = cond.system.profile();
         let lo = profile.min_rate.as_mbps();
         let hi = profile.max_rate.as_mbps();
@@ -348,22 +470,23 @@ pub fn run_condition_full(
         }
     }
 
-    let (tcp_retransmissions, tcp_delivered_bytes) = match tb.tcp_sender {
-        Some(id) => {
-            let s: &TcpSender = tb.sim.net.agent(id);
-            (s.retransmissions(), s.delivered_bytes())
-        }
-        None => (0, 0),
+    let out = {
+        let view = RunView {
+            cond,
+            iter,
+            tb: &tb,
+            events_processed,
+            past_clamps,
+            sched,
+            checks_performed,
+            telemetry,
+            wall_secs,
+        };
+        sink(&view)
     };
 
-    // Flush the flight recorder last: stamping `past_clamps` into its
-    // counters and writing the export files must not race any of the
-    // immutable reads above.
-    let mut telemetry = Counters::default();
     if let Some(spec) = trace {
         if let Some(tel) = tb.sim.net.telemetry_mut().telemetry_mut() {
-            tel.counters_mut().past_clamps = past_clamps;
-            telemetry = tel.counters();
             let stem = format!("{}-i{}", cond.label(), iter);
             let csv_path = spec.dir.join(format!("{stem}.csv"));
             std::fs::write(&csv_path, tel.to_csv())
@@ -373,29 +496,7 @@ pub fn run_condition_full(
                 .unwrap_or_else(|e| panic!("writing trace {}: {e}", jsonl_path.display()));
         }
     }
-
-    RunResult {
-        label: cond.label(),
-        iter,
-        bin_width,
-        game_bins_mbps,
-        iperf_bins_mbps,
-        rtt,
-        fps_bin_width,
-        fps_bins,
-        game_sent_bins,
-        game_dropped_bins,
-        game_loss_rate,
-        tcp_retransmissions,
-        tcp_delivered_bytes,
-        encoder_rate_mean,
-        events_processed,
-        past_clamps,
-        sched,
-        checks_performed,
-        telemetry,
-        wall_secs,
-    }
+    out
 }
 
 /// Aggregate engine-throughput numbers for one grid of runs.
@@ -466,6 +567,11 @@ pub fn run_many_traced(
 
 /// [`run_many_traced`], optionally with runtime invariant oracles enabled
 /// in every run (see [`run_condition_full`]).
+///
+/// A run that panics (an oracle violation, an internal bug) no longer
+/// takes the whole grid down opaquely: every job runs under
+/// [`run_jobs`]'s panic isolation, the remaining jobs finish, and the
+/// final panic names each failing `(condition, iteration)` pair.
 pub fn run_many_full(
     conditions: &[Condition],
     iterations: u32,
@@ -481,46 +587,161 @@ pub fn run_many_full(
     let jobs: Vec<(usize, u32)> = (0..conditions.len())
         .flat_map(|c| (0..iterations).map(move |i| (c, i)))
         .collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let results: Vec<std::sync::Mutex<Vec<Option<RunResult>>>> = conditions
-        .iter()
-        .map(|_| std::sync::Mutex::new(vec![None; iterations as usize]))
-        .collect();
 
-    let workers = threads.max(1).min(jobs.len().max(1));
+    let runs = run_jobs(
+        jobs.len(),
+        threads,
+        |j| {
+            let (c, i) = jobs[j];
+            run_condition_full(&conditions[c], i, trace, checks)
+        },
+        |j| {
+            let (c, i) = jobs[j];
+            format!("{} iter {i}", conditions[c].label())
+        },
+    )
+    .unwrap_or_else(|failures| {
+        let shown: Vec<String> = failures
+            .iter()
+            .take(5)
+            .map(|f| format!("{}: {}", f.label, f.message))
+            .collect();
+        panic!(
+            "grid failed: {} of {} runs panicked — {}{}",
+            failures.len(),
+            jobs.len(),
+            shown.join("; "),
+            if failures.len() > 5 { "; …" } else { "" },
+        )
+    });
+
+    // `jobs` is condition-major with the iteration innermost and
+    // `run_jobs` preserves job order, so results regroup by simple takes.
+    let mut it = runs.into_iter();
+    let out: Vec<ConditionResult> = conditions
+        .iter()
+        .map(|cond| ConditionResult {
+            condition: cond.clone(),
+            runs: it.by_ref().take(iterations as usize).collect(),
+        })
+        .collect();
+    let perf = grid_perf(&out, grid_started.elapsed().as_secs_f64());
+    if grid_log_enabled() {
+        eprintln!(
+            "grid: {} runs, {} events in {:.2} s wall ({:.2}M events/s)",
+            perf.runs,
+            perf.events_processed,
+            perf.grid_wall_secs,
+            perf.events_per_sec() / 1e6,
+        );
+    }
+    out
+}
+
+/// Whether [`run_many_full`] logs its aggregate throughput line. Off by
+/// default so `cargo test -q` output and fleet campaigns (thousands of
+/// grids) stay clean; the bench binaries switch it on.
+static GRID_LOG: AtomicBool = AtomicBool::new(false);
+
+/// Enable or disable the per-grid stderr throughput line.
+pub fn set_grid_log(on: bool) {
+    GRID_LOG.store(on, Ordering::Relaxed);
+}
+
+fn grid_log_enabled() -> bool {
+    GRID_LOG.load(Ordering::Relaxed)
+}
+
+/// One job that panicked inside [`run_jobs`].
+#[derive(Clone, Debug)]
+pub struct JobFailure {
+    /// Job index in submission order.
+    pub index: usize,
+    /// Human-readable job description (e.g. `stadia-cubic-b25-q2 iter 3`).
+    pub label: String,
+    /// The panic payload, stringified.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} (job {}): {}", self.label, self.index, self.message)
+    }
+}
+
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Execute `n` independent jobs across up to `threads` OS threads,
+/// pulling from a shared queue (idle workers steal whatever job is next).
+/// Results come back in job order.
+///
+/// Each job runs under `catch_unwind`: one panicking job no longer
+/// poisons a shared mutex and kills every other worker with an opaque
+/// `expect` — the rest of the queue drains normally and the error lists
+/// every failure with its `describe(index)` label. The runner and the
+/// fleet campaign engine both schedule through this.
+pub fn run_jobs<T, R, D>(
+    n: usize,
+    threads: usize,
+    run: R,
+    describe: D,
+) -> Result<Vec<T>, Vec<JobFailure>>
+where
+    T: Send,
+    R: Fn(usize) -> T + Sync,
+    D: Fn(usize) -> String + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let slots: Vec<std::sync::Mutex<Option<Result<T, JobFailure>>>> =
+        (0..n).map(|_| std::sync::Mutex::new(None)).collect();
+
+    let workers = threads.max(1).min(n.max(1));
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
-                let j = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let Some(&(c, i)) = jobs.get(j) else { break };
-                let run = run_condition_full(&conditions[c], i, trace, checks);
-                results[c].lock().expect("runner mutex poisoned")[i as usize] = Some(run);
+                let j = next.fetch_add(1, Ordering::Relaxed);
+                if j >= n {
+                    break;
+                }
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(j)))
+                    .map_err(|p| JobFailure {
+                        index: j,
+                        label: describe(j),
+                        message: panic_message(p.as_ref()),
+                    });
+                // Storing a finished value cannot panic, so the mutex can
+                // only be "poisoned" by a concurrent describe() failure;
+                // recover the guard either way.
+                *slots[j].lock().unwrap_or_else(|e| e.into_inner()) = Some(outcome);
             });
         }
     });
 
-    let out: Vec<ConditionResult> = conditions
-        .iter()
-        .zip(results)
-        .map(|(cond, cell)| ConditionResult {
-            condition: cond.clone(),
-            runs: cell
-                .into_inner()
-                .expect("runner mutex poisoned")
-                .into_iter()
-                .map(|r| r.expect("missing run result"))
-                .collect(),
-        })
-        .collect();
-    let perf = grid_perf(&out, grid_started.elapsed().as_secs_f64());
-    eprintln!(
-        "grid: {} runs, {} events in {:.2} s wall ({:.2}M events/s)",
-        perf.runs,
-        perf.events_processed,
-        perf.grid_wall_secs,
-        perf.events_per_sec() / 1e6,
-    );
-    out
+    let mut ok = Vec::with_capacity(n);
+    let mut failures = Vec::new();
+    for slot in slots {
+        let outcome = slot
+            .into_inner()
+            .unwrap_or_else(|e| e.into_inner())
+            .expect("every claimed job stores an outcome");
+        match outcome {
+            Ok(v) => ok.push(v),
+            Err(f) => failures.push(f),
+        }
+    }
+    if failures.is_empty() {
+        Ok(ok)
+    } else {
+        Err(failures)
+    }
 }
 
 /// Default thread count: leave one core for the OS.
@@ -568,6 +789,64 @@ mod tests {
         assert_eq!(many.len(), 1);
         assert_eq!(many[0].runs.len(), 2);
         assert_eq!(many[0].runs[0].game_bins_mbps, serial.game_bins_mbps);
+    }
+
+    #[test]
+    fn run_jobs_preserves_order_and_parallelism() {
+        let out = run_jobs(8, 4, |j| j * 10, |j| format!("job-{j}")).expect("no failures");
+        assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+        // Degenerate cases.
+        assert_eq!(run_jobs(0, 4, |j| j, |_| String::new()).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn run_jobs_reports_failing_jobs_and_finishes_the_rest() {
+        // Pre-fix, one panicking run poisoned the shared results mutex and
+        // every other worker died on "runner mutex poisoned" with no hint
+        // of which (condition, iteration) failed. Now: the panicking jobs
+        // are named, and all healthy jobs still complete.
+        let err = run_jobs(
+            6,
+            2,
+            |j| {
+                if j == 2 || j == 5 {
+                    panic!("oracle violated in job {j}");
+                }
+                j
+            },
+            |j| format!("luna-cubic-b25-q2 iter {j}"),
+        )
+        .expect_err("two jobs panic");
+        assert_eq!(err.len(), 2);
+        assert_eq!(err[0].index, 2);
+        assert_eq!(err[0].label, "luna-cubic-b25-q2 iter 2");
+        assert!(err[0].message.contains("oracle violated in job 2"));
+        assert_eq!(err[1].index, 5);
+        assert!(format!("{}", err[1]).contains("iter 5"));
+    }
+
+    #[test]
+    fn run_view_matches_run_result() {
+        // The sink API must observe exactly what the materialized
+        // RunResult records — same borrowed series, no perturbation.
+        let cond = quick_cond();
+        let full = run_condition(&cond, 0);
+        let (goodput_bins, rtt_mean, fps_sum, encoder_mean, events) =
+            run_condition_with(&cond, 0, None, false, |v| {
+                (
+                    v.game_stats().delivered_bins.len(),
+                    v.ping().rtt_samples().mean(),
+                    v.fps_bins().bins().iter().sum::<f64>(),
+                    v.encoder_trace().mean(),
+                    v.events_processed,
+                )
+            });
+        assert_eq!(goodput_bins, full.game_bins_mbps.len());
+        let full_rtt_mean = full.rtt.iter().map(|&(_, v)| v).sum::<f64>() / full.rtt.len() as f64;
+        assert!((rtt_mean - full_rtt_mean).abs() < 1e-9);
+        assert_eq!(fps_sum, full.fps_bins.iter().sum::<f64>());
+        assert_eq!(encoder_mean, full.encoder_rate_mean);
+        assert_eq!(events, full.events_processed);
     }
 
     #[test]

@@ -1,0 +1,371 @@
+//! Bounded online metric aggregates for fleet campaigns.
+//!
+//! A 100k-session sweep cannot retain a [`crate::runner::RunResult`] per
+//! session; instead every finished run streams a handful of scalars into
+//! one [`MetricSketch`] per (condition, metric). A sketch is fixed-size —
+//! a log-linear histogram (HDR-histogram style: 32 sub-buckets per power
+//! of two, ≤ ~1.6% relative quantile error) plus an exact
+//! [`Welford`] mean/variance and exact min/max — so campaign memory is
+//! flat in the session count.
+//!
+//! Determinism contract: sketches are filled **per shard** in iteration
+//! order and merged in **shard-index order** (see [`crate::campaign`]),
+//! and [`MetricSketch::serialize`] stores every float as its IEEE-754 bit
+//! pattern. A checkpointed-and-resumed campaign therefore reproduces the
+//! uninterrupted campaign's aggregates bit-identically, as does a 1-thread
+//! vs N-thread run.
+
+use gsrepro_simcore::stats::Welford;
+
+/// Sub-bucket resolution: 2^5 = 32 buckets per power of two.
+const SUB_BITS: u32 = 5;
+const SUBS: usize = 1 << SUB_BITS;
+/// Smallest resolved magnitude: 2^MIN_EXP (≈ 9.5e-7). Smaller positive
+/// values land in the first bucket.
+const MIN_EXP: i32 = -20;
+/// One past the largest resolved exponent: values ≥ 2^MAX_EXP (≈ 1.1e12)
+/// clamp into the last bucket.
+const MAX_EXP: i32 = 40;
+const OCTAVES: usize = (MAX_EXP - MIN_EXP) as usize;
+const BUCKETS: usize = OCTAVES * SUBS;
+
+/// Streaming distribution sketch: log-linear histogram + exact moments.
+#[derive(Clone, Debug)]
+pub struct MetricSketch {
+    count: u64,
+    /// Samples ≤ 0 (settle times clamp at 0; rates/RTTs are positive).
+    zeros: u64,
+    min: f64,
+    max: f64,
+    w: Welford,
+    buckets: Vec<u64>,
+}
+
+impl Default for MetricSketch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MetricSketch {
+    /// An empty sketch.
+    pub fn new() -> Self {
+        MetricSketch {
+            count: 0,
+            zeros: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            w: Welford::new(),
+            buckets: vec![0; BUCKETS],
+        }
+    }
+
+    fn bucket_index(v: f64) -> usize {
+        debug_assert!(v > 0.0);
+        let bits = v.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i32 - 1023;
+        if exp < MIN_EXP {
+            return 0;
+        }
+        if exp >= MAX_EXP {
+            return BUCKETS - 1;
+        }
+        let sub = ((bits >> (52 - SUB_BITS)) & (SUBS as u64 - 1)) as usize;
+        (exp - MIN_EXP) as usize * SUBS + sub
+    }
+
+    /// Lower edge of bucket `idx`.
+    fn bucket_lo(idx: usize) -> f64 {
+        let exp = MIN_EXP + (idx / SUBS) as i32;
+        let frac = (idx % SUBS) as f64 / SUBS as f64;
+        (1.0 + frac) * f64::powi(2.0, exp)
+    }
+
+    /// Upper edge of bucket `idx`.
+    fn bucket_hi(idx: usize) -> f64 {
+        if (idx + 1).is_multiple_of(SUBS) {
+            f64::powi(2.0, MIN_EXP + (idx / SUBS) as i32 + 1)
+        } else {
+            Self::bucket_lo(idx + 1)
+        }
+    }
+
+    /// Record one observation. NaN is ignored (and must not occur in a
+    /// deterministic run); values ≤ 0 count in a dedicated zero bucket.
+    pub fn add(&mut self, v: f64) {
+        if v.is_nan() {
+            return;
+        }
+        self.count += 1;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        self.w.add(v);
+        if v <= 0.0 {
+            self.zeros += 1;
+        } else {
+            self.buckets[Self::bucket_index(v)] += 1;
+        }
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sample mean.
+    pub fn mean(&self) -> f64 {
+        self.w.mean()
+    }
+
+    /// Exact sample standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.w.stddev()
+    }
+
+    /// Exact minimum (0 if empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Exact maximum (0 if empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Approximate `q`-quantile (0 ≤ q ≤ 1) from the histogram, clamped
+    /// into the exact `[min, max]` envelope; 0 if empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = (q.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        if target <= self.zeros {
+            // The zero bucket holds everything ≤ 0; report its worst case.
+            return self.min.min(0.0).max(self.min);
+        }
+        let mut seen = self.zeros;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            seen += c;
+            if seen >= target {
+                let mid = (Self::bucket_lo(i) + Self::bucket_hi(i)) / 2.0;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge `other` into `self`. Bucket counts add exactly; the Welford
+    /// merge is floating-point order-sensitive, so callers must merge in a
+    /// fixed order (the campaign merges shards by ascending shard index).
+    pub fn merge(&mut self, other: &MetricSketch) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.zeros += other.zeros;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.w.merge(&other.w);
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+    }
+
+    /// Exact textual serialization (single line, no spaces inside fields):
+    /// floats as hex bit patterns, histogram as sparse `idx:count` pairs.
+    /// `deserialize` round-trips bit-identically — the campaign manifest
+    /// and the aggregate digest are built from this.
+    pub fn serialize(&self) -> String {
+        let (wn, wmean, wm2) = self.w.parts();
+        let mut s = format!(
+            "c={},z={},min={:016x},max={:016x},wn={},wm={:016x},wv={:016x}",
+            self.count,
+            self.zeros,
+            self.min.to_bits(),
+            self.max.to_bits(),
+            wn,
+            wmean.to_bits(),
+            wm2.to_bits(),
+        );
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c != 0 {
+                s.push_str(&format!(",{i}:{c}"));
+            }
+        }
+        s
+    }
+
+    /// Parse [`MetricSketch::serialize`] output.
+    pub fn deserialize(s: &str) -> Result<Self, String> {
+        let mut out = MetricSketch::new();
+        let mut wn = 0u64;
+        let mut wmean = 0.0f64;
+        let mut wm2 = 0.0f64;
+        for field in s.split(',') {
+            let (key, val) = field
+                .split_once(['=', ':'])
+                .ok_or_else(|| format!("malformed sketch field {field:?}"))?;
+            let parse_u64 = |v: &str| {
+                v.parse::<u64>()
+                    .map_err(|e| format!("bad integer {v:?}: {e}"))
+            };
+            let parse_bits = |v: &str| {
+                u64::from_str_radix(v, 16)
+                    .map(f64::from_bits)
+                    .map_err(|e| format!("bad float bits {v:?}: {e}"))
+            };
+            match key {
+                "c" => out.count = parse_u64(val)?,
+                "z" => out.zeros = parse_u64(val)?,
+                "min" => out.min = parse_bits(val)?,
+                "max" => out.max = parse_bits(val)?,
+                "wn" => wn = parse_u64(val)?,
+                "wm" => wmean = parse_bits(val)?,
+                "wv" => wm2 = parse_bits(val)?,
+                idx => {
+                    let i: usize = idx
+                        .parse()
+                        .map_err(|e| format!("bad bucket index {idx:?}: {e}"))?;
+                    if i >= BUCKETS {
+                        return Err(format!("bucket index {i} out of range"));
+                    }
+                    out.buckets[i] = parse_u64(val)?;
+                }
+            }
+        }
+        out.w = Welford::from_parts(wn, wmean, wm2);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_sketch_is_all_zero() {
+        let s = MetricSketch::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.quantile(0.5), 0.0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_track_known_distribution() {
+        let mut s = MetricSketch::new();
+        for i in 1..=10_000 {
+            s.add(i as f64 / 100.0); // 0.01 .. 100.0
+        }
+        assert_eq!(s.count(), 10_000);
+        assert!((s.mean() - 50.005).abs() < 1e-9, "mean is exact");
+        // Histogram quantiles within the sketch's relative error.
+        for (q, expect) in [(0.5, 50.0), (0.95, 95.0), (0.99, 99.0)] {
+            let got = s.quantile(q);
+            assert!(
+                (got - expect).abs() / expect < 0.03,
+                "q{q}: got {got}, expect {expect}"
+            );
+        }
+        assert_eq!(s.min(), 0.01);
+        assert_eq!(s.max(), 100.0);
+        assert_eq!(s.quantile(1.0), 100.0);
+    }
+
+    #[test]
+    fn zero_and_negative_samples_are_counted() {
+        let mut s = MetricSketch::new();
+        s.add(0.0);
+        s.add(-1.0);
+        s.add(2.0);
+        assert_eq!(s.count(), 3);
+        assert_eq!(s.min(), -1.0);
+        let q = s.quantile(0.1);
+        assert!(q <= 0.0, "low quantile stays in the zero bucket: {q}");
+    }
+
+    #[test]
+    fn extreme_values_clamp_into_edge_buckets() {
+        let mut s = MetricSketch::new();
+        s.add(1e-12);
+        s.add(1e300);
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max(), 1e300);
+        // Quantiles stay inside the exact envelope even though the
+        // histogram buckets saturated.
+        assert!(s.quantile(0.99) <= 1e300);
+    }
+
+    #[test]
+    fn serialization_round_trips_bit_identically() {
+        let mut s = MetricSketch::new();
+        for i in 0..1000 {
+            s.add((i as f64).sqrt() * 0.731 + 0.001);
+        }
+        s.add(0.0);
+        let text = s.serialize();
+        let back = MetricSketch::deserialize(&text).expect("parses");
+        assert_eq!(back.serialize(), text, "round trip is exact");
+        assert_eq!(back.mean().to_bits(), s.mean().to_bits());
+        assert_eq!(back.stddev().to_bits(), s.stddev().to_bits());
+        assert_eq!(back.quantile(0.95).to_bits(), s.quantile(0.95).to_bits());
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        assert!(MetricSketch::deserialize("nonsense").is_err());
+        assert!(MetricSketch::deserialize("c=1,z=0,9999999:4").is_err());
+    }
+
+    #[test]
+    fn sequential_equals_merged_in_fixed_order() {
+        // Shard-and-merge must reproduce the sequential fill exactly when
+        // shards cover contiguous ranges and merge in shard order.
+        let vals: Vec<f64> = (0..600).map(|i| (i % 97) as f64 * 0.37 + 0.2).collect();
+        let mut seq = MetricSketch::new();
+        for &v in &vals {
+            seq.add(v);
+        }
+        let mut shards = Vec::new();
+        for chunk in vals.chunks(100) {
+            let mut s = MetricSketch::new();
+            for &v in chunk {
+                s.add(v);
+            }
+            shards.push(s);
+        }
+        let mut merged = MetricSketch::new();
+        for s in &shards {
+            merged.merge(s);
+        }
+        assert_eq!(merged.count(), seq.count());
+        assert_eq!(merged.serialize(), {
+            // Histogram and min/max are order-independent; the Welford
+            // moments only match to float tolerance under different
+            // association, so compare them separately.
+            let mut seq2 = seq.clone();
+            seq2.w = merged.w.clone();
+            seq2.serialize()
+        });
+        assert!((merged.mean() - seq.mean()).abs() < 1e-9);
+        // But two *identical* merge sequences are bit-identical — the
+        // determinism property the campaign relies on.
+        let mut merged2 = MetricSketch::new();
+        for s in &shards {
+            merged2.merge(s);
+        }
+        assert_eq!(merged.serialize(), merged2.serialize());
+    }
+}

@@ -1,0 +1,98 @@
+//! Fleet campaign determinism gates: a killed-then-resumed campaign and
+//! a differently-threaded campaign must reproduce the uninterrupted
+//! single-threaded aggregates bit-identically.
+
+use std::path::PathBuf;
+
+use gsrepro_testbed::campaign::{run_campaign, CampaignSpec, METRICS};
+use gsrepro_testbed::{CcaKind, Condition, SystemKind, Timeline};
+
+fn spec(manifest: Option<PathBuf>, threads: usize) -> CampaignSpec {
+    let tl = Timeline::scaled(0.02);
+    let conditions = vec![
+        Condition::new(SystemKind::Luna, Some(CcaKind::Cubic), 25, 2.0).with_timeline(tl),
+        Condition::new(SystemKind::Stadia, Some(CcaKind::Bbr), 25, 2.0).with_timeline(tl),
+    ];
+    let mut s = CampaignSpec::new(conditions, 4);
+    s.shard_size = 2;
+    s.threads = threads;
+    s.manifest = manifest;
+    s
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gsrepro-campaign-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+#[test]
+fn resumed_campaign_is_bit_identical_to_uninterrupted() {
+    // Ground truth: no manifest, straight through.
+    let baseline = run_campaign(&spec(None, 1)).expect("baseline runs");
+    assert!(baseline.complete());
+    assert_eq!(baseline.sessions_total(), 8);
+    assert_eq!(baseline.resumed_shards, 0);
+
+    // Same sweep, but killed after 1 of 4 shards.
+    let path = scratch("resume.manifest");
+    let _ = std::fs::remove_file(&path);
+    let mut halted = spec(Some(path.clone()), 1);
+    halted.halt_after_shards = Some(1);
+    let partial = run_campaign(&halted).expect("halted run succeeds");
+    assert!(!partial.complete());
+    assert_eq!(partial.completed_shards, 1);
+    assert_eq!(partial.pending_shards, 3);
+    assert_eq!(partial.sessions_this_run, 2);
+
+    // The manifest holds exactly the finished shard.
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert!(text.starts_with("gsrepro-fleet-manifest v1\nspec "));
+    assert_eq!(text.lines().filter(|l| l.starts_with("shard ")).count(), 1);
+
+    // Resume to completion.
+    let resumed = run_campaign(&spec(Some(path.clone()), 1)).expect("resume succeeds");
+    assert!(resumed.complete());
+    assert_eq!(resumed.resumed_shards, 1);
+    assert_eq!(resumed.completed_shards, 3);
+    assert_eq!(resumed.sessions_this_run, 6);
+    assert_eq!(resumed.sessions_total(), 8);
+
+    assert_eq!(
+        resumed.digest(),
+        baseline.digest(),
+        "kill + resume must reproduce the uninterrupted aggregates exactly"
+    );
+    // Spot-check a non-trivial float the digest covers.
+    for ((_, a), (_, b)) in resumed.conditions.iter().zip(&baseline.conditions) {
+        for i in 0..METRICS.len() {
+            assert_eq!(a.metric(i).mean().to_bits(), b.metric(i).mean().to_bits());
+            assert_eq!(
+                a.metric(i).quantile(0.95).to_bits(),
+                b.metric(i).quantile(0.95).to_bits()
+            );
+        }
+    }
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn thread_count_does_not_change_the_digest() {
+    let one = run_campaign(&spec(None, 1)).expect("1-thread runs");
+    let four = run_campaign(&spec(None, 4)).expect("4-thread runs");
+    assert_eq!(one.sessions_total(), four.sessions_total());
+    assert_eq!(
+        one.digest(),
+        four.digest(),
+        "shard-ordered merge must make aggregates thread-count invariant"
+    );
+}
+
+#[test]
+fn foreign_manifest_is_refused() {
+    let path = scratch("foreign.manifest");
+    std::fs::write(&path, "gsrepro-fleet-manifest v1\nspec 0000000000000000\n").unwrap();
+    let err = run_campaign(&spec(Some(path.clone()), 1)).unwrap_err();
+    assert!(err.contains("different campaign"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
