@@ -38,6 +38,9 @@ cargo run --release -p gsrepro-bench --bin validate_trace -- "$scenario_dir" --r
 echo "== oracle-enabled smoke (figure2 grid with --checks)"
 cargo run --release -p gsrepro-bench --bin figure2 -- --smoke --iters 1 --checks
 
+echo "== oracle-enabled 3-D AQM smoke (scorecard3d with --checks)"
+cargo run --release -p gsrepro-bench --bin scorecard3d -- --smoke --iters 1 --checks --quiet
+
 echo "== scorecard snapshot (release, oracle-enabled grids)"
 cargo test --release -q -p gsrepro-testbed --test scorecard_snapshot -- --ignored
 

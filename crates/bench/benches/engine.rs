@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use gsrepro_netsim::apps::{CbrSource, SinkAgent};
 use gsrepro_netsim::net::{AgentId, NetworkBuilder};
 use gsrepro_netsim::queue::{DropTailQueue, Queue, QueueSpec, QueuedPkt};
-use gsrepro_netsim::wire::{FlowId, PktRef};
+use gsrepro_netsim::wire::{Ecn, FlowId, PktRef};
 use gsrepro_netsim::LinkSpec;
 use gsrepro_simcore::{BitRate, Bytes, SimDuration, SimTime};
 use gsrepro_tcp::{CcaKind, TcpReceiver, TcpSender, TcpSenderConfig};
@@ -97,6 +97,7 @@ fn bench_queue_disciplines(c: &mut Criterion) {
         pkt: PktRef(i as u32),
         flow: FlowId((i % 4) as u32),
         size: Bytes(1200),
+        ecn: Ecn::NotEct,
         enqueued_at: SimTime::ZERO,
     };
     let mut group = c.benchmark_group("queues");

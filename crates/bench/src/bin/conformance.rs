@@ -1,7 +1,7 @@
 //! Run the CCA conformance kit against the committed golden fixtures.
 //!
 //! Usage: `conformance [--bless]`. Drives every congestion controller
-//! (Reno, Cubic, BBR v1, Vegas) through its standard scripted-ack
+//! (Reno, Cubic, BBR v1, BBR v2, Vegas) through its standard scripted-ack
 //! step-response and diffs the trajectory against the fixture under
 //! `crates/tcp/tests/fixtures/cca/`. Exits non-zero on the first
 //! divergence — CI runs this as the "are the control laws still the

@@ -14,7 +14,7 @@
 //! Usage: `cargo run --release -p gsrepro-bench --bin sched_bench`
 
 use gsrepro_netsim::queue::{QueueSpec, QueuedPkt};
-use gsrepro_netsim::wire::{FlowId, PktRef};
+use gsrepro_netsim::wire::{Ecn, FlowId, PktRef};
 use gsrepro_netsim::LinkSpec;
 use gsrepro_simcore::engine::{Engine, Scheduler, World};
 use gsrepro_simcore::{BitRate, Bytes, SimDuration, SimTime};
@@ -187,6 +187,7 @@ fn bench_link_drain(n: usize, batched: bool) -> f64 {
             pkt: PktRef(i as u32),
             size: Bytes(1228),
             flow: FlowId(0),
+            ecn: Ecn::NotEct,
             enqueued_at: now,
         };
         assert!(link.offer(item, now).is_ok(), "offer rejected");

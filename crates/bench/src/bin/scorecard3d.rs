@@ -1,0 +1,18 @@
+//! The 3-D AQM scorecard: {GeForce NOW, Stadia, Luna} × {Cubic, BBRv1,
+//! BBRv2} × {drop-tail, CoDel, FQ-CoDel} at 25 Mb/s / 2× BDP. Prints the
+//! 27 per-cell QoE rows, grades the AQM claims (CoDel cuts RTT, BBRv2 is
+//! marked not dropped, FQ isolates the game flow), and optionally dumps
+//! the table as CSV.
+
+use gsrepro_testbed::experiments as ex;
+
+fn main() {
+    let (opts, csv) = gsrepro_bench::parse_args();
+    eprintln!("running 3-D AQM grid (27 cells)...");
+    let grid = ex::run_aqm3d_grid(opts);
+    let table = ex::aqm3d(&grid);
+    println!("{table}");
+    let sc = gsrepro_testbed::scorecard::aqm_scorecard(&grid);
+    println!("{sc}");
+    gsrepro_bench::maybe_write_csv(&csv, &table.csv());
+}

@@ -16,6 +16,7 @@
 //! | Table 4 | `... --bin table4` |
 //! | Table 5 | `... --bin table5` |
 //! | loss tables | `... --bin loss_tables` |
+//! | 3-D AQM scorecard | `... --bin scorecard3d` |
 //! | everything | `... --bin full_reproduction` |
 //!
 //! Every binary accepts `--iters N` (default 5; the paper used 15),

@@ -12,7 +12,7 @@
 use std::collections::BTreeMap;
 
 use gsrepro_netsim::net::{Agent, AgentId, Ctx, NodeId, PacketSpec};
-use gsrepro_netsim::wire::{FlowId, Packet, Payload, StreamFeedback};
+use gsrepro_netsim::wire::{Ecn, FlowId, Packet, Payload, StreamFeedback};
 use gsrepro_simcore::stats::TimeBinned;
 use gsrepro_simcore::{BitRate, Bytes, SimDuration, SimTime};
 
@@ -234,6 +234,7 @@ impl StreamClient {
             dst: self.cfg.server_node,
             dst_agent: self.cfg.server_agent,
             size: FEEDBACK_SIZE,
+            ecn: Ecn::NotEct,
             payload: Payload::Feedback(fb),
         });
 

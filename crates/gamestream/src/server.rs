@@ -11,7 +11,7 @@
 use std::collections::VecDeque;
 
 use gsrepro_netsim::net::{Agent, AgentId, Ctx, NodeId, PacketSpec};
-use gsrepro_netsim::wire::{FlowId, MediaChunk, Packet, Payload, MEDIA_MTU, UDP_HEADER};
+use gsrepro_netsim::wire::{Ecn, FlowId, MediaChunk, Packet, Payload, MEDIA_MTU, UDP_HEADER};
 use gsrepro_simcore::stats::Samples;
 use gsrepro_simcore::{BitRate, Bytes, SimDuration};
 
@@ -177,6 +177,7 @@ impl StreamServer {
                 dst: self.client_node,
                 dst_agent: self.client_agent,
                 size: Bytes(payload) + UDP_HEADER,
+                ecn: Ecn::NotEct,
                 payload: Payload::Media(MediaChunk {
                     seq: self.next_seq,
                     frame_id: frame.id,

@@ -11,7 +11,7 @@ use gsrepro_simcore::stats::Samples;
 use gsrepro_simcore::{BitRate, Bytes, SimDuration, SimTime};
 
 use crate::net::{Agent, AgentId, Ctx, NodeId, PacketSpec};
-use crate::wire::{FlowId, Packet, Payload, PingEcho};
+use crate::wire::{Ecn, FlowId, Packet, Payload, PingEcho};
 
 /// Counts and discards everything it receives. Destination for raw traffic
 /// generators.
@@ -108,6 +108,7 @@ impl Agent for CbrSource {
             dst: self.dst,
             dst_agent: self.dst_agent,
             size: self.pkt_size,
+            ecn: Ecn::NotEct,
             payload: Payload::Raw,
         });
         ctx.set_timer(self.interval(), 0);
@@ -219,6 +220,7 @@ impl Agent for PingAgent {
             dst: self.dst,
             dst_agent: self.dst_agent,
             size: PING_SIZE,
+            ecn: Ecn::NotEct,
             payload: Payload::Ping(PingEcho {
                 seq: self.next_seq,
                 is_reply: false,
@@ -251,6 +253,7 @@ impl Agent for EchoAgent {
                     dst: pkt.src,
                     dst_agent: pkt.dst_agent, // same agent slot convention not used; see tests
                     size: PING_SIZE,
+                    ecn: Ecn::NotEct,
                     payload: Payload::Ping(PingEcho {
                         seq: echo.seq,
                         is_reply: true,
@@ -285,6 +288,7 @@ impl Agent for EchoTo {
                     dst: pkt.src,
                     dst_agent: self.reply_to,
                     size: PING_SIZE,
+                    ecn: Ecn::NotEct,
                     payload: Payload::Ping(PingEcho {
                         seq: echo.seq,
                         is_reply: true,

@@ -57,6 +57,10 @@ pub struct NetTotals {
     /// Packets currently parked in the pool (queued, on the wire, or
     /// scheduled to arrive).
     pub in_flight: u64,
+    /// ECN-capable packets CE-marked by an AQM instead of dropped.
+    /// Marked packets still deliver, so this is *not* a term in the
+    /// conservation identity — it is cross-checked against telemetry.
+    pub ce_marked: u64,
 }
 
 /// Audit one link snapshot: queue occupancy within capacity, token balance
@@ -132,6 +136,18 @@ pub fn audit_telemetry(checks: &mut Checks, now: SimTime, counters: &Counters, t
             )
         },
     );
+    checks.check(
+        counters.ecn_marks == t.ce_marked,
+        now,
+        "telemetry-cross-check",
+        || "ecn marks".into(),
+        || {
+            format!(
+                "telemetry counted {} CE marks, monitor counted {}",
+                counters.ecn_marks, t.ce_marked
+            )
+        },
+    );
 }
 
 #[cfg(test)]
@@ -162,11 +178,13 @@ mod tests {
                 link_drops: 1,
                 duplicated: 1,
                 in_flight: 2,
+                ce_marked: 0,
             },
         );
         let counters = Counters {
             queue_drops: 2,
             link_drops: 1,
+            ecn_marks: 4,
             ..Counters::default()
         };
         audit_telemetry(
@@ -176,10 +194,11 @@ mod tests {
             &NetTotals {
                 queue_drops: 2,
                 link_drops: 1,
+                ce_marked: 4,
                 ..NetTotals::default()
             },
         );
-        assert_eq!(c.performed(), 5);
+        assert_eq!(c.performed(), 6);
     }
 
     #[test]
@@ -229,6 +248,17 @@ mod tests {
                 ..NetTotals::default()
             },
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "invariant violation: telemetry-cross-check")]
+    fn mark_counter_disagreement_fires() {
+        let mut c = Checks::enabled();
+        let counters = Counters {
+            ecn_marks: 1,
+            ..Counters::default()
+        };
+        audit_telemetry(&mut c, SimTime::ZERO, &counters, &NetTotals::default());
     }
 
     #[test]

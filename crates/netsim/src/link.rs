@@ -414,7 +414,7 @@ impl Link {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::wire::{FlowId, PktRef};
+    use crate::wire::{Ecn, FlowId, PktRef};
 
     /// One-packet view of [`Link::service_batch`], so the pacing tests can
     /// still observe each departure/wait decision individually.
@@ -442,6 +442,7 @@ mod tests {
             pkt: PktRef(0),
             flow: FlowId(1),
             size: Bytes(size),
+            ecn: Ecn::NotEct,
             enqueued_at: SimTime::ZERO,
         }
     }

@@ -36,6 +36,10 @@ pub struct FlowStats {
     pub queue_drop_pkts: u64,
     /// Packets dropped by link fault injection.
     pub link_drop_pkts: u64,
+    /// ECN-capable packets CE-marked by an AQM instead of dropped
+    /// (RFC 3168 § 5). Marked packets still deliver, so this is
+    /// informational: it does not enter the loss rate.
+    pub ce_marked_pkts: u64,
     /// Delivered bytes binned by arrival time (0.5 s bins by default).
     pub delivered_bins: TimeBinned,
     /// Sent packets binned by send time (for windowed loss rates).
@@ -56,6 +60,7 @@ impl FlowStats {
             delivered_bytes: Bytes::ZERO,
             queue_drop_pkts: 0,
             link_drop_pkts: 0,
+            ce_marked_pkts: 0,
             delivered_bins: TimeBinned::new(bin),
             sent_bins: TimeBinned::new(bin),
             dropped_bins: TimeBinned::new(bin),
@@ -179,6 +184,10 @@ impl Monitor {
         s.delivered_bytes += size;
         s.delivered_bins.add(now, size.as_u64() as f64);
         s.owd.add(owd.as_millis_f64());
+    }
+
+    pub(crate) fn on_marked(&mut self, flow: FlowId) {
+        self.flows[flow.0 as usize].ce_marked_pkts += 1;
     }
 
     pub(crate) fn on_dropped(&mut self, flow: FlowId, kind: DropKind, now: SimTime) {

@@ -44,7 +44,7 @@ use crate::monitor::{DropKind, Monitor};
 use crate::queue::QueuedPkt;
 use crate::scenario::{ScenarioAction, ScenarioSpec};
 use crate::trace::{proto_tag, Trace, TraceEvent, TraceKind};
-use crate::wire::{FlowId, Packet, PacketPool, Payload, PktRef};
+use crate::wire::{Ecn, FlowId, Packet, PacketPool, Payload, PktRef};
 
 /// Identifies a node (host or router).
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -82,6 +82,9 @@ pub struct PacketSpec {
     pub dst_agent: AgentId,
     /// Total wire size.
     pub size: Bytes,
+    /// ECN codepoint the sender stamps on the wire (RFC 3168). ECT packets
+    /// are CE-markable by AQMs instead of being dropped.
+    pub ecn: Ecn,
     /// Protocol content.
     pub payload: Payload,
 }
@@ -280,6 +283,7 @@ impl Network {
             totals.delivered += st.delivered_pkts;
             totals.queue_drops += st.queue_drop_pkts;
             totals.link_drops += st.link_drop_pkts;
+            totals.ce_marked += st.ce_marked_pkts;
         }
         checks::audit_conservation(&mut self.checks, now, &totals);
         for link in &self.links {
@@ -399,6 +403,7 @@ impl Network {
             dst_agent: spec.dst_agent,
             size: spec.size,
             sent_at: sched.now(),
+            ecn: spec.ecn,
             payload: spec.payload,
         };
         self.next_pkt_id += 1;
@@ -416,9 +421,9 @@ impl Network {
     }
 
     fn forward(&mut self, at: NodeId, pkt: PktRef, sched: &mut Scheduler<NetEvent>) {
-        let (dst, size, flow) = {
+        let (dst, size, flow, ecn) = {
             let p = self.pool.get(pkt);
-            (p.dst, p.size, p.flow)
+            (p.dst, p.size, p.flow, p.ecn)
         };
         let Some(link_id) = self.nodes[at.0 as usize].routes[dst.0 as usize] else {
             panic!(
@@ -431,6 +436,7 @@ impl Network {
             pkt,
             size,
             flow,
+            ecn,
             enqueued_at: now,
         };
         let link = &mut self.links[link_id.0 as usize];
@@ -554,6 +560,20 @@ impl Network {
             if loss > 0.0 && self.rng.gen::<f64>() < loss {
                 self.drop_pooled(item, DropKind::Link, id, now);
                 continue;
+            }
+            // The AQM CE-marked this packet on dequeue: write the mark back
+            // into the pooled packet so it rides to the receiver, and account
+            // it once. On multi-hop paths `forward` copies the (already-Ce)
+            // codepoint into the next hop's QueuedPkt, so the pool comparison
+            // keeps a packet from being counted at every hop.
+            if item.ecn == Ecn::Ce {
+                let p = self.pool.get_mut(item.pkt);
+                if p.ecn != Ecn::Ce {
+                    p.ecn = Ecn::Ce;
+                    self.monitor.on_marked(item.flow);
+                    self.telemetry
+                        .ecn_mark(now, item.flow.0, id.0 as u64, item.size.as_u64());
+                }
             }
             if self.telemetry.is_enabled() {
                 let sojourn = now.saturating_since(item.enqueued_at);

@@ -9,17 +9,18 @@
 //!
 //! Queues never see full [`crate::wire::Packet`]s: packet storage lives in
 //! the network's [`crate::wire::PacketPool`] and disciplines shuffle
-//! [`QueuedPkt`] entries — the pool handle plus the three header fields a
-//! discipline actually consults (size, flow, enqueue time). That keeps every
-//! enqueue/dequeue a 24-byte move on the simulator's hottest path.
+//! [`QueuedPkt`] entries — the pool handle plus the few header fields a
+//! discipline actually consults (size, flow, enqueue time, ECN codepoint).
+//! That keeps every enqueue/dequeue a 32-byte move on the simulator's
+//! hottest path.
 
 use gsrepro_simcore::{Bytes, SimDuration, SimTime};
 use std::collections::VecDeque;
 
-use crate::wire::{FlowId, PktRef};
+use crate::wire::{Ecn, FlowId, PktRef};
 
 /// What a queue holds per packet: the pool handle and the header fields
-/// disciplines inspect. `Copy`, 24 bytes — moving one is three registers.
+/// disciplines inspect. `Copy`, 32 bytes — moving one is four registers.
 #[derive(Clone, Copy, Debug)]
 pub struct QueuedPkt {
     /// Handle to the full packet in the network's pool.
@@ -28,6 +29,11 @@ pub struct QueuedPkt {
     pub size: Bytes,
     /// Flow (for FQ hashing and drop accounting).
     pub flow: FlowId,
+    /// ECN codepoint, copied from the packet at enqueue. An AQM that
+    /// decides to drop an [`Ecn::Ect`] entry rewrites this to [`Ecn::Ce`]
+    /// and delivers it instead (RFC 3168 § 5); the network propagates the
+    /// mark back into the pooled packet and accounts it.
+    pub ecn: Ecn,
     /// Time this entry entered the queue it currently occupies; set by the
     /// discipline on enqueue, read by CoDel as the sojourn clock.
     pub enqueued_at: SimTime,
@@ -93,6 +99,9 @@ pub enum QueueSpec {
         target: SimDuration,
         /// Sliding interval (RFC default 100 ms).
         interval: SimDuration,
+        /// Path MTU: the below-target backlog guard (RFC 8289 § 4.2 "one
+        /// maximum packet's worth").
+        mtu: Bytes,
     },
     /// FQ-CoDel (RFC 8290): per-flow queues with DRR and CoDel each.
     FqCoDel {
@@ -104,8 +113,14 @@ pub enum QueueSpec {
         interval: SimDuration,
         /// DRR quantum (RFC default 1514 bytes).
         quantum: Bytes,
+        /// Path MTU for each sub-queue's below-target guard.
+        mtu: Bytes,
     },
 }
+
+/// Default path MTU for the AQM below-target guard: a full Ethernet frame,
+/// matching the testbed's 1500-byte paths.
+pub const DEFAULT_MTU: Bytes = Bytes(1514);
 
 impl QueueSpec {
     /// Drop-tail with the RFC-default CoDel parameters filled in.
@@ -114,6 +129,7 @@ impl QueueSpec {
             limit,
             target: SimDuration::from_millis(5),
             interval: SimDuration::from_millis(100),
+            mtu: DEFAULT_MTU,
         }
     }
 
@@ -124,7 +140,17 @@ impl QueueSpec {
             target: SimDuration::from_millis(5),
             interval: SimDuration::from_millis(100),
             quantum: Bytes(1514),
+            mtu: DEFAULT_MTU,
         }
+    }
+
+    /// Override the AQM path MTU (no-op for drop-tail variants).
+    pub fn with_mtu(mut self, new_mtu: Bytes) -> Self {
+        match &mut self {
+            QueueSpec::CoDel { mtu, .. } | QueueSpec::FqCoDel { mtu, .. } => *mtu = new_mtu,
+            QueueSpec::DropTail { .. } | QueueSpec::DropTailPkts { .. } => {}
+        }
+        self
     }
 
     /// Instantiate the queue.
@@ -138,13 +164,17 @@ impl QueueSpec {
                 limit,
                 target,
                 interval,
-            } => Discipline::CoDel(CoDelQueue::new(limit, target, interval)),
+                mtu,
+            } => Discipline::CoDel(CoDelQueue::new(limit, target, interval).with_mtu(mtu)),
             QueueSpec::FqCoDel {
                 limit,
                 target,
                 interval,
                 quantum,
-            } => Discipline::FqCoDel(FqCoDelQueue::new(limit, target, interval, quantum)),
+                mtu,
+            } => Discipline::FqCoDel(
+                FqCoDelQueue::new(limit, target, interval, quantum).with_mtu(mtu),
+            ),
         }
     }
 }
@@ -345,13 +375,21 @@ impl Queue for DropTailQueue {
 ///
 /// Tracks packet sojourn time; once sojourn exceeds `target` continuously
 /// for `interval`, CoDel enters the dropping state and drops head packets at
-/// intervals shrinking with the square root of the drop count.
+/// intervals shrinking with the square root of the drop count. ECN-capable
+/// packets ([`Ecn::Ect`]) are CE-marked and delivered instead of dropped,
+/// with the control law advancing exactly as if they had been dropped
+/// (RFC 8289 § 4.1, as in Linux `codel_impl.h`).
 pub struct CoDelQueue {
     q: VecDeque<QueuedPkt>,
     bytes: Bytes,
     limit: Bytes,
     target: SimDuration,
     interval: SimDuration,
+    /// Below-target guard: CoDel never drops while the backlog is under one
+    /// maximum packet (RFC 8289 § 4.2). Configurable because the guard must
+    /// track the *path's* MTU — at small MTUs a 1514-byte constant keeps the
+    /// queue permanently "nearly empty" and dropping never engages.
+    mtu: Bytes,
 
     // Control-law state, names per RFC 8289 pseudocode.
     first_above_time: Option<SimTime>,
@@ -363,6 +401,8 @@ pub struct CoDelQueue {
 
 impl CoDelQueue {
     /// New CoDel queue with a hard byte limit and the given target/interval.
+    /// The below-target guard defaults to [`DEFAULT_MTU`]; override with
+    /// [`CoDelQueue::with_mtu`] for non-Ethernet paths.
     pub fn new(limit: Bytes, target: SimDuration, interval: SimDuration) -> Self {
         CoDelQueue {
             q: VecDeque::new(),
@@ -370,12 +410,19 @@ impl CoDelQueue {
             limit,
             target,
             interval,
+            mtu: DEFAULT_MTU,
             first_above_time: None,
             drop_next: SimTime::ZERO,
             count: 0,
             last_count: 0,
             dropping: false,
         }
+    }
+
+    /// Set the path MTU used by the below-target backlog guard.
+    pub fn with_mtu(mut self, mtu: Bytes) -> Self {
+        self.mtu = mtu;
+        self
     }
 
     fn control_law(&self, t: SimTime) -> SimTime {
@@ -390,7 +437,7 @@ impl CoDelQueue {
         let item = self.q.pop_front()?;
         self.bytes -= item.size;
         let sojourn = now.saturating_since(item.enqueued_at);
-        if sojourn < self.target || self.bytes < Bytes(1514) {
+        if sojourn < self.target || self.bytes < self.mtu {
             // Went below target (or queue nearly empty): reset the clock.
             self.first_above_time = None;
             Some((item, true))
@@ -421,6 +468,14 @@ impl Queue for CoDelQueue {
             } else {
                 while self.dropping && now >= self.drop_next {
                     self.count += 1;
+                    if item.ecn == Ecn::Ect {
+                        // ECN-capable: mark CE and deliver; the control law
+                        // advances exactly as for a drop, so marked and
+                        // dropped trajectories share the same schedule.
+                        item.ecn = Ecn::Ce;
+                        self.drop_next = self.control_law(self.drop_next);
+                        return Some(item);
+                    }
                     dropped.push(item);
                     match self.do_dequeue(now) {
                         Some((p, k)) => {
@@ -440,8 +495,7 @@ impl Queue for CoDelQueue {
                 }
             }
         } else if !ok {
-            // Enter dropping state: drop this packet and deliver the next.
-            dropped.push(item);
+            // Enter dropping state: drop (or CE-mark) this packet.
             self.dropping = true;
             // RFC: if we recently dropped, resume from a higher count.
             let delta = self.count.saturating_sub(self.last_count);
@@ -452,8 +506,13 @@ impl Queue for CoDelQueue {
             };
             self.drop_next = self.control_law(now);
             self.last_count = self.count;
-            let (p, _) = self.do_dequeue(now)?;
-            item = p;
+            if item.ecn == Ecn::Ect {
+                item.ecn = Ecn::Ce;
+            } else {
+                dropped.push(item);
+                let (p, _) = self.do_dequeue(now)?;
+                item = p;
+            }
         }
         Some(item)
     }
@@ -516,11 +575,14 @@ pub struct FqCoDelQueue {
 }
 
 impl FqCoDelQueue {
-    /// New FQ-CoDel queue.
+    /// New FQ-CoDel queue. The shared byte limit is enforced here at
+    /// admission; sub-queue CoDels get an unlimited backstop so no
+    /// per-flow copy of the shared limit can drift out of sync with it
+    /// (per-flow byte accounting stays purely aggregate).
     pub fn new(limit: Bytes, target: SimDuration, interval: SimDuration, quantum: Bytes) -> Self {
         let flows = (0..FQ_BUCKETS)
             .map(|_| FqFlow {
-                codel: CoDelQueue::new(limit, target, interval),
+                codel: CoDelQueue::new(Bytes(u64::MAX), target, interval),
                 deficit: 0,
             })
             .collect();
@@ -535,6 +597,14 @@ impl FqCoDelQueue {
             quantum,
             pkts: 0,
         }
+    }
+
+    /// Set the path MTU used by every sub-queue's below-target guard.
+    pub fn with_mtu(mut self, mtu: Bytes) -> Self {
+        for f in &mut self.flows {
+            f.codel.mtu = mtu;
+        }
+        self
     }
 
     fn bucket(flow: FlowId) -> usize {
@@ -645,14 +715,11 @@ impl Queue for FqCoDelQueue {
     }
 
     fn set_byte_limit(&mut self, limit: Bytes, dropped: &mut Vec<QueuedPkt>) {
+        // The shared limit lives only here: handing every sub-flow CoDel a
+        // full copy of it (the old behaviour) let per-flow backstops shadow
+        // the aggregate and drift from it across scenario steps. Admission
+        // is the aggregate check in `enqueue`; sub-queues stay unlimited.
         self.limit = limit;
-        // Sub-queue CoDels were built with the old limit as backstop; keep
-        // them in line so a later direct overfill cannot exceed the new cap.
-        // Their backlogs are trimmed via the fattest-flow eviction below,
-        // not here, so cross-flow fairness is preserved.
-        for f in &mut self.flows {
-            f.codel.limit = limit;
-        }
         while self.bytes > limit {
             // Evict from the tail of the fattest flow (RFC 8290 §4.1.2
             // drops from the biggest queue; tail-first matches the other
@@ -692,7 +759,15 @@ mod tests {
             pkt: PktRef(id),
             flow: FlowId(flow),
             size: Bytes(size),
+            ecn: Ecn::NotEct,
             enqueued_at: SimTime::ZERO,
+        }
+    }
+
+    fn ect_pkt(flow: u32, size: u64) -> QueuedPkt {
+        QueuedPkt {
+            ecn: Ecn::Ect,
+            ..pkt(flow, size)
         }
     }
 
@@ -796,6 +871,93 @@ mod tests {
         );
     }
 
+    /// Drive a CoDel through a persistent standing queue of `size`-byte
+    /// packets (arrivals at twice the drain rate), returning
+    /// `(delivered, dropped, ce_marked)`.
+    fn run_standing_queue(mut q: CoDelQueue, size: u64, ecn: Ecn) -> (u64, usize, u64) {
+        let mut dropped = vec![];
+        let mut delivered = 0u64;
+        let mut marked = 0u64;
+        for step in 0..2_000u64 {
+            let now = SimTime::from_millis(step);
+            let mut item = pkt(1, size);
+            item.ecn = ecn;
+            q.enqueue(item, now).unwrap();
+            if step % 2 == 0 {
+                if let Some(out) = q.dequeue(now, &mut dropped) {
+                    delivered += 1;
+                    if out.ecn == Ecn::Ce {
+                        marked += 1;
+                    }
+                }
+            }
+        }
+        (delivered, dropped.len(), marked)
+    }
+
+    #[test]
+    fn codel_marks_ect_instead_of_dropping() {
+        let mk = || {
+            CoDelQueue::new(
+                Bytes(1_000_000),
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(100),
+            )
+        };
+        let (_, drops, marks) = run_standing_queue(mk(), 1000, Ecn::NotEct);
+        assert!(drops > 0, "non-ECT traffic must be dropped");
+        assert_eq!(marks, 0);
+        let (_, e_drops, e_marks) = run_standing_queue(mk(), 1000, Ecn::Ect);
+        assert_eq!(e_drops, 0, "ECT traffic is never dropped by the AQM");
+        assert!(e_marks > 0, "ECT traffic is CE-marked instead");
+        // Mark-instead-of-drop keeps the control-law schedule: the signal
+        // count is the same order as the drop count (marked packets are
+        // delivered, so the drain pattern differs slightly).
+        assert!(
+            e_marks as usize >= drops / 2,
+            "marks {e_marks} vs drops {drops}"
+        );
+    }
+
+    #[test]
+    fn codel_mtu_guard_gates_dropping_at_small_mtus() {
+        // A standing queue of 300-byte packets that never exceeds ~1200 B
+        // backlog: sojourn sits far above target, but the old hardcoded
+        // 1514-byte guard reads the queue as "nearly empty" and dropping
+        // never engages. With the guard at the path MTU, CoDel drops.
+        let run = |mtu: Option<Bytes>| {
+            let mut q = CoDelQueue::new(
+                Bytes(100_000),
+                SimDuration::from_millis(5),
+                SimDuration::from_millis(100),
+            );
+            if let Some(m) = mtu {
+                q = q.with_mtu(m);
+            }
+            let mut dropped = vec![];
+            // Prime a 3-packet backlog, then 1-in-1-out forever: each
+            // packet waits ~3 service intervals (30 ms >> 5 ms target).
+            for _ in 0..3 {
+                q.enqueue(pkt(1, 300), SimTime::ZERO).unwrap();
+            }
+            for step in 0..300u64 {
+                let now = SimTime::from_millis(step * 10);
+                q.enqueue(pkt(1, 300), now).unwrap();
+                q.dequeue(now, &mut dropped);
+            }
+            dropped.len()
+        };
+        assert_eq!(
+            run(None),
+            0,
+            "Ethernet-MTU guard treats a sub-1514 B backlog as empty"
+        );
+        assert!(
+            run(Some(Bytes(300))) > 0,
+            "with the configured MTU the same persistent delay must drop"
+        );
+    }
+
     #[test]
     fn fq_codel_isolates_flows() {
         let mut q = FqCoDelQueue::new(
@@ -846,6 +1008,87 @@ mod tests {
         while q.dequeue(now, &mut dropped).is_some() {}
         assert_eq!(q.len_bytes(), Bytes::ZERO);
         assert_eq!(q.len_pkts(), 0);
+    }
+
+    #[test]
+    fn fq_codel_marks_ect_instead_of_dropping() {
+        let mut q = FqCoDelQueue::new(
+            Bytes(1_000_000),
+            SimDuration::from_millis(1),
+            SimDuration::from_millis(10),
+            Bytes(1514),
+        );
+        let mut dropped = vec![];
+        let mut marked = 0u64;
+        let mut now = SimTime::ZERO;
+        for step in 0..1_000u64 {
+            now = SimTime::from_millis(step);
+            q.enqueue(ect_pkt(1, 1000), now).unwrap();
+            if step % 3 == 0 {
+                if let Some(out) = q.dequeue(now, &mut dropped) {
+                    if out.ecn == Ecn::Ce {
+                        marked += 1;
+                    }
+                }
+            }
+        }
+        while let Some(out) = q.dequeue(now, &mut dropped) {
+            if out.ecn == Ecn::Ce {
+                marked += 1;
+            }
+        }
+        assert_eq!(dropped.len(), 0, "ECT flood must not be AQM-dropped");
+        assert!(marked > 0, "persistent delay must CE-mark ECT packets");
+        assert_eq!(q.len_bytes(), Bytes::ZERO);
+        assert_eq!(q.len_pkts(), 0);
+    }
+
+    #[test]
+    fn fq_codel_shrink_keeps_shared_limit_aggregate() {
+        // Regression for set_byte_limit handing every sub-flow the full
+        // shared limit: the shared limit must live only at the aggregate,
+        // shrink evictions must come from the fattest flow, and per-bucket
+        // accounting must stay exact so admission after the step is still
+        // governed purely by the shared limit.
+        let mut q = FqCoDelQueue::new(
+            Bytes(100_000),
+            SimDuration::from_millis(5),
+            SimDuration::from_millis(100),
+            Bytes(1514),
+        );
+        // Flow 1 queues 8 kB, flow 2 queues 2 kB (distinct buckets).
+        for i in 0..8u32 {
+            q.enqueue(qpkt(i, 1, 1000), SimTime::ZERO).unwrap();
+        }
+        for i in 8..10u32 {
+            q.enqueue(qpkt(i, 2, 1000), SimTime::ZERO).unwrap();
+        }
+        let mut dropped = vec![];
+        q.set_byte_limit(Bytes(6000), &mut dropped);
+        assert_eq!(q.capacity_bytes(), Some(Bytes(6000)));
+        assert_eq!(q.len_bytes(), Bytes(6000));
+        assert_eq!(q.len_pkts(), 6);
+        // All four evictions come from flow 1 — the fattest — tail first.
+        let evicted: Vec<u32> = dropped.iter().map(|p| p.pkt.0).collect();
+        assert_eq!(evicted, vec![7, 6, 5, 4]);
+        assert!(dropped.iter().all(|p| p.flow == FlowId(1)));
+        // Admission headroom is the shared limit, not a per-flow copy of
+        // it: flow 2 can immediately use bytes freed by flow 1's eviction
+        // once the aggregate has room.
+        assert!(q.enqueue(qpkt(90, 2, 1000), SimTime::ZERO).is_err());
+        while q.dequeue(SimTime::ZERO, &mut dropped).is_some() {
+            if q.len_bytes() + Bytes(1000) <= Bytes(6000) {
+                break;
+            }
+        }
+        assert!(q.enqueue(qpkt(91, 2, 1000), SimTime::ZERO).is_ok());
+        // Aggregate accounting is exact after the step + churn.
+        let mut n = q.len_pkts();
+        while q.dequeue(SimTime::ZERO, &mut dropped).is_some() {
+            n -= 1;
+        }
+        assert_eq!(n, 0);
+        assert_eq!(q.len_bytes(), Bytes::ZERO);
     }
 
     #[test]

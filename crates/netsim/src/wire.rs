@@ -31,6 +31,22 @@ pub const MEDIA_MTU: Bytes = Bytes(1200);
 /// Standard Ethernet-derived TCP maximum segment size.
 pub const TCP_MSS: Bytes = Bytes(1448);
 
+/// ECN codepoint carried in the (simulated) IP header (RFC 3168 § 5).
+///
+/// The two ECT codepoints are collapsed into one: the nonce variant is
+/// historical and nothing in the testbed distinguishes them.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Ecn {
+    /// Not ECN-capable transport: AQMs drop this packet under congestion.
+    #[default]
+    NotEct = 0,
+    /// ECN-capable transport: AQMs mark instead of dropping.
+    Ect = 1,
+    /// Congestion experienced: an AQM marked this packet in transit.
+    Ce = 2,
+}
+
 /// A simulated packet.
 #[derive(Clone, Debug)]
 pub struct Packet {
@@ -48,6 +64,9 @@ pub struct Packet {
     pub size: Bytes,
     /// Time the sending agent handed the packet to the network.
     pub sent_at: SimTime,
+    /// ECN codepoint. Senders set [`Ecn::Ect`] on ECN-capable flows; an
+    /// AQM rewrites it to [`Ecn::Ce`] in place of a drop.
+    pub ecn: Ecn,
     /// Protocol content.
     pub payload: Payload,
 }
@@ -100,6 +119,15 @@ impl PacketPool {
     /// Panics if `r` was already taken — a use-after-free of the slot.
     pub fn get(&self, r: PktRef) -> &Packet {
         self.slots[r.0 as usize].as_ref().expect("stale PktRef")
+    }
+
+    /// Mutably borrow a parked packet (the CE-marking site rewrites the
+    /// ECN codepoint of a packet still in flight).
+    ///
+    /// # Panics
+    /// Panics if `r` was already taken.
+    pub fn get_mut(&mut self, r: PktRef) -> &mut Packet {
+        self.slots[r.0 as usize].as_mut().expect("stale PktRef")
     }
 
     /// Remove a packet, freeing its slot. Each ref must be taken exactly
@@ -292,6 +320,7 @@ mod tests {
             dst_agent: AgentId(0),
             size: Bytes(100),
             sent_at: SimTime::from_millis(10),
+            ecn: Ecn::NotEct,
             payload: Payload::Raw,
         };
         assert_eq!(
@@ -311,6 +340,7 @@ mod tests {
             dst_agent: AgentId(0),
             size: Bytes(100),
             sent_at: SimTime::ZERO,
+            ecn: Ecn::NotEct,
             payload: Payload::Raw,
         }
     }

@@ -137,3 +137,73 @@ proptest! {
         );
     }
 }
+
+/// End-to-end regression for the FQ-CoDel `set_byte_limit` aggregate fix:
+/// a scenario queue-limit shrink on a multi-flow FQ-CoDel bottleneck runs
+/// with the oracles armed. The queue-bound oracle audits
+/// `len_bytes ≤ limit` on every event, so a discipline that hands each
+/// sub-flow the full shared limit (the old bug: two flows could hold
+/// 2 × limit in aggregate after a shrink) panics mid-run instead of
+/// silently over-buffering.
+#[test]
+fn fq_codel_scenario_queue_limit_shrink_stays_checked() {
+    let mut b = NetworkBuilder::new(11).checks(true);
+    let s = b.add_node("s");
+    let c = b.add_node("c");
+    let mut spec = LinkSpec::bottleneck(
+        BitRate::from_mbps(10),
+        Bytes(QUEUE_LIMIT),
+        SimDuration::from_millis(2),
+    );
+    spec.queue = gsrepro_netsim::QueueSpec::fq_codel_default(Bytes(QUEUE_LIMIT));
+    let l = b.link(s, c, spec);
+    b.link(c, s, LinkSpec::lan(SimDuration::from_millis(2)));
+    // Two competing flows so the shared limit is genuinely split across
+    // sub-queues when the shrink lands.
+    let sink = b.add_agent(c, Box::new(SinkAgent::new()));
+    let f1 = b.flow("a");
+    let f2 = b.flow("b");
+    b.add_agent(
+        s,
+        Box::new(CbrSource::new(
+            f1,
+            c,
+            sink,
+            BitRate::from_mbps(7),
+            Bytes(1200),
+        )),
+    );
+    b.add_agent(
+        s,
+        Box::new(CbrSource::new(
+            f2,
+            c,
+            sink,
+            BitRate::from_mbps(7),
+            Bytes(1200),
+        )),
+    );
+    let mut sim = b.build();
+    // Shrink far below the standing backlog mid-run, then restore: the
+    // shrink must evict down to the new aggregate and admission must obey
+    // it until the restore.
+    sim.apply_scenario(
+        &ScenarioSpec::new()
+            .queue_limit(SimTime::from_secs(3), l, Bytes(4_000))
+            .queue_limit(SimTime::from_secs(6), l, Bytes(QUEUE_LIMIT)),
+    );
+    sim.run_until(SimTime::from_secs(10));
+    let performed = sim.net.checks().performed();
+    assert!(performed > 1_000, "only {performed} checks ran");
+    let (s1, s2) = (sim.net.monitor().stats(f1), sim.net.monitor().stats(f2));
+    assert!(s1.delivered_pkts > 0 && s2.delivered_pkts > 0);
+    // 14 Mb/s into 10 Mb/s with a 4 kB dip guarantees queue drops — the
+    // conservation oracle has real evictions to account for.
+    assert!(s1.queue_drop_pkts + s2.queue_drop_pkts > 0);
+    for st in [&s1, &s2] {
+        assert!(
+            st.delivered_pkts + st.dropped_pkts() <= st.sent_pkts,
+            "endpoint conservation must close"
+        );
+    }
+}

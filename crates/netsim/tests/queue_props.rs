@@ -3,7 +3,7 @@
 //! invariants across randomized workloads.
 
 use gsrepro_netsim::queue::{DropTailQueue, Queue, QueueSpec, QueuedPkt};
-use gsrepro_netsim::wire::{FlowId, PktRef};
+use gsrepro_netsim::wire::{Ecn, FlowId, PktRef};
 use gsrepro_simcore::{Bytes, SimTime};
 use proptest::prelude::*;
 
@@ -14,6 +14,7 @@ fn pkt(id: u64, flow: u32, size: u64) -> QueuedPkt {
         pkt: PktRef(id as u32),
         flow: FlowId(flow),
         size: Bytes(size),
+        ecn: Ecn::NotEct,
         enqueued_at: SimTime::ZERO,
     }
 }
@@ -50,6 +51,46 @@ fn churn(
     }
     let accounted = delivered + q.len_pkts() as u64 + aqm_dropped;
     (accepted, accounted, aqm_dropped, out_ids)
+}
+
+/// Like [`churn`], but every packet is ECN-capable (ECT). Returns
+/// (accepted, accounted, aqm-dropped, CE-marked deliveries, delivered ids).
+/// A conforming AQM CE-marks ECT packets instead of dropping them, so the
+/// conservation identity must close with `aqm_dropped == 0` and every
+/// would-be drop surfacing as a delivered CE-marked packet.
+fn churn_ect(q: &mut dyn Queue, ops: &[(bool, u16, u64)]) -> (u64, u64, u64, u64, Vec<u64>) {
+    let mut accepted = 0u64;
+    let mut delivered = 0u64;
+    let mut aqm_dropped = 0u64;
+    let mut marked = 0u64;
+    let mut out_ids = Vec::new();
+    let mut scratch = Vec::new();
+    let mut id = 0u64;
+    for (i, &(is_enq, flow, size)) in ops.iter().enumerate() {
+        let now = SimTime::from_millis(i as u64);
+        if is_enq {
+            let p = QueuedPkt {
+                ecn: Ecn::Ect,
+                ..pkt(id, flow as u32 % 8, 64 + size % 1437)
+            };
+            id += 1;
+            if q.enqueue(p, now).is_ok() {
+                accepted += 1;
+            }
+        } else {
+            scratch.clear();
+            if let Some(p) = q.dequeue(now, &mut scratch) {
+                delivered += 1;
+                if p.ecn == Ecn::Ce {
+                    marked += 1;
+                }
+                out_ids.push(p.pkt.0 as u64);
+            }
+            aqm_dropped += scratch.len() as u64;
+        }
+    }
+    let accounted = delivered + q.len_pkts() as u64 + aqm_dropped;
+    (accepted, accounted, aqm_dropped, marked, out_ids)
 }
 
 proptest! {
@@ -96,6 +137,40 @@ proptest! {
         prop_assert_eq!(accepted, accounted);
         prop_assert!(q.len_bytes().as_u64() <= 50_000);
         // Draining fully zeroes the accounting.
+        let mut scratch = Vec::new();
+        while q.dequeue(SimTime::from_secs(10_000), &mut scratch).is_some() {}
+        prop_assert_eq!(q.len_pkts(), 0);
+        prop_assert_eq!(q.len_bytes().as_u64(), 0);
+    }
+
+    /// With all-ECT traffic CoDel never drops on dequeue: the conservation
+    /// identity closes with zero AQM drops, every would-be drop arriving as
+    /// a delivered CE-marked packet, and FIFO order intact.
+    #[test]
+    fn codel_ecn_marks_conserve(
+        ops in prop::collection::vec((any::<bool>(), any::<u16>(), 0u64..2000), 1..500),
+    ) {
+        let spec = QueueSpec::codel_default(Bytes(30_000));
+        let mut q = spec.build();
+        let (accepted, accounted, aqm_dropped, _marked, out_ids) = churn_ect(&mut q, &ops);
+        prop_assert_eq!(accepted, accounted);
+        prop_assert_eq!(aqm_dropped, 0, "ECT traffic must be marked, not dropped");
+        prop_assert!(out_ids.windows(2).all(|w| w[0] < w[1]), "marking must stay FIFO");
+        prop_assert!(q.len_bytes().as_u64() <= 30_000);
+    }
+
+    /// FQ-CoDel under all-ECT traffic: no AQM drops, conservation closes,
+    /// and a full drain zeroes the aggregate accounting.
+    #[test]
+    fn fq_codel_ecn_marks_conserve(
+        ops in prop::collection::vec((any::<bool>(), any::<u16>(), 0u64..2000), 1..500),
+    ) {
+        let spec = QueueSpec::fq_codel_default(Bytes(50_000));
+        let mut q = spec.build();
+        let (accepted, accounted, aqm_dropped, _marked, _) = churn_ect(&mut q, &ops);
+        prop_assert_eq!(accepted, accounted);
+        prop_assert_eq!(aqm_dropped, 0, "ECT traffic must be marked, not dropped");
+        prop_assert!(q.len_bytes().as_u64() <= 50_000);
         let mut scratch = Vec::new();
         while q.dequeue(SimTime::from_secs(10_000), &mut scratch).is_some() {}
         prop_assert_eq!(q.len_pkts(), 0);

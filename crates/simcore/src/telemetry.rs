@@ -31,7 +31,7 @@ use crate::time::{SimDuration, SimTime};
 pub const GLOBAL_FLOW: u32 = u32::MAX;
 
 /// Number of event kinds (size of per-flow throttle state).
-pub const KIND_COUNT: usize = 14;
+pub const KIND_COUNT: usize = 15;
 
 /// What happened. The `a`/`b` payload meaning is per-kind (documented on
 /// each variant as `a` / `b`).
@@ -76,6 +76,10 @@ pub enum EventKind {
     /// Recorded against [`GLOBAL_FLOW`]; never throttled, so traces prove
     /// each disturbance actually happened.
     LinkScenario = 13,
+    /// An AQM marked an ECN-capable packet CE instead of dropping it
+    /// (RFC 3168 § 5). `link id` / `packet bytes`. Decision-grade: never
+    /// throttled, so the counter equals the monitor's per-flow tally.
+    EcnMark = 14,
 }
 
 impl EventKind {
@@ -95,6 +99,7 @@ impl EventKind {
         EventKind::FastRetransmit,
         EventKind::Frame,
         EventKind::LinkScenario,
+        EventKind::EcnMark,
     ];
 
     /// Stable wire name (CSV `kind` column, JSONL `"kind"` value).
@@ -114,6 +119,7 @@ impl EventKind {
             EventKind::FastRetransmit => "fast_retx",
             EventKind::Frame => "frame",
             EventKind::LinkScenario => "link_scenario",
+            EventKind::EcnMark => "ecn_mark",
         }
     }
 
@@ -177,6 +183,8 @@ pub struct Counters {
     pub loss_intervals: u64,
     /// Link-scenario steps applied (live path reconfigurations).
     pub scenario_steps: u64,
+    /// CE marks applied by ECN-capable AQMs (mark-instead-of-drop).
+    pub ecn_marks: u64,
     /// Events the scheduler clamped from the past to `now` (see
     /// [`crate::engine::Scheduler::past_schedules`]).
     pub past_clamps: u64,
@@ -195,6 +203,7 @@ impl Counters {
         self.backoffs += o.backoffs;
         self.loss_intervals += o.loss_intervals;
         self.scenario_steps += o.scenario_steps;
+        self.ecn_marks += o.ecn_marks;
         self.past_clamps += o.past_clamps;
     }
 }
@@ -279,6 +288,7 @@ impl Telemetry {
             EventKind::CtrlBackoff => self.counters.backoffs += 1,
             EventKind::LossInterval => self.counters.loss_intervals += 1,
             EventKind::LinkScenario => self.counters.scenario_steps += 1,
+            EventKind::EcnMark => self.counters.ecn_marks += 1,
             _ => {}
         }
         let interval = self.cfg.sample_interval.as_nanos();
@@ -490,6 +500,12 @@ impl Recorder {
     #[inline]
     pub fn link_scenario(&mut self, at: SimTime, link: u64, action: u64) {
         self.rec(at, GLOBAL_FLOW, EventKind::LinkScenario, link, action);
+    }
+
+    /// An AQM CE-marked an ECN-capable packet instead of dropping it.
+    #[inline]
+    pub fn ecn_mark(&mut self, at: SimTime, flow: u32, link: u64, pkt_bytes: u64) {
+        self.rec(at, flow, EventKind::EcnMark, link, pkt_bytes);
     }
 }
 

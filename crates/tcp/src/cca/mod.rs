@@ -8,6 +8,7 @@
 //! the control law alone — the property the paper's comparison rests on.
 
 pub mod bbr;
+pub mod bbr2;
 pub mod cubic;
 pub mod reno;
 pub mod vegas;
@@ -55,6 +56,22 @@ pub trait CongestionControl: Send {
     /// The retransmission timer fired — the most severe congestion signal.
     fn on_rto(&mut self, now: SimTime);
 
+    /// An ack carried an ECE echo: the path CE-marked at least one of this
+    /// flow's packets since the last clean ack (RFC 3168 § 6.1). Called on
+    /// every ECE-bearing ack; controllers that react once per round (BBRv2)
+    /// gate internally. Default no-op so loss-based controllers that never
+    /// negotiate ECN (Reno/Cubic/Vegas here) are untouched.
+    fn on_ecn(&mut self, _now: SimTime, _in_flight: u64) {}
+
+    /// True if this controller wants its data packets sent ECT so AQMs
+    /// mark instead of drop. Only controllers that implement [`on_ecn`]
+    /// should opt in.
+    ///
+    /// [`on_ecn`]: CongestionControl::on_ecn
+    fn ecn_capable(&self) -> bool {
+        false
+    }
+
     /// Current congestion window in bytes.
     fn cwnd(&self) -> u64;
 
@@ -87,6 +104,8 @@ pub enum CcaKind {
     Cubic,
     /// TCP BBR v1 (as deployed circa Linux 4.9-5.4).
     Bbr,
+    /// BBR v2-style: inflight bounds with loss- and ECN-driven reductions.
+    Bbr2,
     /// TCP Vegas (delay-based baseline).
     Vegas,
 }
@@ -98,6 +117,7 @@ impl CcaKind {
             CcaKind::Reno => Box::new(reno::Reno::new(mss)),
             CcaKind::Cubic => Box::new(cubic::Cubic::new(mss)),
             CcaKind::Bbr => Box::new(bbr::Bbr::new(mss)),
+            CcaKind::Bbr2 => Box::new(bbr2::Bbr2::new(mss)),
             CcaKind::Vegas => Box::new(vegas::Vegas::new(mss)),
         }
     }
@@ -108,6 +128,7 @@ impl CcaKind {
             CcaKind::Reno => "reno",
             CcaKind::Cubic => "cubic",
             CcaKind::Bbr => "bbr",
+            CcaKind::Bbr2 => "bbr2",
             CcaKind::Vegas => "vegas",
         }
     }

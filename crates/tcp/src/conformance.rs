@@ -13,6 +13,10 @@
 //! * **BBR v1** — STARTUP → DRAIN → PROBE_BW with the 8-phase gain cycle
 //!   visible in the pacing column, then a stale-floor leg that must enter
 //!   PROBE_RTT (cwnd pinned to 4 segments) and exit back to PROBE_BW,
+//! * **BBR v2** — STARTUP → DRAIN → the PROBE_BW cruise/refractory/up
+//!   cycle, a loss episode that cuts `inflight_lo` by β = 0.7 and latches
+//!   `inflight_hi`, a pair of back-to-back ECN echoes (the second must be
+//!   a no-op under the per-round gate), and a PROBE_RTT dwell at half-BDP,
 //! * **Reno** — slow-start doubling, the β = 0.5 halving, and the
 //!   1-MSS-per-RTT AIMD slope,
 //! * **Vegas** — base-RTT acquisition, slow-start exit on queue build-up,
@@ -24,7 +28,8 @@
 //! Vegas band — produces a diff. The kit proves that by construction: the
 //! conformance tests run each controller with a perturbed constant
 //! ([`Cubic::with_beta`], [`Reno::with_beta`], [`Vegas::with_band`],
-//! [`Bbr::with_cwnd_gain`]) and assert the fixture check *fails*.
+//! [`Bbr::with_cwnd_gain`], [`Bbr2::with_beta`]) and assert the fixture
+//! check *fails*.
 //!
 //! Regenerate fixtures with `GSREPRO_BLESS=1 cargo test -p gsrepro-tcp`,
 //! or `conformance --bless` (the bench binary), then review the diff like
@@ -115,6 +120,8 @@ enum Step {
     Loss,
     /// A retransmission timeout (`on_rto`).
     Rto,
+    /// An ECE-bearing ack (`on_ecn`) reporting `in_flight` bytes.
+    Ecn(u64),
 }
 
 /// A deterministic scripted-ack drive for a [`CongestionControl`].
@@ -155,6 +162,12 @@ impl AckScript {
         self
     }
 
+    /// Append an ECN congestion echo reporting `in_flight` bytes.
+    pub fn ecn(mut self, in_flight: u64) -> Self {
+        self.steps.push(Step::Ecn(in_flight));
+        self
+    }
+
     /// Drive `cca` through the script and return the sampled trajectory.
     pub fn drive(&self, cca: &mut dyn CongestionControl) -> Vec<TracePoint> {
         let mut now = SimTime::ZERO;
@@ -170,6 +183,10 @@ impl AckScript {
                 Step::Rto => {
                     cca.on_rto(now);
                     trace.push(TracePoint::sample(now, "rto", cca));
+                }
+                Step::Ecn(in_flight) => {
+                    cca.on_ecn(now, in_flight);
+                    trace.push(TracePoint::sample(now, "ecn", cca));
                 }
                 Step::Run(r) => {
                     let per_round = r.acks_per_round.max(1);
@@ -419,6 +436,34 @@ pub fn standard_script(kind: CcaKind) -> AckScript {
             // restores the pre-probe window — sampled every round so the
             // floor is pinned in the fixture.
             .run(AckRun::new(120, 2, SimDuration::from_millis(21), rate).with_in_flight(4 * mss)),
+        CcaKind::Bbr2 => AckScript::new(mss)
+            // STARTUP until the bandwidth plateaus, DRAIN to BDP, into the
+            // PROBE_BW cruise (in-flight just under the 25 kB BDP).
+            .run(AckRun::new(400, 16, rtt, rate).with_in_flight(24_000))
+            // Through CRUISE (2 s hold), REFRACTORY (inflight_lo reset)
+            // and PROBE_UP (inflight_hi growth while in-flight rides near
+            // the ceiling).
+            .run(AckRun::new(400, 16, rtt, rate).with_in_flight(30_000))
+            // A loss episode: inflight_lo cut to β × in-flight and
+            // inflight_hi latched — the new cap shows in the cwnd column.
+            .loss()
+            .run(AckRun::new(100, 16, rtt, rate).with_in_flight(20_000))
+            // An ECN echo takes the same β cut through the ECN path; the
+            // immediate second echo lands inside the per-round gate and
+            // must leave the window untouched.
+            .ecn(24_000)
+            .ecn(10_000)
+            .run(AckRun::new(100, 16, rtt, rate).with_in_flight(20_000))
+            // Stale floor: 21 ms samples let the 20 ms rt_prop floor age
+            // out (stops just short of the 10 s window), then the lapse…
+            .run(
+                AckRun::new(900, 2, SimDuration::from_millis(21), rate)
+                    .with_in_flight(4 * mss)
+                    .with_sampling(25),
+            )
+            // …drives PROBE_RTT: a half-BDP dwell (v2, not v1's 4-segment
+            // floor) and the exit restore, sampled every round.
+            .run(AckRun::new(120, 2, SimDuration::from_millis(21), rate).with_in_flight(4 * mss)),
         CcaKind::Vegas => AckScript::new(mss)
             // Acquire base_rtt = 20 ms and grow through slow start.
             .run(AckRun::new(60, 10, rtt, rate))
@@ -484,8 +529,14 @@ pub fn bless_requested() -> bool {
     std::env::var(BLESS_ENV).is_ok_and(|v| !v.is_empty() && v != "0")
 }
 
-/// All four controllers, in fixture order.
-pub const ALL_KINDS: [CcaKind; 4] = [CcaKind::Reno, CcaKind::Cubic, CcaKind::Bbr, CcaKind::Vegas];
+/// All five controllers, in fixture order.
+pub const ALL_KINDS: [CcaKind; 5] = [
+    CcaKind::Reno,
+    CcaKind::Cubic,
+    CcaKind::Bbr,
+    CcaKind::Bbr2,
+    CcaKind::Vegas,
+];
 
 #[cfg(test)]
 mod tests {
@@ -556,6 +607,42 @@ mod tests {
         );
         // And it must exit the probe: the last sample is back above it.
         assert!(trace.last().unwrap().cwnd > floor);
+    }
+
+    #[test]
+    fn bbr2_standard_script_gates_back_to_back_ecn() {
+        let trace = run_standard(CcaKind::Bbr2);
+        let ecns: Vec<usize> = trace
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| (p.event == "ecn").then_some(i))
+            .collect();
+        assert_eq!(ecns.len(), 2, "script has two ECN steps");
+        // The first echo cuts the window…
+        assert!(
+            trace[ecns[0]].cwnd < trace[ecns[0] - 1].cwnd,
+            "first ECN echo must cut cwnd"
+        );
+        // …the immediate second echo sits inside the per-round gate.
+        assert_eq!(
+            trace[ecns[1]].cwnd, trace[ecns[0]].cwnd,
+            "gated second echo must be a no-op"
+        );
+    }
+
+    #[test]
+    fn bbr2_standard_script_dwells_at_half_bdp() {
+        // PROBE_RTT in v2 parks at bdp/2 (12.5 kB at 10 Mb/s × 20 ms),
+        // not v1's 4-segment floor.
+        let trace = run_standard(CcaKind::Bbr2);
+        let half_bdp = 12_500;
+        assert!(
+            trace
+                .iter()
+                .any(|p| p.cwnd.abs_diff(half_bdp) <= STANDARD_MSS),
+            "no sample near the half-BDP PROBE_RTT dwell"
+        );
+        assert!(trace.last().unwrap().cwnd > half_bdp + STANDARD_MSS);
     }
 
     #[test]

@@ -13,7 +13,7 @@
 use std::collections::BTreeMap;
 
 use gsrepro_netsim::net::{Agent, AgentId, Ctx, NodeId, PacketSpec};
-use gsrepro_netsim::wire::{FlowId, Packet, Payload, TcpSegment, TCP_HEADER, TCP_MSS};
+use gsrepro_netsim::wire::{Ecn, FlowId, Packet, Payload, TcpSegment, TCP_HEADER, TCP_MSS};
 use gsrepro_simcore::{BitRate, Bytes, SimDuration, SimTime};
 
 use crate::cca::{AckInfo, CcaKind, CongestionControl};
@@ -342,11 +342,19 @@ impl TcpSender {
     }
 
     fn send_segment(&mut self, ctx: &mut Ctx, seq: u64, len: u64, is_retx: bool) {
+        // ECN-capable controllers negotiate ECT on data segments so AQMs
+        // mark instead of drop (RFC 3168 § 6.1.1); pure acks stay Not-ECT.
+        let ecn = if self.cca.ecn_capable() {
+            Ecn::Ect
+        } else {
+            Ecn::NotEct
+        };
         ctx.send(PacketSpec {
             flow: self.cfg.flow,
             dst: self.cfg.dst,
             dst_agent: self.cfg.dst_agent,
             size: Bytes(len) + TCP_HEADER,
+            ecn,
             payload: Payload::Tcp(TcpSegment::data(seq, len as u32)),
         });
         if is_retx {
@@ -577,6 +585,13 @@ impl TcpSender {
             self.update_rtt(r);
         }
 
+        // ECE echo (RFC 3168 § 6.1): the receiver saw CE since its last
+        // clean ack. Dispatched on every ECE-bearing ack; per-round gating
+        // is the controller's job (see `CongestionControl::on_ecn`).
+        if seg.ece {
+            self.cca.on_ecn(now, self.pipe());
+        }
+
         if newly_delivered > 0 {
             // Flight-spanning rate sample (delivery-rate-estimation draft):
             // delivered delta since the newest acked segment was sent, over
@@ -752,6 +767,11 @@ pub struct TcpReceiver {
     /// Most recent data seq, for SACK block ordering on a delayed ack.
     pending_recent_seq: u64,
     delack_timer_armed: bool,
+    /// A CE-marked data segment arrived since the last ack went out; the
+    /// next ack (immediate or delayed) echoes it as ECE (RFC 3168 § 6.1).
+    ce_pending: bool,
+    /// Total CE-marked data segments seen (diagnostics).
+    ce_received: u64,
 }
 
 /// Delayed-ack timeout (Linux: ~40 ms).
@@ -774,6 +794,8 @@ impl TcpReceiver {
             pending_ts: None,
             pending_recent_seq: 0,
             delack_timer_armed: false,
+            ce_pending: false,
+            ce_received: 0,
         }
     }
 
@@ -796,6 +818,11 @@ impl TcpReceiver {
     /// Next expected sequence number.
     pub fn rcv_nxt(&self) -> u64 {
         self.rcv_nxt
+    }
+
+    /// CE-marked data segments seen so far.
+    pub fn ce_received(&self) -> u64 {
+        self.ce_received
     }
 
     fn insert_ooo(&mut self, start: u64, end: u64) {
@@ -869,6 +896,12 @@ impl Agent for TcpReceiver {
             return;
         }
         self.segments_received += 1;
+        // Latch CE before any ack path (including the delayed-ack early
+        // return) so no mark is ever lost.
+        if pkt.ecn == Ecn::Ce {
+            self.ce_pending = true;
+            self.ce_received += 1;
+        }
         let start = seg.seq;
         let end = seg.seq + seg.len as u64;
 
@@ -918,11 +951,17 @@ impl TcpReceiver {
         self.pending_ts = None;
         let mut ack = TcpSegment::pure_ack(self.rcv_nxt, u64::MAX / 2, ts);
         ack.sack = self.sack_blocks(recent_seq);
+        // Echo-and-clear: the simulator's ack path is lossy too, but the
+        // sender reacts at most once per round anyway, so a lost ECE costs
+        // one gating window, not correctness.
+        ack.ece = self.ce_pending;
+        self.ce_pending = false;
         ctx.send(PacketSpec {
             flow: self.ack_flow,
             dst: self.peer_node,
             dst_agent: self.peer_agent,
             size: ACK_SIZE,
+            ecn: Ecn::NotEct,
             payload: Payload::Tcp(ack),
         });
     }
@@ -1037,6 +1076,102 @@ mod tests {
         );
         let gp = sim.goodput_mbps(data, SimTime::from_secs(5), SimTime::from_secs(30));
         assert!(gp > 20.0, "vegas goodput {gp}");
+    }
+
+    /// Like [`tcp_sim`] but with a CoDel AQM at the bottleneck. Returns
+    /// (sim, data flow, sender agent, receiver agent).
+    fn tcp_sim_codel(
+        cca: CcaKind,
+        rate_mbps: u64,
+        queue_bytes: u64,
+        owd_ms: u64,
+        seed: u64,
+    ) -> (Sim, FlowId, AgentId, AgentId) {
+        let mut b = NetworkBuilder::new(seed);
+        let server = b.add_node("server");
+        let client = b.add_node("client");
+        b.link(
+            server,
+            client,
+            LinkSpec {
+                shaper: Shaper::rate(BitRate::from_mbps(rate_mbps)),
+                delay: SimDuration::from_millis(owd_ms),
+                queue: QueueSpec::codel_default(Bytes(queue_bytes)),
+                jitter: SimDuration::ZERO,
+                loss_prob: 0.0,
+                dup_prob: 0.0,
+            },
+        );
+        b.link(
+            client,
+            server,
+            LinkSpec::lan(SimDuration::from_millis(owd_ms)),
+        );
+        let data = b.flow("tcp-data");
+        let acks = b.flow("tcp-ack");
+        let sender_cfg = TcpSenderConfig::new(data, client, AgentId(1), cca);
+        let sender = b.add_agent(server, Box::new(TcpSender::new(sender_cfg)));
+        let recv = b.add_agent(client, Box::new(TcpReceiver::new(acks, server, sender)));
+        (b.build(), data, sender, recv)
+    }
+
+    #[test]
+    fn bbr2_over_codel_is_marked_not_dropped() {
+        // The full ECN loop: bbr2 negotiates ECT, CoDel CE-marks at the
+        // control-law cadence instead of dropping, the receiver echoes ECE,
+        // and the sender backs off — so the flow sees congestion signals
+        // without a single retransmission.
+        let (mut sim, data, sender, recv) = tcp_sim_codel(CcaKind::Bbr2, 25, 400_000, 8, 6);
+        sim.run_until(SimTime::from_secs(30));
+        let st = sim.net.monitor().stats(data);
+        assert!(
+            st.ce_marked_pkts > 0,
+            "CoDel must CE-mark an ECT flow under load"
+        );
+        assert_eq!(
+            st.queue_drop_pkts, 0,
+            "ECT traffic must not be AQM-dropped ({} drops)",
+            st.queue_drop_pkts
+        );
+        let s: &TcpSender = sim.net.agent(sender);
+        assert_eq!(s.cca().name(), "bbr2");
+        assert_eq!(
+            s.retransmissions(),
+            0,
+            "no drops means nothing to retransmit"
+        );
+        let r: &TcpReceiver = sim.net.agent(recv);
+        assert!(r.ce_received() > 0, "marks must reach the receiver");
+        assert!(
+            r.ce_received() <= st.ce_marked_pkts,
+            "receiver saw {} CE, path marked {}",
+            r.ce_received(),
+            st.ce_marked_pkts
+        );
+        // CoDel + an inflight-bounded sender keeps standing delay low.
+        assert!(
+            st.owd.mean() < 30.0,
+            "bbr2-over-CoDel owd = {} ms",
+            st.owd.mean()
+        );
+        let gp = sim.goodput_mbps(data, SimTime::from_secs(5), SimTime::from_secs(30));
+        assert!(gp > 20.0, "bbr2 goodput {gp} must stay near 25 Mb/s");
+    }
+
+    #[test]
+    fn non_ecn_cca_over_codel_sees_drops_not_marks() {
+        // Cubic never negotiates ECT, so the same AQM must fall back to
+        // dropping: zero CE marks, some queue drops.
+        let (mut sim, data, _, recv) = tcp_sim_codel(CcaKind::Cubic, 25, 400_000, 8, 7);
+        sim.run_until(SimTime::from_secs(30));
+        let st = sim.net.monitor().stats(data);
+        assert_eq!(st.ce_marked_pkts, 0, "Not-ECT traffic must never be marked");
+        assert!(
+            st.queue_drop_pkts > 0,
+            "CoDel must drop a Not-ECT cubic flow"
+        );
+        let r: &TcpReceiver = sim.net.agent(recv);
+        assert_eq!(r.ce_received(), 0);
     }
 
     #[test]

@@ -31,7 +31,7 @@ pub mod conformance;
 pub mod dash;
 pub mod endpoint;
 
-pub use cca::{bbr::Bbr, cubic::Cubic, reno::Reno, vegas::Vegas};
+pub use cca::{bbr::Bbr, bbr2::Bbr2, cubic::Cubic, reno::Reno, vegas::Vegas};
 pub use cca::{AckInfo, CcaKind, CongestionControl};
 pub use conformance::{AckRun, AckScript, TracePoint};
 pub use dash::{DashConfig, DashServer};

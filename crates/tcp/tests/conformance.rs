@@ -21,7 +21,7 @@ use gsrepro_tcp::conformance::{
     self, bless_requested, check_fixture, check_trace_against_fixture, standard_script, ALL_KINDS,
     STANDARD_MSS,
 };
-use gsrepro_tcp::{Bbr, Cubic, Reno, Vegas};
+use gsrepro_tcp::{Bbr, Bbr2, Cubic, Reno, Vegas};
 
 fn fixture_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/cca")
@@ -75,6 +75,12 @@ fn detects_shifted_vegas_band() {
 fn detects_wrong_bbr_cwnd_gain() {
     let mut b = Bbr::with_cwnd_gain(STANDARD_MSS, 4.0);
     assert_detected(CcaKind::Bbr, &mut b, "BBR cwnd gain 4 (should be 2)");
+}
+
+#[test]
+fn detects_wrong_bbr2_beta() {
+    let mut b = Bbr2::with_beta(STANDARD_MSS, 0.9);
+    assert_detected(CcaKind::Bbr2, &mut b, "BBRv2 β = 0.9 (should be 0.7)");
 }
 
 #[test]

@@ -21,6 +21,13 @@ pub const QUEUE_MULTS: [f64; 3] = [0.5, 2.0, 7.0];
 /// The competing congestion-control algorithms.
 pub const CCAS: [CcaKind; 2] = [CcaKind::Cubic, CcaKind::Bbr];
 
+/// The queue disciplines of the AQM extension grid.
+pub const AQMS: [Aqm; 3] = [Aqm::DropTail, Aqm::CoDel, Aqm::FqCoDel];
+
+/// The competing CCAs of the AQM extension grid: the paper's two plus the
+/// ECN-capable BBRv2-style sender.
+pub const CCAS_3D: [CcaKind; 3] = [CcaKind::Cubic, CcaKind::Bbr, CcaKind::Bbr2];
+
 /// The 9-minute run: iperf occupies the middle third, and the paper's
 /// measurement windows are fixed offsets around the transitions.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -371,6 +378,27 @@ impl Grid {
         v
     }
 
+    /// The 3-D AQM scorecard grid: 3 systems × {Cubic, BBRv1, BBRv2} ×
+    /// {drop-tail, CoDel, FQ-CoDel} = 27 conditions, all at the paper's
+    /// "normal" point (25 Mb/s, 2× BDP). This is the future-work cube the
+    /// paper sketches: does an AQM at the bottleneck — and an ECN-capable
+    /// competitor — change who wins?
+    pub fn aqm3d(timeline: Timeline) -> Vec<Condition> {
+        let mut v = Vec::new();
+        for &aqm in &AQMS {
+            for &cca in &CCAS_3D {
+                for &sys in &SystemKind::ALL {
+                    v.push(
+                        Condition::new(sys, Some(cca), 25, 2.0)
+                            .with_aqm(aqm)
+                            .with_timeline(timeline),
+                    );
+                }
+            }
+        }
+        v
+    }
+
     /// Unconstrained conditions for Table 1: 1 Gb/s bottleneck, no
     /// competitor.
     pub fn table1(timeline: Timeline) -> Vec<Condition> {
@@ -501,5 +529,23 @@ mod tests {
         assert_eq!(Grid::solo(Timeline::paper()).len(), 27);
         assert_eq!(Grid::figure2(Timeline::paper()).len(), 18);
         assert_eq!(Grid::table1(Timeline::paper()).len(), 3);
+    }
+
+    #[test]
+    fn aqm3d_grid_is_27_unique_cells() {
+        let grid = Grid::aqm3d(Timeline::paper());
+        assert_eq!(grid.len(), 27);
+        let labels: std::collections::HashSet<String> = grid.iter().map(|c| c.label()).collect();
+        assert_eq!(labels.len(), 27, "AQM/CCA must be part of the label");
+        // Every axis value appears.
+        assert!(grid.iter().any(|c| c.aqm == Aqm::FqCoDel));
+        assert!(grid.iter().any(|c| c.cca == Some(CcaKind::Bbr2)));
+        // Seeds differ between the drop-tail and AQM twins of a cell.
+        let dt = &grid[0];
+        let twin = grid
+            .iter()
+            .find(|c| c.system == dt.system && c.cca == dt.cca && c.aqm == Aqm::CoDel)
+            .unwrap();
+        assert_ne!(dt.seed(0), twin.seed(0));
     }
 }

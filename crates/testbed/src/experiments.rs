@@ -21,7 +21,7 @@ use gsrepro_gamestream::SystemKind;
 use gsrepro_simcore::stats::mean_ci95;
 use gsrepro_tcp::CcaKind;
 
-use crate::config::{Grid, Timeline, CAPACITIES_MBPS, CCAS, QUEUE_MULTS};
+use crate::config::{Aqm, Grid, Timeline, CAPACITIES_MBPS, CCAS, QUEUE_MULTS};
 use crate::metrics;
 use crate::report::{heat_glyph, mean_sd, mean_sd2, Csv, TextTable};
 use crate::runner::{run_many_full, ConditionResult, TraceSpec};
@@ -118,7 +118,30 @@ pub fn run_solo_grid(opts: ExperimentOpts) -> GridResults {
     }
 }
 
+/// Run the 3-D AQM scorecard grid (3 systems × 3 CCAs × 3 AQMs at the
+/// paper's 25 Mb/s / 2× BDP point).
+pub fn run_aqm3d_grid(opts: ExperimentOpts) -> GridResults {
+    let conditions = Grid::aqm3d(opts.timeline);
+    GridResults {
+        results: run_many_full(
+            &conditions,
+            opts.iterations,
+            opts.threads,
+            opts.trace.as_ref(),
+            opts.checks,
+        ),
+        opts,
+    }
+}
+
 impl GridResults {
+    /// Find a cell of the 3-D AQM grid by its (system, cca, aqm) axes.
+    pub fn get_aqm(&self, system: SystemKind, cca: CcaKind, aqm: Aqm) -> Option<&ConditionResult> {
+        self.results.iter().find(|r| {
+            r.condition.system == system && r.condition.cca == Some(cca) && r.condition.aqm == aqm
+        })
+    }
+
     /// Find the condition result for a cell.
     pub fn get(
         &self,
@@ -745,6 +768,135 @@ pub fn table5(grid: &GridResults) -> QoeTable {
     QoeTable {
         title: "Table 5 — frame rate (f/s) with a competing TCP flow".into(),
         rows,
+    }
+}
+
+/// One cell of the 3-D AQM scorecard: QoE of the game stream and fate of
+/// the competitor at a fixed (25 Mb/s, 2× BDP) bottleneck.
+pub struct Aqm3dRow {
+    /// Streaming system.
+    pub system: SystemKind,
+    /// Competing CCA.
+    pub cca: CcaKind,
+    /// Bottleneck queue discipline.
+    pub aqm: Aqm,
+    /// Game goodput during the competitor window, Mb/s.
+    pub game_mbps: f64,
+    /// Competitor goodput during its window, Mb/s.
+    pub iperf_mbps: f64,
+    /// Mean RTT during the competitor window, ms.
+    pub rtt_ms: f64,
+    /// Mean displayed frame rate during the competitor window, f/s.
+    pub fps: f64,
+    /// Game media loss during the competitor window, percent.
+    pub loss_pct: f64,
+    /// CE marks on the competitor across all runs (ECN path evidence).
+    pub ce_marks: u64,
+    /// Competitor retransmissions across all runs.
+    pub tcp_retx: u64,
+    /// Competitor queue/AQM drops across all runs.
+    pub tcp_drops: u64,
+}
+
+/// The 27-cell table behind the 3-D AQM scorecard.
+pub struct Aqm3dTable {
+    /// One row per (AQM, CCA, system) cell, in [`Grid::aqm3d`] order.
+    pub rows: Vec<Aqm3dRow>,
+}
+
+/// Reduce the 3-D AQM grid to its per-cell QoE rows.
+pub fn aqm3d(grid: &GridResults) -> Aqm3dTable {
+    let mut rows = Vec::new();
+    for cr in &grid.results {
+        let Some(cca) = cr.condition.cca else {
+            continue;
+        };
+        let tl = &cr.condition.timeline;
+        let (from, to) = (tl.iperf_start, tl.iperf_stop);
+        let mean = |v: Vec<f64>| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        rows.push(Aqm3dRow {
+            system: cr.condition.system,
+            cca,
+            aqm: cr.condition.aqm,
+            game_mbps: mean(cr.game_means(from, to)),
+            iperf_mbps: mean(cr.iperf_means(from, to)),
+            rtt_ms: cr.rtt_pooled(from, to).mean(),
+            fps: cr.fps_pooled(from, to).mean(),
+            loss_pct: cr.loss_mean(from, to) * 100.0,
+            ce_marks: cr.runs.iter().map(|r| r.tcp_ce_marked).sum(),
+            tcp_retx: cr.runs.iter().map(|r| r.tcp_retransmissions).sum(),
+            tcp_drops: cr.runs.iter().map(|r| r.tcp_queue_drops).sum(),
+        });
+    }
+    Aqm3dTable { rows }
+}
+
+impl Aqm3dTable {
+    /// Cell lookup.
+    pub fn get(&self, system: SystemKind, cca: CcaKind, aqm: Aqm) -> Option<&Aqm3dRow> {
+        self.rows
+            .iter()
+            .find(|r| r.system == system && r.cca == cca && r.aqm == aqm)
+    }
+
+    /// CSV: one row per cell, stable order — the bench's diffable output.
+    pub fn csv(&self) -> String {
+        let mut csv = Csv::new(&[
+            "system",
+            "cca",
+            "aqm",
+            "game_mbps",
+            "iperf_mbps",
+            "rtt_ms",
+            "fps",
+            "loss_pct",
+            "ce_marks",
+            "tcp_retx",
+            "tcp_drops",
+        ]);
+        for r in &self.rows {
+            csv.row(&[
+                r.system.label().into(),
+                r.cca.label().into(),
+                r.aqm.label().into(),
+                format!("{:.4}", r.game_mbps),
+                format!("{:.4}", r.iperf_mbps),
+                format!("{:.4}", r.rtt_ms),
+                format!("{:.4}", r.fps),
+                format!("{:.4}", r.loss_pct),
+                r.ce_marks.to_string(),
+                r.tcp_retx.to_string(),
+                r.tcp_drops.to_string(),
+            ]);
+        }
+        csv.finish()
+    }
+}
+
+impl fmt::Display for Aqm3dTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "3-D AQM scorecard — 25 Mb/s, 2x BDP; measured while the competitor runs"
+        )?;
+        let mut t = TextTable::new(vec![
+            "aqm", "cca", "system", "game", "iperf", "RTT ms", "f/s", "loss %", "CE", "retx",
+        ]);
+        for r in &self.rows {
+            t.row(vec![
+                r.aqm.label().to_string(),
+                r.cca.label().to_string(),
+                r.system.label().to_string(),
+                format!("{:.1}", r.game_mbps),
+                format!("{:.1}", r.iperf_mbps),
+                format!("{:.1}", r.rtt_ms),
+                format!("{:.1}", r.fps),
+                format!("{:.2}", r.loss_pct),
+                r.ce_marks.to_string(),
+                r.tcp_retx.to_string(),
+            ]);
+        }
+        write!(f, "{}", t.render())
     }
 }
 

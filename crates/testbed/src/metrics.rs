@@ -208,6 +208,8 @@ mod tests {
             game_loss_rate: 0.0,
             tcp_retransmissions: 0,
             tcp_delivered_bytes: 0,
+            tcp_ce_marked: 0,
+            tcp_queue_drops: 0,
             encoder_rate_mean: 0.0,
             events_processed: 0,
             past_clamps: 0,

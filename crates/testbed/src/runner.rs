@@ -51,6 +51,11 @@ pub struct RunResult {
     pub tcp_retransmissions: u64,
     /// TCP bytes delivered (competing runs).
     pub tcp_delivered_bytes: u64,
+    /// CE marks the AQM placed on the competing TCP flow (ECN-capable
+    /// senders over CoDel/FQ-CoDel; always 0 for drop-tail or Not-ECT).
+    pub tcp_ce_marked: u64,
+    /// Queue/AQM drops suffered by the competing TCP flow.
+    pub tcp_queue_drops: u64,
     /// Final encoder rate trace mean, Mb/s (diagnostics).
     pub encoder_rate_mean: f64,
     /// Engine events handled by this run (deterministic per seed).
@@ -387,6 +392,10 @@ impl RunView<'_> {
         let fps_bins = self.fps_bins().bins().to_vec();
         let encoder_rate_mean = self.encoder_trace().mean();
         let (tcp_retransmissions, tcp_delivered_bytes) = self.tcp_counters();
+        let (tcp_ce_marked, tcp_queue_drops) = self
+            .iperf_stats()
+            .map(|s| (s.ce_marked_pkts, s.queue_drop_pkts))
+            .unwrap_or((0, 0));
 
         RunResult {
             label: self.cond.label(),
@@ -402,6 +411,8 @@ impl RunView<'_> {
             game_loss_rate,
             tcp_retransmissions,
             tcp_delivered_bytes,
+            tcp_ce_marked,
+            tcp_queue_drops,
             encoder_rate_mean,
             events_processed: self.events_processed,
             past_clamps: self.past_clamps,
@@ -895,6 +906,52 @@ mod tests {
         assert!(from_csv.iter().any(|e| e.kind == EventKind::Cwnd));
         assert!(from_csv.iter().any(|e| e.kind == EventKind::EncoderRate));
         assert!(from_csv.iter().any(|e| e.kind == EventKind::QueueDepth));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn tracing_does_not_perturb_an_ecn_marked_run() {
+        use crate::config::Aqm;
+        use gsrepro_simcore::telemetry::{parse_jsonl, EventKind};
+
+        // BBRv2 over CoDel: an ECN-capable sender on a marking AQM, so
+        // the run exercises the CE/ECE signal path end to end while the
+        // recorder watches.
+        let cond = Condition::new(SystemKind::Luna, Some(CcaKind::Bbr2), 15, 2.0)
+            .with_timeline(Timeline::scaled(0.06))
+            .with_aqm(Aqm::CoDel);
+        let plain = run_condition(&cond, 0);
+        assert!(plain.tcp_ce_marked > 0, "run produced no CE marks");
+
+        let dir = std::env::temp_dir().join(format!("gsrepro-ecn-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let spec = TraceSpec::new(&dir);
+        let traced = run_condition_traced(&cond, 0, Some(&spec));
+
+        // The recorder observes marks; it must not change them (or any
+        // other deterministic output of the run).
+        assert_eq!(plain.game_bins_mbps, traced.game_bins_mbps);
+        assert_eq!(plain.iperf_bins_mbps, traced.iperf_bins_mbps);
+        assert_eq!(plain.rtt, traced.rtt);
+        assert_eq!(plain.fps_bins, traced.fps_bins);
+        assert_eq!(plain.tcp_ce_marked, traced.tcp_ce_marked);
+        assert_eq!(plain.tcp_queue_drops, traced.tcp_queue_drops);
+        assert_eq!(plain.events_processed, traced.events_processed);
+
+        // Telemetry's mark counter agrees with the monitor-derived field,
+        // and every mark made it into the exported trace.
+        assert_eq!(traced.telemetry.ecn_marks, traced.tcp_ce_marked);
+        let jsonl =
+            std::fs::read_to_string(dir.join(format!("{}-i0.jsonl", cond.label()))).unwrap();
+        let marks = parse_jsonl(&jsonl)
+            .unwrap()
+            .iter()
+            .filter(|e| e.kind == EventKind::EcnMark)
+            .count() as u64;
+        assert_eq!(
+            marks, traced.tcp_ce_marked,
+            "trace must carry every CE mark"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

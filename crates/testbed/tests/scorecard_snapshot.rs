@@ -26,8 +26,8 @@ use std::path::PathBuf;
 
 use gsrepro_tcp::conformance::bless_requested;
 use gsrepro_testbed::config::Timeline;
-use gsrepro_testbed::experiments::{run_full_grid, run_solo_grid, ExperimentOpts};
-use gsrepro_testbed::scorecard::scorecard;
+use gsrepro_testbed::experiments::{run_aqm3d_grid, run_full_grid, run_solo_grid, ExperimentOpts};
+use gsrepro_testbed::scorecard::{aqm_scorecard, scorecard};
 
 fn fixture_path() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/scorecard.txt")
@@ -63,5 +63,41 @@ fn scorecard_verdicts_match_snapshot() {
         "scorecard verdicts drifted from the committed snapshot; if the \
          change is intentional, re-bless with GSREPRO_BLESS=1 and review \
          the fixture diff"
+    );
+}
+
+fn fixture3d_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/scorecard3d.txt")
+}
+
+#[test]
+#[ignore = "runs the 27-cell AQM grid; ci.sh runs it in release"]
+fn aqm_scorecard_verdicts_match_snapshot() {
+    let mut opts = ExperimentOpts::smoke();
+    opts.iterations = 1;
+    opts.timeline = Timeline::scaled(0.06);
+    opts.checks = true;
+    let grid = run_aqm3d_grid(opts);
+    let sc = aqm_scorecard(&grid);
+    let matrix = sc.verdict_matrix();
+    assert!(!matrix.is_empty(), "AQM scorecard produced no claims");
+
+    let path = fixture3d_path();
+    if bless_requested() {
+        std::fs::write(&path, &matrix)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        panic!("AQM scorecard snapshot blessed — rerun without GSREPRO_BLESS");
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "reading {}: {e} (bless the snapshot with GSREPRO_BLESS=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, matrix,
+        "AQM scorecard verdicts drifted from the committed snapshot; if \
+         the change is intentional, re-bless with GSREPRO_BLESS=1 and \
+         review the fixture diff"
     );
 }
