@@ -104,4 +104,25 @@ if [ -f BENCH_fleet.json ]; then
     fi
 fi
 
+echo "== chaos smoke gate (seeded fuzz must be clean; pinned repro replays bit-identically)"
+# 200 adversarial trials (random conditions × disturbance schedules) with
+# every invariant oracle armed, a watchdog per leg, and a bit-identity
+# rerun as a determinism oracle. Any non-clean verdict exits non-zero.
+# Seed 42 also covers the two trials that exposed the TCP RTO re-arm
+# livelock, keeping that fix pinned at campaign scale.
+chaos() { cargo run --release -q -p gsrepro-bench --bin chaos -- "$@"; }
+chaos --trials 200 --seed 42
+# The committed repro is a shrunk planted-bug catch (queue-skew knob):
+# replaying it twice must produce byte-identical output, and the verdict
+# must still be the planted nondeterminism — proving both the repro codec
+# and the campaign's ability to catch a one-line bug.
+chaos_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir" "$scenario_dir" "$perf_out" "$fleet_dir" "$chaos_dir"' EXIT
+chaos --replay crates/testbed/tests/fixtures/chaos_pinned.repro > "$chaos_dir/a.txt"
+chaos --replay crates/testbed/tests/fixtures/chaos_pinned.repro > "$chaos_dir/b.txt"
+cmp "$chaos_dir/a.txt" "$chaos_dir/b.txt" || {
+    echo "chaos gate FAILED: repro replay is not bit-identical" >&2; exit 1; }
+grep -q "verdict: nondeterminism" "$chaos_dir/a.txt" || {
+    echo "chaos gate FAILED: pinned repro no longer catches its planted bug" >&2; exit 1; }
+
 echo "CI OK"

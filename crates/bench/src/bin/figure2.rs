@@ -13,7 +13,10 @@ fn main() {
             fig.timeline.iperf_stop.as_secs_f64(),
         );
         let gp_path = format!("{path}.gp");
-        std::fs::write(&gp_path, gp).expect("write gnuplot script");
+        if let Err(e) = std::fs::write(&gp_path, gp) {
+            eprintln!("error: failed to write gnuplot script {gp_path}: {e}");
+            std::process::exit(1);
+        }
         eprintln!("wrote {gp_path}");
     }
 }

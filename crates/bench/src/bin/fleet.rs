@@ -205,6 +205,9 @@ fn main() {
         }
     };
 
+    if let Some(note) = &result.torn_tail {
+        eprintln!("fleet: {note}");
+    }
     eprintln!(
         "fleet: {} sessions this run ({} resumed shard(s), {} pending) in {:.1} s — {:.1} sessions/s",
         result.sessions_this_run,

@@ -86,7 +86,18 @@ fn bench_condition(cond: &Condition, iterations: u32) -> CondReport {
     }
 }
 
+/// Median of a condition's timed rates, or a contextual config-error
+/// exit (code 2) — fleet automation must be able to tell "bench was
+/// invoked with no timed iterations" from a simulation failure.
+fn median_or_die(label: &str, rates: &[f64]) -> f64 {
+    median(rates).unwrap_or_else(|| {
+        eprintln!("error: condition {label} produced no timed iterations (check --iters)");
+        std::process::exit(2);
+    })
+}
+
 fn json_condition(r: &CondReport) -> String {
+    let med = median_or_die(&r.label, &r.rates);
     let s = &r.sched;
     let placed = s.lane_scheduled + s.cur_scheduled + s.wheel_scheduled + s.overflow_scheduled;
     let share = |n: u64| {
@@ -111,7 +122,7 @@ fn json_condition(r: &CondReport) -> String {
          \"slab_high_watermark\": {}\n      }}\n    }}",
         r.label,
         r.rates[0],
-        median(&r.rates).expect("at least one timed iteration"),
+        med,
         r.rates[r.rates.len() - 1],
         r.sim_secs_per_run * r.rates.len() as f64 / r.wall_total,
         share(s.lane_scheduled),
@@ -148,7 +159,7 @@ fn main() {
         .iter()
         .find(|r| r.label == HEADLINE)
         .unwrap_or(&reports[0]);
-    let headline_rate = median(&headline.rates).expect("at least one timed iteration");
+    let headline_rate = median_or_die(&headline.label, &headline.rates);
     let headline_ratio =
         headline.sim_secs_per_run * headline.rates.len() as f64 / headline.wall_total;
 

@@ -45,6 +45,6 @@ pub use link::{LinkId, LinkSpec, Shaper};
 pub use monitor::{FlowStats, Monitor};
 pub use net::{Agent, AgentId, Ctx, Network, NetworkBuilder, NodeId, PacketSpec, Sim};
 pub use queue::{CoDelQueue, Discipline, DropTailQueue, FqCoDelQueue, Queue, QueueSpec};
-pub use scenario::{ScenarioAction, ScenarioSpec, ScenarioStep};
+pub use scenario::{LinkProfile, ScenarioAction, ScenarioGen, ScenarioSpec, ScenarioStep};
 pub use trace::{Trace, TraceEvent, TraceKind};
 pub use wire::{FlowId, MediaChunk, Packet, Payload, PingEcho, StreamFeedback, TcpSegment};

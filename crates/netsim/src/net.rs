@@ -35,7 +35,7 @@ use gsrepro_simcore::checks::Checks;
 use gsrepro_simcore::rng::rng_for;
 use gsrepro_simcore::telemetry::{Recorder, TelemetryConfig};
 use gsrepro_simcore::{BitRate, Bytes};
-use gsrepro_simcore::{Engine, Scheduler, SimDuration, SimRng, SimTime, World};
+use gsrepro_simcore::{Engine, Scheduler, SimDuration, SimError, SimRng, SimTime, Watchdog, World};
 use rand::Rng;
 
 use crate::checks::{self, LinkAudit, NetTotals};
@@ -885,6 +885,18 @@ impl Sim {
         }
     }
 
+    /// [`Self::run_until`] under a [`Watchdog`]: a runaway or livelocked
+    /// run aborts gracefully into a structured [`SimError`] instead of
+    /// spinning. The end-of-segment audit only runs on success — an
+    /// abandoned simulation is allowed to be mid-flight inconsistent.
+    pub fn run_until_guarded(&mut self, until: SimTime, dog: &Watchdog) -> Result<(), SimError> {
+        self.engine.run_until_guarded(&mut self.net, until, dog)?;
+        if self.net.checks.is_enabled() {
+            self.net.audit(self.engine.now());
+        }
+        Ok(())
+    }
+
     /// Advance simulated time by `dur`.
     pub fn run_for(&mut self, dur: SimDuration) {
         let t = self.engine.now() + dur;
@@ -937,9 +949,20 @@ impl Sim {
     /// traced and untraced runs stay bit-identical, and the run reproduces
     /// from (scenario, seed).
     pub fn apply_scenario(&mut self, spec: &ScenarioSpec) {
+        self.try_apply_scenario(spec)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// [`Self::apply_scenario`] with validation up front: a spec that
+    /// would trip a link-layer assertion mid-run (probability outside
+    /// `[0, 1]`, zero shaped rate) is rejected as a structured
+    /// [`SimError::InvalidScenario`] before anything is scheduled.
+    pub fn try_apply_scenario(&mut self, spec: &ScenarioSpec) -> Result<(), SimError> {
+        spec.validate()?;
         for step in &spec.steps {
             self.schedule_scenario_action(step.link, step.action, step.at);
         }
+        Ok(())
     }
 }
 

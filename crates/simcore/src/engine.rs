@@ -63,6 +63,7 @@
 //! always refers to its own entry.
 
 use crate::time::{SimDuration, SimTime};
+use crate::watchdog::{SimError, Watchdog};
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -761,6 +762,56 @@ impl<W: World> Engine<W> {
         }
     }
 
+    /// [`Self::run_until`] under a [`Watchdog`]: aborts gracefully into a
+    /// structured [`SimError`] if the run exceeds its event budget or
+    /// delivers `livelock_window` consecutive events without simulated
+    /// time advancing. For any run that stays inside the budgets this is
+    /// bit-identical to the unguarded loop — the guards only read
+    /// counters the engine already maintains.
+    ///
+    /// Budgets are counted per call, so segmented driving
+    /// (`run_until_guarded(.., t1)` then `(.., t2)`) grants each segment
+    /// a fresh budget. On abort the clock rests at the offending event's
+    /// timestamp and the remaining queue is left in place; the simulation
+    /// should be considered abandoned (the aborted event is discarded).
+    pub fn run_until_guarded(
+        &mut self,
+        world: &mut W,
+        until: SimTime,
+        dog: &Watchdog,
+    ) -> Result<(), SimError> {
+        let start = self.events_processed;
+        let mut stuck: u64 = 0;
+        while let Some((time, event)) = self.sched.pop_next_before(Some(until)) {
+            if self.events_processed - start >= dog.event_budget {
+                self.sched.now = time;
+                return Err(SimError::EventBudgetExceeded {
+                    budget: dog.event_budget,
+                    at: time,
+                });
+            }
+            if time > self.sched.now {
+                stuck = 0;
+            } else {
+                stuck += 1;
+                if stuck >= dog.livelock_window {
+                    self.sched.now = time;
+                    return Err(SimError::Livelock {
+                        window: dog.livelock_window,
+                        at: time,
+                    });
+                }
+            }
+            self.sched.now = time;
+            self.events_processed += 1;
+            world.handle(event, &mut self.sched);
+        }
+        if self.sched.now < until {
+            self.sched.now = until;
+        }
+        Ok(())
+    }
+
     /// Run until the queue is empty.
     pub fn run_to_completion(&mut self, world: &mut W) {
         self.run_until(world, SimTime::MAX);
@@ -802,6 +853,10 @@ mod tests {
         /// Schedules `Tag(n)` at the current instant (fast lane), then
         /// `Tag(n + 1)` 1 ms out (wheel).
         NowAndLater(u32),
+        /// Reschedules itself at the current instant forever (livelock).
+        Spin,
+        /// Reschedules itself 1 ns out forever (event storm).
+        Storm,
     }
 
     impl World for Recorder {
@@ -819,6 +874,12 @@ mod tests {
                     self.log.push((sched.now(), n));
                     sched.schedule_now(Ev::Tag(n));
                     sched.schedule_in(SimDuration::from_millis(1), Ev::Tag(n + 1));
+                }
+                Ev::Spin => {
+                    sched.schedule_now(Ev::Spin);
+                }
+                Ev::Storm => {
+                    sched.schedule_in(SimDuration::from_nanos(1), Ev::Storm);
                 }
             }
         }
@@ -1136,5 +1197,83 @@ mod tests {
         for (i, &ns) in times.iter().enumerate() {
             assert_eq!(w.log[i].0, SimTime::from_nanos(ns));
         }
+    }
+
+    #[test]
+    fn guarded_run_is_bit_identical_to_unguarded_when_within_budget() {
+        let schedule = |eng: &mut Engine<Recorder>| {
+            eng.scheduler()
+                .schedule_at(SimTime::from_millis(1), Ev::Repeat(7, 20));
+            eng.scheduler()
+                .schedule_at(SimTime::from_millis(3), Ev::NowAndLater(40));
+        };
+        let mut w1 = Recorder { log: vec![] };
+        let mut e1 = Engine::new();
+        schedule(&mut e1);
+        e1.run_until(&mut w1, SimTime::from_millis(50));
+
+        let mut w2 = Recorder { log: vec![] };
+        let mut e2 = Engine::new();
+        schedule(&mut e2);
+        e2.run_until_guarded(&mut w2, SimTime::from_millis(50), &Watchdog::default())
+            .expect("well-behaved run must pass the watchdog");
+
+        assert_eq!(w1.log, w2.log);
+        assert_eq!(e1.events_processed(), e2.events_processed());
+        assert_eq!(e1.now(), e2.now());
+    }
+
+    #[test]
+    fn watchdog_aborts_same_instant_livelock() {
+        let mut w = Recorder { log: vec![] };
+        let mut eng = Engine::new();
+        eng.scheduler()
+            .schedule_at(SimTime::from_millis(2), Ev::Spin);
+        let dog = Watchdog::new(1_000_000, 500);
+        let err = eng
+            .run_until_guarded(&mut w, SimTime::from_secs(1), &dog)
+            .expect_err("self-rescheduling event must trip the livelock guard");
+        assert_eq!(
+            err,
+            SimError::Livelock {
+                window: 500,
+                at: SimTime::from_millis(2)
+            }
+        );
+        // Abandoned well before the event budget: the livelock fired first.
+        assert!(eng.events_processed() <= 501);
+    }
+
+    #[test]
+    fn watchdog_aborts_event_storm_on_budget() {
+        let mut w = Recorder { log: vec![] };
+        let mut eng = Engine::new();
+        eng.scheduler().schedule_now(Ev::Storm);
+        let dog = Watchdog::new(1_000, 1_000_000);
+        let err = eng
+            .run_until_guarded(&mut w, SimTime::from_secs(1), &dog)
+            .expect_err("1 ns storm must exhaust the event budget");
+        match err {
+            SimError::EventBudgetExceeded { budget, .. } => assert_eq!(budget, 1_000),
+            other => panic!("expected budget abort, got {other:?}"),
+        }
+        assert_eq!(eng.events_processed(), 1_000);
+    }
+
+    #[test]
+    fn watchdog_budget_is_per_call_not_per_engine() {
+        let mut w = Recorder { log: vec![] };
+        let mut eng = Engine::new();
+        for i in 0..10u32 {
+            eng.scheduler()
+                .schedule_at(SimTime::from_millis(i as u64 + 1), Ev::Tag(i));
+        }
+        let dog = Watchdog::new(6, 1_000);
+        // Two segments of ≤6 events each pass, though 10 > 6 in total.
+        eng.run_until_guarded(&mut w, SimTime::from_millis(6), &dog)
+            .expect("first segment fits its budget");
+        eng.run_until_guarded(&mut w, SimTime::from_millis(20), &dog)
+            .expect("second segment gets a fresh budget");
+        assert_eq!(eng.events_processed(), 10);
     }
 }

@@ -33,6 +33,7 @@ pub mod stats;
 pub mod telemetry;
 pub mod time;
 pub mod units;
+pub mod watchdog;
 
 pub use checks::{Checks, Violation};
 pub use engine::{Engine, SchedStats, Scheduler, TimerHandle, World};
@@ -40,3 +41,4 @@ pub use rng::{derive_seed, SimRng};
 pub use telemetry::{Recorder, TelemetryConfig, TelemetryEvent};
 pub use time::{SimDuration, SimTime};
 pub use units::{BitRate, Bytes};
+pub use watchdog::{SimError, Watchdog};

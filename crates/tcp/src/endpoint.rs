@@ -124,6 +124,15 @@ pub struct TcpSender {
     /// *earlier* than every pending timer a new one is set and later
     /// firings are discarded as stale against this field.
     rto_timer_at: SimTime,
+    /// Instant of the last genuine RTO expiry. The next deadline anchors
+    /// at `max(oldest sent_at, this) + cur_rto()`: after a timeout the
+    /// backed-off timer restarts from the expiry (RFC 6298 § 5.5-5.6, as
+    /// Linux does), never from a transmission already more than one RTO
+    /// old. Without the floor, a lost segment whose retransmission stays
+    /// pacing-blocked past MAX_RTO re-arms a zero-delay timer from its
+    /// stale `sent_at` on every expiry — an unbounded same-instant RTO
+    /// loop that livelocks the simulation (found by a chaos campaign).
+    rto_fired_at: SimTime,
 
     dupacks: u32,
     recovery_point: u64,
@@ -172,6 +181,7 @@ impl TcpSender {
             rto_backoff: 0,
             rto_deadline: SimTime::MAX,
             rto_timer_at: SimTime::MAX,
+            rto_fired_at: SimTime::ZERO,
             dupacks: 0,
             recovery_point: 0,
             highest_sacked: 0,
@@ -334,7 +344,10 @@ impl TcpSender {
         let oldest = self.segs.iter().map(|s| s.sent_at).min();
         match oldest {
             Some(t) => {
-                let deadline = t + self.cur_rto();
+                // Floor at the last expiry: a timeout restarts the
+                // backed-off timer from the expiry itself (see
+                // `rto_fired_at`), so an expiry instant is never re-armed.
+                let deadline = t.max(self.rto_fired_at) + self.cur_rto();
                 self.arm_rto(ctx, deadline);
             }
             None => self.rto_deadline = SimTime::MAX,
@@ -691,6 +704,7 @@ impl TcpSender {
             return;
         }
         // Genuine timeout: everything outstanding is presumed lost.
+        self.rto_fired_at = now;
         self.rto_events += 1;
         self.cca.on_rto(now);
         for s in self.segs.iter_mut() {

@@ -377,6 +377,10 @@ pub struct CampaignResult {
     pub sessions_this_run: u64,
     /// Wall-clock seconds this invocation spent.
     pub wall_secs: f64,
+    /// Set when resume found and repaired a torn trailing manifest line
+    /// (a checkpoint append cut short by a kill). Holds a human-readable
+    /// description of what was recovered.
+    pub torn_tail: Option<String>,
 }
 
 impl CampaignResult {
@@ -514,18 +518,48 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignResult, String> {
     // Replay checkpointed shards, if a manifest exists. Lines stream
     // straight into the merger, so resuming a huge sweep never holds more
     // than the reorder buffer's worth of shard aggregates.
+    //
+    // Kill-tolerance: the writer appends shard lines with a flush per
+    // line, so the only damage a kill can inflict is a *torn tail* — a
+    // final shard line that is cut short (fails to parse) or that the
+    // file ends on without a newline. Both are recovered by truncating
+    // the manifest back to the last complete shard and re-running the
+    // torn one. A malformed line with complete lines *after* it cannot
+    // come from a torn append and stays a hard error.
     let mut done = vec![false; total];
     let mut resumed = 0usize;
+    let mut torn_tail: Option<String> = None;
     if let Some(path) = &spec.manifest {
         if path.exists() {
             use std::io::BufRead as _;
             let f = File::open(path)
                 .map_err(|e| format!("cannot read manifest {}: {e}", path.display()))?;
             let mut m = merger.lock().unwrap();
-            let mut lines_seen = 0usize;
-            for (n, line) in std::io::BufReader::new(f).lines().enumerate() {
-                lines_seen = n + 1;
-                let line = line.map_err(|e| format!("cannot read manifest: {e}"))?;
+            let mut reader = std::io::BufReader::new(f);
+            let mut buf = String::new();
+            // Byte offset of the current line's start, and the torn
+            // candidate: (truncate-to offset, reason).
+            let mut offset: u64 = 0;
+            let mut torn: Option<(u64, String)> = None;
+            let mut n = 0usize;
+            loop {
+                buf.clear();
+                let read = reader
+                    .read_line(&mut buf)
+                    .map_err(|e| format!("cannot read manifest: {e}"))?;
+                if read == 0 {
+                    break;
+                }
+                if let Some((_, why)) = &torn {
+                    return Err(format!(
+                        "corrupt manifest {}: {why}, but complete lines follow it, so it \
+                         is not a torn append; delete the file or point --manifest \
+                         elsewhere",
+                        path.display()
+                    ));
+                }
+                let terminated = buf.ends_with('\n');
+                let line = buf.trim_end_matches(['\n', '\r']);
                 match n {
                     0 if line == MANIFEST_HEADER => {}
                     0 => return Err(format!("not a fleet manifest (first line {line:?})")),
@@ -541,17 +575,40 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignResult, String> {
                         None => return Err("manifest is missing its spec line".into()),
                     },
                     _ if line.is_empty() => {}
-                    _ => {
-                        let (idx, agg) = parse_shard_line(&line, total)?;
-                        if m.push(idx, agg) {
-                            done[idx] = true;
-                            resumed += 1;
+                    _ => match parse_shard_line(line, total) {
+                        Ok((idx, agg)) if terminated => {
+                            if m.push(idx, agg) {
+                                done[idx] = true;
+                                resumed += 1;
+                            }
                         }
-                    }
+                        Ok(_) => {
+                            torn = Some((
+                                offset,
+                                format!("line {}: shard line has no trailing newline", n + 1),
+                            ));
+                        }
+                        Err(e) => torn = Some((offset, format!("line {}: {e}", n + 1))),
+                    },
                 }
+                offset += read as u64;
+                n += 1;
             }
-            if lines_seen == 1 {
+            if n == 1 {
                 return Err("manifest is missing its spec line".into());
+            }
+            drop(m);
+            if let Some((off, why)) = torn {
+                let fh = OpenOptions::new()
+                    .write(true)
+                    .open(path)
+                    .map_err(|e| format!("cannot truncate manifest {}: {e}", path.display()))?;
+                fh.set_len(off)
+                    .map_err(|e| format!("cannot truncate manifest {}: {e}", path.display()))?;
+                torn_tail = Some(format!(
+                    "recovered torn manifest tail ({why}); truncated to the last complete \
+                     shard and re-running the rest"
+                ));
             }
         }
     }
@@ -601,7 +658,7 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignResult, String> {
             let mut f = m.lock().unwrap();
             // Append + flush so a kill right after this point loses
             // nothing; a kill mid-write leaves a torn last line that
-            // resume rejects loudly rather than resuming wrong.
+            // resume truncates away (re-running just that shard).
             writeln!(f, "shard {} {}", shard_idx, agg.serialize())
                 .and_then(|_| f.flush())
                 .unwrap_or_else(|e| panic!("manifest write failed: {e}"));
@@ -647,6 +704,7 @@ pub fn run_campaign(spec: &CampaignSpec) -> Result<CampaignResult, String> {
         pending_shards,
         sessions_this_run,
         wall_secs: started.elapsed().as_secs_f64(),
+        torn_tail,
     })
 }
 

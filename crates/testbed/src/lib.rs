@@ -26,10 +26,15 @@
 //!   aggregation;
 //! * [`campaign`] — the fleet engine: shard 100k-session sweeps across
 //!   cores, stream metrics into sketches (flat memory), and checkpoint
-//!   shards to a resumable manifest with bit-identical aggregates.
+//!   shards to a resumable manifest with bit-identical aggregates;
+//! * [`chaos`] — adversarial trial campaigns: random conditions ×
+//!   random disturbance schedules under full oracles, a watchdog and a
+//!   determinism oracle, with delta-debugging shrinking to minimal,
+//!   replayable repro files.
 
 pub mod ablation;
 pub mod campaign;
+pub mod chaos;
 pub mod config;
 pub mod experiments;
 pub mod metrics;
@@ -40,6 +45,7 @@ pub mod sketch;
 pub mod topology;
 
 pub use campaign::{run_campaign, CampaignResult, CampaignSpec, CondAggregate, FleetSample};
+pub use chaos::{run_chaos, ChaosReport, ChaosSpec, ChaosVerdict, Perturbation, Trial};
 pub use config::{Aqm, Condition, Grid, Timeline};
 pub use gsrepro_gamestream::SystemKind;
 pub use gsrepro_tcp::CcaKind;

@@ -14,9 +14,10 @@ use gsrepro_gamestream::client::StreamClient;
 use gsrepro_gamestream::server::StreamServer;
 use gsrepro_netsim::apps::PingAgent;
 use gsrepro_netsim::monitor::FlowStats;
+use gsrepro_netsim::ScenarioSpec;
 use gsrepro_simcore::stats::{Samples, TimeBinned};
 use gsrepro_simcore::telemetry::Counters;
-use gsrepro_simcore::{SchedStats, SimDuration, SimTime, TelemetryConfig};
+use gsrepro_simcore::{SchedStats, SimDuration, SimError, SimTime, TelemetryConfig, Watchdog};
 use gsrepro_tcp::TcpSender;
 
 use crate::config::Condition;
@@ -437,11 +438,54 @@ pub fn run_condition_with<R>(
     checks: bool,
     sink: impl FnOnce(&RunView) -> R,
 ) -> R {
+    // Unguarded runs cannot fail structurally: no chaos schedule to
+    // reject, no watchdog to trip.
+    match run_condition_core(cond, iter, trace, checks, None, sink) {
+        Ok(out) => out,
+        Err(e) => unreachable!("unguarded run returned {e}"),
+    }
+}
+
+/// [`run_condition_with`] hardened for adversarial trials: applies an
+/// extra chaos [`ScenarioSpec`] on top of the condition's own scenario,
+/// and runs the whole simulation under a [`Watchdog`]. Invalid schedules
+/// and runaway or livelocked runs come back as structured
+/// [`SimError`]s instead of panicking or hanging the fleet; invariant-
+/// oracle violations still panic (the campaign layer catches and
+/// classifies those).
+pub fn run_condition_guarded<R>(
+    cond: &Condition,
+    iter: u32,
+    checks: bool,
+    chaos: &ScenarioSpec,
+    dog: &Watchdog,
+    sink: impl FnOnce(&RunView) -> R,
+) -> Result<R, SimError> {
+    run_condition_core(cond, iter, None, checks, Some((chaos, dog)), sink)
+}
+
+/// Shared core of the guarded and unguarded run paths. With `guard`
+/// `None` this is byte-for-byte the old unguarded loop (bit-identity
+/// pinned by the determinism matrix tests).
+fn run_condition_core<R>(
+    cond: &Condition,
+    iter: u32,
+    trace: Option<&TraceSpec>,
+    checks: bool,
+    guard: Option<(&ScenarioSpec, &Watchdog)>,
+    sink: impl FnOnce(&RunView) -> R,
+) -> Result<R, SimError> {
     let started = std::time::Instant::now();
     let mut tb = topology::build_full(cond, iter, trace.map(|t| t.config), checks);
     // Run slightly past the end so the final bins fill.
-    tb.sim
-        .run_until(cond.timeline.end + SimDuration::from_secs(1));
+    let until = cond.timeline.end + SimDuration::from_secs(1);
+    match guard {
+        None => tb.sim.run_until(until),
+        Some((chaos, dog)) => {
+            tb.sim.try_apply_scenario(chaos)?;
+            tb.sim.run_until_guarded(until, dog)?;
+        }
+    }
     let wall_secs = started.elapsed().as_secs_f64();
     let events_processed = tb.sim.events_processed();
     let past_clamps = tb.sim.past_clamps();
@@ -507,7 +551,7 @@ pub fn run_condition_with<R>(
                 .unwrap_or_else(|e| panic!("writing trace {}: {e}", jsonl_path.display()));
         }
     }
-    out
+    Ok(out)
 }
 
 /// Aggregate engine-throughput numbers for one grid of runs.

@@ -59,6 +59,15 @@ pub struct Testbed {
 /// 5× faster for tighter per-window statistics, which adds only ~420 b/s.
 pub const PING_INTERVAL: SimDuration = SimDuration::from_millis(200);
 
+/// The game-server → router WAN link, fixed by construction order (it is
+/// the first link the builder creates; asserted in [`build_full`]). The
+/// chaos campaign disturbs it as the "Internet weather" leg.
+pub const WAN_GAME_LINK: LinkId = LinkId(0);
+
+/// The shaped bottleneck link, fixed by construction order (two WAN
+/// duplexes = links 0–3, then the bottleneck; asserted in [`build_full`]).
+pub const BOTTLENECK_LINK: LinkId = LinkId(4);
+
 /// Build the testbed network for `cond`, seeded for iteration `iter`.
 pub fn build(cond: &Condition, iter: u32) -> Testbed {
     build_with(cond, iter, None)
@@ -124,6 +133,10 @@ pub fn build_full(
         },
     );
     b.link(switch, router, LinkSpec::lan(half));
+    assert_eq!(
+        bottleneck, BOTTLENECK_LINK,
+        "link wiring changed: update the id map"
+    );
 
     // LAN segments to the clients: negligible delay, never the bottleneck.
     b.duplex(switch, game_client, LinkSpec::lan(SimDuration::ZERO));

@@ -89,6 +89,102 @@ fn thread_count_does_not_change_the_digest() {
 }
 
 #[test]
+fn torn_manifest_tail_is_recovered_bit_identically() {
+    let baseline = run_campaign(&spec(None, 1)).expect("baseline runs");
+
+    // Checkpoint one shard, then tear its manifest line in half — the
+    // damage a kill mid-append actually inflicts.
+    let path = scratch("torn.manifest");
+    let _ = std::fs::remove_file(&path);
+    let mut halted = spec(Some(path.clone()), 1);
+    halted.halt_after_shards = Some(2);
+    run_campaign(&halted).expect("halted run succeeds");
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(text.lines().filter(|l| l.starts_with("shard ")).count(), 2);
+    let cut = text.rfind("shard ").unwrap() + 20;
+    std::fs::write(&path, &text[..cut]).unwrap();
+
+    // Resume: the torn line is truncated away, its shard re-runs, and
+    // the aggregates still match the uninterrupted ground truth.
+    let resumed = run_campaign(&spec(Some(path.clone()), 1)).expect("recovery succeeds");
+    assert!(resumed.complete());
+    assert_eq!(resumed.resumed_shards, 1, "only the intact shard resumes");
+    assert_eq!(resumed.completed_shards, 3);
+    let why = resumed.torn_tail.as_deref().expect("recovery is reported");
+    assert!(why.contains("torn manifest tail"), "{why}");
+    assert_eq!(
+        resumed.digest(),
+        baseline.digest(),
+        "torn-tail recovery must reproduce the uninterrupted aggregates exactly"
+    );
+
+    // The repaired manifest now holds every shard and resumes cleanly.
+    let text = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(text.lines().filter(|l| l.starts_with("shard ")).count(), 4);
+    assert!(text.ends_with('\n'));
+    let clean = run_campaign(&spec(Some(path.clone()), 1)).expect("replay succeeds");
+    assert_eq!(clean.resumed_shards, 4);
+    assert_eq!(clean.torn_tail, None);
+    assert_eq!(clean.digest(), baseline.digest());
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn unterminated_final_shard_line_is_re_run() {
+    // A kill exactly between the payload and its newline leaves a line
+    // that parses but would corrupt the next append; it must be treated
+    // as torn, not resumed.
+    let path = scratch("unterminated.manifest");
+    let _ = std::fs::remove_file(&path);
+    let mut halted = spec(Some(path.clone()), 1);
+    halted.halt_after_shards = Some(1);
+    run_campaign(&halted).expect("halted run succeeds");
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::write(&path, text.trim_end_matches('\n')).unwrap();
+
+    let resumed = run_campaign(&spec(Some(path.clone()), 1)).expect("recovery succeeds");
+    assert_eq!(resumed.resumed_shards, 0, "the unterminated shard re-runs");
+    assert_eq!(resumed.completed_shards, 4);
+    assert!(resumed.torn_tail.as_deref().unwrap().contains("newline"));
+    assert_eq!(
+        resumed.digest(),
+        run_campaign(&spec(None, 1)).unwrap().digest()
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn mid_file_manifest_corruption_is_a_hard_error() {
+    let path = scratch("midfile.manifest");
+    let _ = std::fs::remove_file(&path);
+    let mut halted = spec(Some(path.clone()), 1);
+    halted.halt_after_shards = Some(2);
+    run_campaign(&halted).expect("halted run succeeds");
+
+    // Mangle the FIRST shard line, keeping a complete one after it:
+    // that cannot be a torn append, so resume must refuse to guess.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let mut mangled_one = false;
+    let out: Vec<String> = text
+        .lines()
+        .map(|l| {
+            if l.starts_with("shard ") && !mangled_one {
+                mangled_one = true;
+                "shard 0 runs=borked".to_string()
+            } else {
+                l.to_string()
+            }
+        })
+        .collect();
+    std::fs::write(&path, out.join("\n") + "\n").unwrap();
+
+    let err = run_campaign(&spec(Some(path.clone()), 1)).unwrap_err();
+    assert!(err.contains("complete lines follow"), "{err}");
+    assert!(err.contains("not a torn append"), "{err}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn foreign_manifest_is_refused() {
     let path = scratch("foreign.manifest");
     std::fs::write(&path, "gsrepro-fleet-manifest v1\nspec 0000000000000000\n").unwrap();
