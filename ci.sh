@@ -44,6 +44,14 @@ cargo run --release -p gsrepro-bench --bin scorecard3d -- --smoke --iters 1 --ch
 echo "== scorecard snapshot (release, oracle-enabled grids)"
 cargo test --release -q -p gsrepro-testbed --test scorecard_snapshot -- --ignored
 
+echo "== model-oracle gate (Ware inflight-cap model, smoke grid under --checks)"
+# The bench binary itself exits non-zero on any `diverged` verdict in a
+# model-applicable cell, so a CCA regression fails CI even before the
+# snapshot diff; the snapshot test then pins the exact per-cell verdicts
+# and the model scorecard matrix against tests/fixtures/model_oracle.txt.
+cargo run --release -q -p gsrepro-bench --bin model_oracle -- --smoke --checks --quiet
+cargo test --release -q -p gsrepro-testbed --test model_snapshot -- --ignored
+
 echo "== perf smoke gate (>30% below committed BENCH_hotpath.json fails)"
 # Short full-timeline run of the headline condition only (3 iterations,
 # plus the binary's built-in warm-up). The 30% margin absorbs shared-host

@@ -1,0 +1,78 @@
+//! The model oracle: bulk-Cubic-vs-bulk-BBR cells measured on the
+//! simulator and graded against the Ware BBRv1 inflight-cap model's
+//! closed-form convergence shares (see `testbed::model` and the
+//! EXPERIMENTS.md "Model oracle" section).
+//!
+//! Exits non-zero if any model-applicable cell diverges, so CI can gate
+//! on it directly. `--smoke` runs the CI-sized grid, `--checks` audits
+//! every cell with the invariant oracles, `--csv` dumps the table.
+
+use gsrepro_testbed::config::Timeline;
+use gsrepro_testbed::model::{self, OracleSpec};
+
+fn main() {
+    let (opts, csv) = gsrepro_bench::parse_args();
+    // `--smoke` replaces the option set with a scaled timeline; the
+    // oracle has its own grid sizes, so detect it from the timeline.
+    let smoke = opts.timeline.end < Timeline::paper().end;
+    let mut spec = if smoke {
+        OracleSpec::smoke()
+    } else {
+        OracleSpec::paper()
+    };
+    spec.checks = opts.checks;
+    spec.threads = opts.threads;
+
+    let report = model::run_model_oracle(&spec);
+    let sc = model::model_scorecard(&report);
+
+    println!(
+        "model oracle — Ware inflight-cap stable root p* = (1 - 1/X)/2 vs measured Cubic share"
+    );
+    println!(
+        "({} cells, {:.0} s each, tolerance ±{}, checks {})\n",
+        report.cells.len(),
+        spec.duration.as_secs_f64(),
+        model::MODEL_TOLERANCE,
+        if spec.checks { "on" } else { "off" }
+    );
+    println!("{}", report.table().render());
+    println!("{sc}");
+
+    if spec.checks {
+        let audited: u64 = report
+            .cells
+            .iter()
+            .map(|c| c.measured.checks_performed)
+            .sum();
+        println!("invariant oracle evaluations across the grid: {audited}");
+    }
+
+    if let Some(path) = &csv {
+        let mut out = String::from(
+            "capacity_mbps,base_rtt_ms,queue_mult,pred_loss_share,meas_loss_share,abs_err,jain,utilization,verdict\n",
+        );
+        for c in &report.cells {
+            out.push_str(&format!(
+                "{},{},{},{:.6},{:.6},{:.6},{:.6},{:.6},{}\n",
+                c.cell.capacity_mbps,
+                c.cell.base_rtt.as_millis_f64(),
+                c.cell.queue_mult,
+                c.prediction.loss_share,
+                c.measured.loss_share,
+                c.abs_err,
+                c.measured.jain,
+                c.measured.utilization,
+                c.verdict.label()
+            ));
+        }
+        gsrepro_bench::maybe_write_csv(&csv, &out);
+        let _ = path;
+    }
+
+    let diverged = report.diverged();
+    if diverged > 0 {
+        eprintln!("error: {diverged} model-applicable cell(s) diverged from the Ware prediction");
+        std::process::exit(1);
+    }
+}

@@ -12,9 +12,12 @@ use gsrepro_netsim::{LinkSpec, Shaper};
 use gsrepro_simcore::rng::stream_id;
 use gsrepro_simcore::{BitRate, SimDuration, SimTime};
 use gsrepro_tcp::{CcaKind, TcpReceiver, TcpSender, TcpSenderConfig};
+use gsrepro_testbed::metrics::jains_index;
 use gsrepro_testbed::report::TextTable;
 
-fn run(system: SystemKind, n_flows: u32, secs: u64, seed: u64) -> (f64, f64) {
+/// Returns (game goodput, total TCP goodput, Jain's index over the
+/// game + per-TCP-flow goodputs).
+fn run(system: SystemKind, n_flows: u32, secs: u64, seed: u64) -> (f64, f64, f64) {
     let capacity = BitRate::from_mbps(25);
     let rtt = SimDuration::from_micros(16_500);
     let queue = capacity.bdp(rtt).mul_f64(2.0);
@@ -81,11 +84,14 @@ fn run(system: SystemKind, n_flows: u32, secs: u64, seed: u64) -> (f64, f64) {
     let from = SimTime::from_secs(60);
     let to = SimTime::from_secs(secs);
     let game = sim.goodput_mbps(media, from, to);
-    let tcp_total: f64 = tcp_flows
+    let per_flow: Vec<f64> = tcp_flows
         .iter()
         .map(|&f| sim.goodput_mbps(f, from, to))
-        .sum();
-    (game, tcp_total)
+        .collect();
+    let tcp_total: f64 = per_flow.iter().sum();
+    let mut all = vec![game];
+    all.extend(per_flow);
+    (game, tcp_total, jains_index(&all))
 }
 
 fn main() {
@@ -99,10 +105,11 @@ fn main() {
         "TCP total",
         "fair share",
         "game/fair",
+        "jain",
     ]);
     for sys in SystemKind::ALL {
         for n in 1..=4u32 {
-            let (game, tcp) = run(sys, n, secs, 1000 + n as u64);
+            let (game, tcp, jain) = run(sys, n, secs, 1000 + n as u64);
             let fair = 25.0 / (n + 1) as f64;
             t.row(vec![
                 sys.label().to_string(),
@@ -111,10 +118,13 @@ fn main() {
                 format!("{tcp:.1}"),
                 format!("{fair:.1}"),
                 format!("{:.2}", game / fair),
+                format!("{jain:.3}"),
             ]);
         }
     }
     println!("{}", t.render());
     println!("reading: a ratio > 1 means the game defends more than its N-flow fair");
     println!("share; the paper predicts Stadia > 1, Luna ≈ 1, GeForce < 1 vs Cubic.");
+    println!("jain is Jain's fairness index over the game + per-TCP-flow goodputs");
+    println!("(1 = perfectly even split across the N+1 flows).");
 }

@@ -17,6 +17,7 @@
 //! | Table 5 | `... --bin table5` |
 //! | loss tables | `... --bin loss_tables` |
 //! | 3-D AQM scorecard | `... --bin scorecard3d` |
+//! | model oracle (Ware) | `... --bin model_oracle` |
 //! | everything | `... --bin full_reproduction` |
 //!
 //! Every binary accepts `--iters N` (default 5; the paper used 15),

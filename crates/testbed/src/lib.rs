@@ -22,6 +22,9 @@
 //! * [`ablation`] — the DESIGN.md ablations: controller-archetype swap,
 //!   BBR in-flight-cap sweep, AQM sweep;
 //! * [`report`] — ASCII tables/heatmaps and CSV emission;
+//! * [`model`] — the Ware BBRv1 inflight-cap fairness model and the
+//!   model oracle: closed-form Cubic-vs-BBR convergence shares, with
+//!   validity preconditions, graded against measured bulk-flow grids;
 //! * [`sketch`] — bounded log-linear percentile sketches for streaming
 //!   aggregation;
 //! * [`campaign`] — the fleet engine: shard 100k-session sweeps across
@@ -38,6 +41,7 @@ pub mod chaos;
 pub mod config;
 pub mod experiments;
 pub mod metrics;
+pub mod model;
 pub mod report;
 pub mod runner;
 pub mod scorecard;
@@ -49,5 +53,6 @@ pub use chaos::{run_chaos, ChaosReport, ChaosSpec, ChaosVerdict, Perturbation, T
 pub use config::{Aqm, Condition, Grid, Timeline};
 pub use gsrepro_gamestream::SystemKind;
 pub use gsrepro_tcp::CcaKind;
+pub use model::{model_scorecard, run_model_oracle, CellVerdict, OracleReport, OracleSpec};
 pub use runner::{run_condition, run_many, ConditionResult, RunResult};
 pub use sketch::MetricSketch;

@@ -457,11 +457,26 @@ mod tests {
 
     #[test]
     fn jains_index_properties() {
+        // Equal shares: perfectly fair regardless of scale.
         assert_eq!(jains_index(&[10.0, 10.0]), 1.0);
+        assert_eq!(jains_index(&[3.5, 3.5, 3.5, 3.5]), 1.0);
         let skew = jains_index(&[19.0, 1.0]);
         assert!(skew < 0.6);
+        // Empty input and all-zero input degenerate to fair.
         assert_eq!(jains_index(&[]), 1.0);
         assert_eq!(jains_index(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn jains_index_single_flow_dominant() {
+        // One flow holding everything scores exactly 1/n.
+        let j3 = jains_index(&[42.0, 0.0, 0.0]);
+        assert!((j3 - 1.0 / 3.0).abs() < 1e-12, "got {j3}");
+        let j2 = jains_index(&[0.0, 7.5]);
+        assert!((j2 - 0.5).abs() < 1e-12, "got {j2}");
+        // Near-total dominance approaches the same floor from above.
+        let near = jains_index(&[100.0, 0.001, 0.001]);
+        assert!(near > 1.0 / 3.0 && near < 0.34, "got {near}");
     }
 
     #[test]

@@ -87,7 +87,8 @@ impl Scorecard {
 }
 
 /// Fraction-based verdict: PASS above `pass_at`, PARTIAL above `partial_at`.
-fn graded(frac: f64, pass_at: f64, partial_at: f64) -> Verdict {
+/// Shared with the model-oracle scorecard in [`crate::model`].
+pub(crate) fn graded(frac: f64, pass_at: f64, partial_at: f64) -> Verdict {
     if frac >= pass_at {
         Verdict::Pass
     } else if frac >= partial_at {

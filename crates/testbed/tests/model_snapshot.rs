@@ -1,0 +1,63 @@
+//! Golden model-oracle snapshot: per-cell verdicts and the model
+//! scorecard matrix of the smoke grid, pinned as a committed fixture.
+//!
+//! Unlike the trajectory and scorecard fixtures — which pin the
+//! simulator against its own past output — the payload here records how
+//! the simulator agrees with *independently derived theory* (the Ware
+//! inflight-cap model, see `testbed::model`). A CCA regression that
+//! shifts convergence shares flips a `within` to `diverged` in the
+//! diff. Measured floats are deliberately not pinned; the closed-form
+//! predictions are (they are exact arithmetic).
+//!
+//! Regenerate after an intentional behaviour change with:
+//!
+//! ```text
+//! GSREPRO_BLESS=1 cargo test --release -p gsrepro-testbed \
+//!     --test model_snapshot -- --ignored
+//! ```
+//!
+//! The test is `#[ignore]`d because the smoke grid is five 120 s cells
+//! under full invariant checks; ci.sh runs it in release.
+
+use std::path::PathBuf;
+
+use gsrepro_tcp::conformance::bless_requested;
+use gsrepro_testbed::model::{model_scorecard, run_model_oracle, OracleSpec};
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/model_oracle.txt")
+}
+
+#[test]
+#[ignore = "runs the smoke oracle grid under checks; ci.sh runs it in release"]
+fn model_oracle_matches_snapshot() {
+    let mut spec = OracleSpec::smoke();
+    spec.checks = true;
+    let report = run_model_oracle(&spec);
+    let sc = model_scorecard(&report);
+    let payload = format!("{}\n{}", report.verdict_lines(), sc.verdict_matrix());
+    assert!(
+        report.cells.iter().all(|c| c.measured.checks_performed > 0),
+        "invariant oracles must audit every cell"
+    );
+
+    let path = fixture_path();
+    if bless_requested() {
+        std::fs::write(&path, &payload)
+            .unwrap_or_else(|e| panic!("writing {}: {e}", path.display()));
+        panic!("model-oracle snapshot blessed — rerun without GSREPRO_BLESS");
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "reading {}: {e} (bless the snapshot with GSREPRO_BLESS=1)",
+            path.display()
+        )
+    });
+    assert_eq!(
+        expected, payload,
+        "model-oracle verdicts drifted from the committed snapshot; a \
+         `within` → `diverged` flip means the simulated CCA dynamics no \
+         longer match the Ware model — investigate before re-blessing \
+         with GSREPRO_BLESS=1"
+    );
+}
